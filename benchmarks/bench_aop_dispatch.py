@@ -1,0 +1,112 @@
+"""Experiment E4 — real (wall-clock) AOP dispatch overhead.
+
+The simulated Figure 16 models AspectJ's overhead with calibrated
+constants; this bench *measures* our own engine's interception costs
+with pytest-benchmark, grounding the model:
+
+* plain method call (unwoven class);
+* woven-inert call (class instrumented, no advice deployed);
+* one around advice;
+* a five-aspect stack (partition-like depth).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop import Aspect, around, deploy, undeploy_all, unweave_all, weave
+
+# bound calibration so the whole suite stays fast; dispatch costs are
+# microseconds, 0.5 s of samples is plenty
+pytestmark = pytest.mark.benchmark(max_time=0.5, min_rounds=5)
+
+N = 1000
+
+
+def make_target():
+    class Target:
+        def work(self, x):
+            return x + 1
+
+    return Target
+
+
+def run_loop(obj):
+    total = 0
+    for i in range(N):
+        total += obj.work(i)
+    return total
+
+
+@pytest.fixture(autouse=True)
+def clean():
+    undeploy_all()
+    unweave_all()
+    yield
+    undeploy_all()
+    unweave_all()
+
+
+def test_plain_call(benchmark):
+    Target = make_target()
+    obj = Target()
+    assert benchmark(lambda: run_loop(obj)) == N * (N - 1) // 2 + N
+
+
+def test_woven_inert_call(benchmark):
+    Target = make_target()
+    weave(Target)
+    obj = Target()
+    assert benchmark(lambda: run_loop(obj)) == N * (N - 1) // 2 + N
+
+
+def test_one_around_advice(benchmark):
+    Target = make_target()
+
+    class Pass(Aspect):
+        @around("call(Target.work(..))")
+        def passthrough(self, jp):
+            return jp.proceed()
+
+    weave(Target)
+    deploy(Pass())
+    obj = Target()
+    assert benchmark(lambda: run_loop(obj)) == N * (N - 1) // 2 + N
+
+
+def test_five_aspect_stack(benchmark):
+    Target = make_target()
+
+    def make_aspect(level):
+        class Pass(Aspect):
+            precedence = level
+
+            @around("call(Target.work(..))")
+            def passthrough(self, jp):
+                return jp.proceed()
+
+        return Pass()
+
+    weave(Target)
+    for level in range(5):
+        deploy(make_aspect(level))
+    obj = Target()
+    assert benchmark(lambda: run_loop(obj)) == N * (N - 1) // 2 + N
+
+
+def test_initialization_interception(benchmark):
+    Target = make_target()
+
+    class Tag(Aspect):
+        @around("initialization(Target.new(..))")
+        def tag(self, jp):
+            return jp.proceed()
+
+    weave(Target)
+    deploy(Tag())
+
+    def build():
+        for _ in range(100):
+            Target()
+
+    benchmark(build)

@@ -1,0 +1,35 @@
+"""Experiment E1 — Figure 16: performance of Java versus AspectJ.
+
+Hand-coded RMI pipeline sieve vs the woven PipeRMI stack across the
+paper's filter counts on the simulated 7-node testbed.  The measured
+quantity is *simulated* execution time; pytest-benchmark records the
+harness wall time (one round — the simulation is deterministic, repeats
+are identical by construction).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_maximum, bench_packs, register_report
+
+from repro.bench import FILTER_COUNTS, fig16
+
+
+def test_fig16_java_vs_aspectj(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig16(
+            filters=FILTER_COUNTS,
+            maximum=bench_maximum(),
+            packs=bench_packs(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_report(result.report)
+    benchmark.extra_info["aspectj_series"] = result.series["AspectJ"]
+    benchmark.extra_info["java_series"] = result.series["Java"]
+    overhead = [
+        (aj - java) / java
+        for aj, java in zip(result.series["AspectJ"], result.series["Java"])
+    ]
+    benchmark.extra_info["max_overhead"] = max(overhead)
+    assert result.passed, result.report

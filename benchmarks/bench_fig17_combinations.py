@@ -1,0 +1,29 @@
+"""Experiment E3 — Figure 17: performance of the AspectJ versions.
+
+All five Table 1 module combinations swept over the paper's filter
+counts (1..16) on the simulated testbed, with the shape checks DESIGN.md
+enumerates: farm > pipeline, threads flatten past one machine, MPP
+beats RMI, dynamic ≈ static farm.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_maximum, bench_packs, register_report
+
+from repro.bench import FILTER_COUNTS, fig17
+
+
+def test_fig17_module_combinations(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig17(
+            filters=FILTER_COUNTS,
+            maximum=bench_maximum(),
+            packs=bench_packs(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_report(result.report)
+    for combo, values in result.series.items():
+        benchmark.extra_info[combo] = values
+    assert result.passed, result.report

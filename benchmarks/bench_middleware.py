@@ -1,0 +1,70 @@
+"""Experiment E5 — middleware cost ablation (why FarmMPP < FarmRMI).
+
+Measures the *simulated* cost of one remote invocation over RMI vs MPP
+for a range of payload sizes, reporting the per-call gap that produces
+Figure 17's middleware ordering.  pytest-benchmark times the (fast)
+harness; the table carries the simulated microseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import register_report
+
+from repro.bench.report import render_series
+from repro.cluster import paper_testbed
+from repro.middleware import MppMiddleware, RmiMiddleware, use_node
+from repro.sim import Simulator
+
+SIZES = (1_000, 10_000, 100_000, 800_000)  # bytes (payload)
+
+
+class Sink:
+    def take(self, blob):
+        return len(blob)
+
+
+def one_call_cost(make_middleware, size_bytes: int) -> float:
+    sim = Simulator()
+    cluster = paper_testbed(sim)
+    middleware = make_middleware(cluster)
+    payload = np.zeros(size_bytes // 8, dtype=np.int64)
+    out = {}
+
+    def main():
+        ref = middleware.export(Sink(), cluster.node(1))
+        with use_node(cluster.head):
+            start = sim.now
+            middleware.invoke(ref, "take", (payload,))
+            out["cost"] = sim.now - start
+
+    sim.spawn(main)
+    sim.run()
+    middleware.shutdown()
+    sim.shutdown()
+    return out["cost"]
+
+
+def test_rmi_vs_mpp_per_call(benchmark):
+    def sweep():
+        series = {"RMI": [], "MPP": []}
+        for size in SIZES:
+            series["RMI"].append(one_call_cost(RmiMiddleware, size) * 1e3)
+            series["MPP"].append(one_call_cost(MppMiddleware, size) * 1e3)
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = render_series(
+        "E5 - simulated cost of one remote call (milliseconds)",
+        "bytes",
+        list(SIZES),
+        series,
+        unit="m",
+    )
+    register_report(report)
+    # MPP must be cheaper at every size, increasingly so for big payloads
+    for rmi_ms, mpp_ms in zip(series["RMI"], series["MPP"]):
+        assert mpp_ms < rmi_ms
+    gap_small = series["RMI"][0] - series["MPP"][0]
+    gap_large = series["RMI"][-1] - series["MPP"][-1]
+    assert gap_large > gap_small

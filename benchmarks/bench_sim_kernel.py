@@ -1,0 +1,85 @@
+"""Experiment E6 — simulation-kernel throughput (substrate sanity).
+
+Wall-clock cost of the DES primitives: raw timer events, process
+hold/resume cycles, channel sends, and processor-sharing churn.  These
+bound how large a simulated experiment stays practical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Channel, ProcessorSharingCPU, Simulator
+
+pytestmark = pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+
+
+def test_timer_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(5_000):
+            sim.call_later(i * 1e-6, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 5_000
+
+
+def test_process_hold_cycles(benchmark):
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(200):
+                sim.hold(1e-6)
+
+        for _ in range(5):
+            sim.spawn(proc)
+        sim.run()
+        return sim.now
+
+    benchmark(run)
+
+
+def test_channel_messaging(benchmark):
+    def run():
+        sim = Simulator()
+        ch = Channel(sim)
+        n = 500
+
+        def producer():
+            for i in range(n):
+                ch.send(i, delay=1e-6)
+
+        def consumer():
+            for _ in range(n):
+                ch.recv()
+
+        sim.spawn(consumer)
+        sim.spawn(producer)
+        sim.run()
+        return ch.sent_count
+
+    assert benchmark(run) == 500
+
+
+def test_processor_sharing_churn(benchmark):
+    def run():
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=2, ht_factor=1.3)
+
+        def job(delay, work):
+            sim.hold(delay)
+            cpu.execute(work)
+
+        for i in range(100):
+            sim.spawn(lambda i=i: job(i * 0.001, 0.01 + 0.0001 * i))
+        sim.run()
+        return cpu.jobs_completed
+
+    assert benchmark(run) == 100

@@ -1,0 +1,18 @@
+"""Experiment E2 — Table 1: tested module combinations.
+
+Regenerates the table from the composition metadata itself (which
+concern each plugged module fills), verifying the five rows match the
+paper's matrix.
+"""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.bench import table1
+
+
+def test_table1_module_matrix(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    register_report(result.report)
+    assert result.passed, result.report

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Exchanging distribution middlewares (paper Section 4.3 / Figures 14-15).
+
+The same farm-parallel sieve runs over Java-RMI-style, MPP-style and
+hybrid middlewares by swapping ONE module — core functionality,
+partition and concurrency are untouched.  Reports the simulated time and
+traffic of each, showing where MPP's cheaper per-message costs go.
+
+Run:  python examples/middleware_swap.py
+"""
+
+from repro.bench import run_sieve
+
+MAXIMUM = 1_000_000
+PACKS = 50
+FILTERS = 7
+
+
+def main():
+    print(
+        f"farm sieve (max={MAXIMUM:,}, {PACKS} packs, {FILTERS} filters) — "
+        "one distribution module swapped per run\n"
+    )
+    rows = []
+    for combo, label in [
+        ("FarmThreads", "no distribution (single shared-memory machine)"),
+        ("FarmRMI", "RMI: registry + synchronous stubs, heavy serialisation"),
+        ("FarmMPP", "MPP: raw buffers over nio, cheap per-message costs"),
+        ("FarmHybrid", "hybrid: RMI control calls + MPP data calls"),
+    ]:
+        result = run_sieve(combo, FILTERS, maximum=MAXIMUM, packs=PACKS)
+        rows.append((combo, result, label))
+
+    print(f"{'combo':>12} {'sim time':>10} {'messages':>9} {'MB moved':>9}   middleware")
+    for combo, result, label in rows:
+        print(
+            f"{combo:>12} {result.sim_time:9.3f}s {result.messages:9d} "
+            f"{result.bytes / 1e6:8.1f}M   {label}"
+        )
+        assert result.correct, f"{combo} produced wrong primes!"
+
+    rmi = next(r for c, r, _ in rows if c == "FarmRMI")
+    mpp = next(r for c, r, _ in rows if c == "FarmMPP")
+    gain = (rmi.sim_time - mpp.sim_time) / rmi.sim_time
+    print(
+        f"\nswapping RMI -> MPP saved {gain:.1%} simulated time "
+        "without touching any other module."
+    )
+
+
+if __name__ == "__main__":
+    main()

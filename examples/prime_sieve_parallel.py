@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The paper's case study, developed *incrementally* (Section 5).
+
+Starts from the sequential prime sieve and adds one concern at a time —
+partition, concurrency, distribution — each as a pluggable module,
+measuring every configuration on the simulated 7-node testbed.  Finishes
+by exchanging the pipeline partition for a farm (the paper's Section 7
+claim) without touching the core class.
+
+Run:  python examples/prime_sieve_parallel.py  [max [packs [filters]]]
+"""
+
+import sys
+
+from repro.bench import PAPER_COST_MODEL, run_sieve
+
+
+def main():
+    maximum = int(sys.argv[1]) if len(sys.argv) > 1 else 1_000_000
+    packs = int(sys.argv[2]) if len(sys.argv) > 2 else 50
+    filters = int(sys.argv[3]) if len(sys.argv) > 3 else 7
+
+    print(f"prime sieve up to {maximum:,} | {packs} packs | {filters} filters")
+    print(f"(simulated testbed: 7 x dual-Xeon-HT on GigE; "
+          f"cost model: {PAPER_COST_MODEL.ns_per_op * 1e9:.1f} ns/op)\n")
+
+    steps = [
+        ("Sequential", 1, "core functionality only"),
+        ("FarmThreads", filters, "+ partition (farm) + concurrency (threads)"),
+        ("PipeRMI", filters, "pipeline partition + concurrency + RMI distribution"),
+        ("FarmRMI", filters, "exchange pipeline -> farm (same distribution)"),
+        ("FarmMPP", filters, "exchange RMI -> MPP middleware"),
+        ("FarmDRMI", filters, "exchange static -> dynamic (demand-driven) farm"),
+    ]
+    baseline = None
+    for combo, n, description in steps:
+        result = run_sieve(combo, n, maximum=maximum, packs=packs)
+        if baseline is None:
+            baseline = result.sim_time
+        speedup = baseline / result.sim_time
+        status = "ok" if result.correct else "WRONG RESULTS"
+        print(
+            f"{combo:>12} ({n:2d} filters): {result.sim_time:7.3f}s "
+            f"speedup {speedup:5.2f}x  msgs {result.messages:5d}  [{status}]"
+        )
+        print(f"{'':>14} {description}")
+    print("\nEvery configuration computed the identical, verified prime set —")
+    print("only the plugged aspect modules changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim (metadata lives in setup.cfg).
+
+Offline installs: ``pip install -e .`` needs network for PEP 517 build
+isolation on some pip versions; ``python setup.py develop`` installs the
+same editable package with zero network access.
+"""
+
+from setuptools import setup
+
+setup()

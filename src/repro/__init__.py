@@ -1,0 +1,28 @@
+"""repro — reproduction of *Incrementally Developing Parallel Applications
+with AspectJ* (J. L. Sobral, IPPS 2006).
+
+The package is layered exactly like the paper's methodology:
+
+``repro.aop``
+    An AspectJ-analogue AOP engine (joinpoints, pointcuts, advice,
+    weaving, deploy/undeploy).
+``repro.sim`` / ``repro.cluster``
+    A deterministic discrete-event simulator and a model of the paper's
+    testbed (7 dual-Xeon HT nodes on Gigabit Ethernet).
+``repro.runtime`` / ``repro.middleware``
+    Concurrency backends (real threads or simulated processes), futures,
+    and the RMI / MPP distribution middlewares.
+``repro.parallel``
+    The paper's contribution: partition, concurrency, distribution and
+    optimisation concerns packaged as pluggable aspect modules, plus the
+    named module combinations of Table 1.
+``repro.apps``
+    Case studies: the prime-number sieve (Section 5), a farm
+    (Mandelbrot), a heartbeat (Jacobi), and a pipeline (word count).
+``repro.bench``
+    The experiment harness regenerating Figures 16/17 and Table 1.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

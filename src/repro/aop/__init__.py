@@ -1,0 +1,146 @@
+"""AspectJ-analogue aspect-oriented programming engine for Python.
+
+This package provides the substrate the reproduced methodology is built
+on: joinpoints, a pointcut expression language, advice, aspects with
+inter-type declarations, and a runtime weaver supporting deploy/undeploy
+— the "(un)pluggability" at the heart of the paper.
+
+Quickstart (paper Figure 3, the logging aspect)::
+
+    from repro.aop import Aspect, around, weave, deploy
+
+    class Point:
+        def __init__(self): self.x = self.y = 0
+        def move_x(self, d): self.x += d
+        def move_y(self, d): self.y += d
+
+    class Logging(Aspect):
+        @around("call(Point.move*(..))")
+        def log(self, jp):
+            print("Move called")
+            return jp.proceed()
+
+    weave(Point)
+    deploy(Logging())
+    Point().move_x(10)          # prints "Move called"
+"""
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import (
+    AbstractPointcut,
+    Aspect,
+    ParentDeclaration,
+    abstract_pointcut,
+    after,
+    after_returning,
+    after_throwing,
+    around,
+    before,
+    declare_parents,
+    introduce,
+    pointcut,
+)
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+from repro.aop.parser import parse_pointcut
+from repro.aop.pointcut import (
+    AdviceExecution,
+    Args,
+    Call,
+    CFlow,
+    CFlowBelow,
+    Execution,
+    FalsePointcut,
+    Initialization,
+    Pointcut,
+    Target,
+    TruePointcut,
+    Within,
+    args,
+    call,
+    cflow,
+    cflowbelow,
+    execution,
+    initialization,
+    target,
+    within,
+)
+from repro.aop.signature import (
+    NamePattern,
+    ParamsPattern,
+    SignaturePattern,
+    TypePattern,
+    is_subtype,
+)
+from repro.aop.weaver import (
+    Weaver,
+    default_weaver,
+    deploy,
+    deployed_aspects,
+    is_woven,
+    raw_construct,
+    undeploy,
+    undeploy_all,
+    unweave,
+    unweave_all,
+    weave,
+)
+
+__all__ = [
+    # aspect declaration
+    "Aspect",
+    "around",
+    "before",
+    "after",
+    "after_returning",
+    "after_throwing",
+    "introduce",
+    "pointcut",
+    "abstract_pointcut",
+    "AbstractPointcut",
+    "declare_parents",
+    "ParentDeclaration",
+    # joinpoints
+    "JoinPoint",
+    "JoinPointKind",
+    "AdviceKind",
+    # pointcut language
+    "Pointcut",
+    "parse_pointcut",
+    "call",
+    "execution",
+    "initialization",
+    "within",
+    "target",
+    "args",
+    "cflow",
+    "cflowbelow",
+    "Call",
+    "Execution",
+    "Initialization",
+    "Within",
+    "Target",
+    "Args",
+    "CFlow",
+    "CFlowBelow",
+    "AdviceExecution",
+    "TruePointcut",
+    "FalsePointcut",
+    # signatures
+    "TypePattern",
+    "NamePattern",
+    "ParamsPattern",
+    "SignaturePattern",
+    "is_subtype",
+    # weaving
+    "Weaver",
+    "default_weaver",
+    "weave",
+    "unweave",
+    "unweave_all",
+    "deploy",
+    "undeploy",
+    "undeploy_all",
+    "deployed_aspects",
+    "raw_construct",
+    "is_woven",
+]

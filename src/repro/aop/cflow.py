@@ -1,0 +1,91 @@
+"""Control-flow state for dynamic pointcuts.
+
+Tracks, per thread (simulated processes are real threads, so
+``threading.local`` covers both execution backends):
+
+* the stack of joinpoints currently executing — powering ``cflow(..)``
+  and ``cflowbelow(..)``;
+* the advice-execution depth — powering ``adviceexecution()`` and the
+  default rule that *initialization* joinpoints are not re-matched for
+  constructions performed inside advice (the paper: "This pointcut only
+  intercepts object creations in the core functionality").
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.aop.joinpoint import JoinPoint
+
+__all__ = [
+    "current_stack",
+    "advice_depth",
+    "in_advice",
+    "entered_joinpoint",
+    "entered_advice",
+    "construction_bypass",
+    "bypassing_construction",
+]
+
+
+class _FlowState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list["JoinPoint"] = []
+        self.advice_depth: int = 0
+        self.construction_bypass: int = 0
+
+
+_STATE = _FlowState()
+
+
+def current_stack() -> list["JoinPoint"]:
+    """The joinpoints currently executing on this thread, outermost first."""
+    return _STATE.stack
+
+
+def advice_depth() -> int:
+    return _STATE.advice_depth
+
+
+def in_advice() -> bool:
+    """Is this thread currently executing advice code?"""
+    return _STATE.advice_depth > 0
+
+
+def construction_bypass() -> bool:
+    """Is construction currently bypassing the weaver (``proceed`` of an
+    initialization joinpoint, or :func:`repro.aop.raw_construct`)?"""
+    return _STATE.construction_bypass > 0
+
+
+@contextmanager
+def entered_joinpoint(jp: "JoinPoint") -> Iterator[None]:
+    """Push ``jp`` on the thread's control-flow stack for cflow matching."""
+    _STATE.stack.append(jp)
+    try:
+        yield
+    finally:
+        _STATE.stack.pop()
+
+
+@contextmanager
+def entered_advice() -> Iterator[None]:
+    """Mark advice execution (for ``adviceexecution()`` pointcuts)."""
+    _STATE.advice_depth += 1
+    try:
+        yield
+    finally:
+        _STATE.advice_depth -= 1
+
+
+@contextmanager
+def bypassing_construction() -> Iterator[None]:
+    """Run a block during which woven constructors use the raw path."""
+    _STATE.construction_bypass += 1
+    try:
+        yield
+    finally:
+        _STATE.construction_bypass -= 1

@@ -1,0 +1,76 @@
+"""Static crosscutting: inter-type declarations.
+
+Implements the two mechanisms of paper Section 3 / Figure 2:
+
+* **member introduction** — add methods/attributes to a class while an
+  aspect is deployed (``public void Point.migrate(String node)``);
+* **declare parents** — make a class a subtype of an interface
+  (``declare parents: Point implements Serializable``), realised through
+  the virtual-subtype registry so pointcut ``+`` patterns and
+  ``isinstance`` both observe it.
+
+All changes are recorded so undeployment restores the original class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.aop.signature import register_virtual_base, unregister_virtual_base
+from repro.errors import IntertypeError
+
+__all__ = ["IntertypeApplier"]
+
+_MISSING = object()
+
+
+class IntertypeApplier:
+    """Applies and reverts the inter-type declarations of one aspect."""
+
+    def __init__(self) -> None:
+        # (cls, name) -> previous value (or _MISSING)
+        self._replaced: list[tuple[type, str, Any]] = []
+        self._parents: list[tuple[type, type]] = []
+
+    # -- apply ----------------------------------------------------------------
+
+    def introduce_member(self, cls: type, name: str, value: Callable | Any) -> None:
+        """Add ``value`` as attribute ``name`` of ``cls``.
+
+        Introducing over an existing member raises: AspectJ rejects
+        conflicting inter-type declarations at compile time and silent
+        clobbering would make undeploy ambiguous.
+        """
+        if name in vars(cls):
+            raise IntertypeError(
+                f"cannot introduce {cls.__name__}.{name}: member already exists"
+            )
+        previous = vars(cls).get(name, _MISSING)
+        setattr(cls, name, value)
+        self._replaced.append((cls, name, previous))
+
+    def declare_parent(self, cls: type, base: type) -> None:
+        """Declare ``cls`` a subtype of ``base`` (virtual registration)."""
+        if not isinstance(cls, type) or not isinstance(base, type):
+            raise IntertypeError("declare_parents requires two classes")
+        if cls is base:
+            raise IntertypeError("a class cannot be declared its own parent")
+        register_virtual_base(cls, base)
+        self._parents.append((cls, base))
+
+    # -- revert ----------------------------------------------------------------
+
+    def revert(self) -> None:
+        """Undo every declaration, in reverse order of application."""
+        while self._replaced:
+            cls, name, previous = self._replaced.pop()
+            if previous is _MISSING:
+                try:
+                    delattr(cls, name)
+                except AttributeError:  # pragma: no cover - already gone
+                    pass
+            else:
+                setattr(cls, name, previous)
+        while self._parents:
+            cls, base = self._parents.pop()
+            unregister_virtual_base(cls, base)

@@ -1,0 +1,184 @@
+"""Joinpoint model.
+
+A *joinpoint* is a well-defined event in program execution that advice can
+intercept.  Mirroring the subset of AspectJ the paper uses (Section 3), we
+support two kinds:
+
+* ``CALL`` — invocation of a method on a woven class;
+* ``INITIALIZATION`` — construction of an instance of a woven class
+  (AspectJ's ``Class.new(..)`` pattern).
+
+The :class:`JoinPoint` object handed to advice carries full reflective
+information plus :meth:`JoinPoint.proceed`, which continues with the rest
+of the advice chain (and ultimately the original behaviour).  Around advice
+may call ``proceed`` zero, one or *many* times — the paper's partition
+aspect calls the constructor joinpoint's ``proceed`` once per pipeline
+stage to create its "aspect managed objects".
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable
+
+from repro.errors import ProceedError
+
+__all__ = ["JoinPointKind", "JoinPoint", "CallerInfo"]
+
+
+class JoinPointKind(enum.Enum):
+    """The kinds of interceptable events."""
+
+    CALL = "call"
+    INITIALIZATION = "initialization"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CallerInfo:
+    """Lexical information about the code that reached a joinpoint.
+
+    Computed lazily (walking Python frames is costly) and only when a
+    deployed pointcut actually uses ``within(..)``.
+    """
+
+    __slots__ = ("module", "qualname", "function")
+
+    def __init__(self, module: str, qualname: str, function: str):
+        self.module = module
+        self.qualname = qualname
+        self.function = function
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CallerInfo({self.module}.{self.qualname})"
+
+
+class JoinPoint:
+    """Reflective description of one intercepted event.
+
+    Attributes
+    ----------
+    kind:
+        :class:`JoinPointKind` of the event.
+    cls:
+        The woven class owning the intercepted method / constructor.
+    name:
+        Method name (``"__init__"`` for initialization joinpoints).
+    target:
+        Receiver instance for ``CALL`` joinpoints, ``None`` for
+        ``INITIALIZATION`` (the instance does not exist yet).
+    args, kwargs:
+        The *current* arguments.  ``proceed`` with no arguments re-uses
+        them; ``proceed(x, y)`` replaces the positional arguments, exactly
+        like AspectJ's ``proceed``.
+    """
+
+    __slots__ = (
+        "kind",
+        "cls",
+        "name",
+        "target",
+        "args",
+        "kwargs",
+        "_proceed_map",
+        "_caller",
+        "_caller_resolver",
+        "result",
+        "exception",
+        "from_advice",
+    )
+
+    def __init__(
+        self,
+        kind: JoinPointKind,
+        cls: type,
+        name: str,
+        target: Any,
+        args: tuple,
+        kwargs: dict,
+    ):
+        self.kind = kind
+        self.cls = cls
+        self.name = name
+        self.target = target
+        self.args = args
+        self.kwargs = kwargs
+        # Continuations are tracked *per thread*: an async concurrency
+        # aspect may hand the rest of the chain to a spawned activity
+        # while the original thread unwinds — neither may clobber the
+        # other's view of ``proceed``.
+        self._proceed_map: dict[int, Callable] = {}
+        self._caller: CallerInfo | None = None
+        self._caller_resolver: Callable[[], CallerInfo] | None = None
+        #: Set on ``after_returning`` advice invocations.
+        self.result: Any = None
+        #: Set on ``after_throwing`` advice invocations.
+        self.exception: BaseException | None = None
+        #: Snapshot taken at dispatch: was this joinpoint reached from
+        #: advice code?  (``adviceexecution()`` matches on this.)
+        self.from_advice: bool = False
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def signature(self) -> str:
+        """Human-readable ``Class.method`` signature of the joinpoint."""
+        if self.kind is JoinPointKind.INITIALIZATION:
+            return f"{self.cls.__name__}.new"
+        return f"{self.cls.__name__}.{self.name}"
+
+    @property
+    def target_class(self) -> type:
+        """Dynamic type of the receiver (the defining class for inits)."""
+        if self.target is not None:
+            return type(self.target)
+        return self.cls
+
+    # -- caller (within) ---------------------------------------------------
+
+    @property
+    def caller(self) -> CallerInfo | None:
+        """Lexical caller info; resolved lazily, may be ``None``."""
+        if self._caller is None and self._caller_resolver is not None:
+            self._caller = self._caller_resolver()
+        return self._caller
+
+    # -- chain control -----------------------------------------------------
+
+    def proceed(self, *args: Any, **kwargs: Any) -> Any:
+        """Continue with the rest of the advice chain / original code.
+
+        With no arguments the current ``args``/``kwargs`` are re-used.
+        Passing positional or keyword arguments substitutes them for the
+        remainder of the chain (AspectJ ``proceed(..)`` semantics).
+        For initialization joinpoints, each invocation constructs and
+        returns a *fresh, fully initialised* instance.
+        """
+        proceed = self._proceed_map.get(threading.get_ident())
+        if proceed is None:
+            raise ProceedError(
+                f"proceed() called outside an active around advice for {self.signature}"
+            )
+        return proceed(*args, **kwargs)
+
+    def capture_proceed(self) -> Callable[..., Any]:
+        """Capture the continuation for *deferred* execution.
+
+        An around advice that hands the rest of the chain to another
+        activity (the concurrency aspect spawning a thread) must capture
+        the continuation while the advice body is still active — after
+        the advice returns, :meth:`proceed` is disarmed.  The returned
+        callable stays valid and runs the remainder of the chain on
+        whichever thread invokes it.
+        """
+        proceed = self._proceed_map.get(threading.get_ident())
+        if proceed is None:
+            raise ProceedError(
+                f"capture_proceed() outside an active around advice for {self.signature}"
+            )
+        return proceed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<JoinPoint {self.kind} {self.signature} args={self.args!r}>"

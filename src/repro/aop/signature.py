@@ -1,0 +1,386 @@
+"""Signature patterns for pointcut matching.
+
+Implements the pattern sub-language that appears inside ``call(..)``,
+``initialization(..)``, ``within(..)``, ``target(..)`` and ``args(..)``:
+
+* **Type patterns** — ``PrimeFilter``, ``*Filter``, ``pkg.mod.Class``,
+  ``Pipe+`` (the class or any subtype, including *virtual* subtypes
+  registered via ``declare_parents``), ``*`` (any type).
+* **Name patterns** — method names with ``*`` wildcards (``move*``).
+* **Parameter patterns** — ``..`` (any number of arguments), ``*`` (exactly
+  one argument of any type), or type patterns matched against the dynamic
+  types of the actual arguments.
+
+AspectJ resolves subtype tests against the Java type system; we keep our
+own *virtual-subtype registry* so that ``declare parents`` (inter-type
+declaration) can make a core class implement a marker interface without
+mutating ``__bases__`` — exactly the mechanism the paper's reusable
+``PipelineProtocol`` aspect relies on (Figure 9).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import Any, Iterable
+
+from repro.errors import PointcutSyntaxError
+
+__all__ = [
+    "TypePattern",
+    "NamePattern",
+    "ParamsPattern",
+    "SignaturePattern",
+    "register_virtual_base",
+    "unregister_virtual_base",
+    "is_subtype",
+    "virtual_bases_of",
+]
+
+# ---------------------------------------------------------------------------
+# Virtual subtype registry (supports declare_parents on non-ABC interfaces)
+# ---------------------------------------------------------------------------
+
+_VIRTUAL_BASES: dict[type, set[type]] = {}
+
+
+def register_virtual_base(cls: type, base: type) -> None:
+    """Record that ``cls`` should be treated as a subtype of ``base``.
+
+    Also registers with :mod:`abc` when ``base`` supports it so that
+    ``isinstance`` checks in user code agree with pointcut matching.
+    """
+    _VIRTUAL_BASES.setdefault(cls, set()).add(base)
+    register = getattr(base, "register", None)
+    if callable(register):
+        try:
+            register(cls)
+        except (TypeError, RuntimeError):  # plain classes have no ABC machinery
+            pass
+
+
+def unregister_virtual_base(cls: type, base: type) -> None:
+    """Remove a virtual subtype relation (ABC registration is sticky and
+    intentionally left in place; the pointcut matcher uses this registry,
+    not ``issubclass``, as its source of truth for unweaving)."""
+    bases = _VIRTUAL_BASES.get(cls)
+    if bases is not None:
+        bases.discard(base)
+        if not bases:
+            del _VIRTUAL_BASES[cls]
+
+
+def virtual_bases_of(cls: type) -> frozenset[type]:
+    """All bases registered for ``cls`` (not transitive, not inherited)."""
+    return frozenset(_VIRTUAL_BASES.get(cls, frozenset()))
+
+
+def is_subtype(cls: type, base: type) -> bool:
+    """``issubclass`` extended with the virtual-subtype registry.
+
+    The registry is consulted transitively through real MRO entries: if
+    any class on ``cls``'s MRO was declared a virtual subtype of ``base``
+    the relation holds.
+    """
+    try:
+        if issubclass(cls, base):
+            return True
+    except TypeError:
+        return False
+    for entry in cls.__mro__:
+        declared = _VIRTUAL_BASES.get(entry)
+        if declared:
+            if base in declared:
+                return True
+            # one level of transitivity through declared virtual bases
+            for vb in declared:
+                if vb is not base and is_subtype(vb, base):
+                    return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+def _glob_to_regex(pattern: str) -> re.Pattern[str]:
+    return re.compile(fnmatch.translate(pattern))
+
+
+class TypePattern:
+    """Matches classes by (possibly qualified, possibly wildcarded) name.
+
+    ``Pipe+`` matches ``Pipe`` and all (virtual) subtypes.  An unqualified
+    pattern matches against the class ``__name__``; a dotted pattern
+    matches against ``module.qualname``.
+    """
+
+    __slots__ = ("text", "subtypes", "_regex", "_qualified", "_resolved")
+
+    def __init__(self, text: str):
+        text = text.strip()
+        if not text:
+            raise PointcutSyntaxError("empty type pattern")
+        self.subtypes = text.endswith("+")
+        if self.subtypes:
+            text = text[:-1]
+        if not text:
+            raise PointcutSyntaxError("'+' requires a type name")
+        self.text = text
+        self._qualified = "." in text
+        self._regex = _glob_to_regex(text)
+        # Direct class reference (resolved lazily by pointcuts built from
+        # class objects rather than strings).
+        self._resolved: type | None = None
+
+    @classmethod
+    def from_class(cls, klass: type, subtypes: bool = False) -> "TypePattern":
+        """Build a pattern that matches exactly ``klass`` (or subtypes)."""
+        pat = cls.__new__(cls)
+        pat.text = klass.__name__
+        pat.subtypes = subtypes
+        pat._qualified = False
+        pat._regex = _glob_to_regex(klass.__name__)
+        pat._resolved = klass
+        return pat
+
+    @property
+    def is_wildcard_any(self) -> bool:
+        """True for the universal pattern ``*``."""
+        return self.text == "*" and not self._qualified
+
+    def matches_class(self, klass: type) -> bool:
+        """Does this pattern match the class ``klass``?"""
+        if self._resolved is not None:
+            if self.subtypes:
+                return is_subtype(klass, self._resolved)
+            return klass is self._resolved
+        if self.subtypes:
+            # Name-based subtype test: match the class itself or anything
+            # on its (real + virtual) ancestry.
+            if self._name_matches(klass):
+                return True
+            for ancestor in klass.__mro__[1:]:
+                if self._name_matches(ancestor):
+                    return True
+            seen: set[type] = set()
+            stack: list[type] = [klass]
+            while stack:
+                current = stack.pop()
+                for entry in current.__mro__:
+                    for vb in virtual_bases_of(entry):
+                        if vb not in seen:
+                            seen.add(vb)
+                            if self._name_matches(vb):
+                                return True
+                            stack.append(vb)
+            return False
+        return self._name_matches(klass)
+
+    def _name_matches(self, klass: type) -> bool:
+        if self._qualified:
+            full = f"{klass.__module__}.{klass.__qualname__}"
+            return bool(self._regex.match(full))
+        return bool(self._regex.match(klass.__name__))
+
+    def matches_string(self, dotted: str) -> bool:
+        """Match against a pre-rendered dotted name (used by ``within``)."""
+        if self._qualified:
+            return bool(self._regex.match(dotted))
+        return bool(self._regex.match(dotted.rsplit(".", 1)[-1]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TypePattern({self.text}{'+' if self.subtypes else ''})"
+
+    def __str__(self) -> str:
+        return self.text + ("+" if self.subtypes else "")
+
+
+class NamePattern:
+    """Method-name pattern with ``*`` wildcards."""
+
+    __slots__ = ("text", "_regex")
+
+    def __init__(self, text: str):
+        text = text.strip()
+        if not text:
+            raise PointcutSyntaxError("empty name pattern")
+        self.text = text
+        self._regex = _glob_to_regex(text)
+
+    def matches(self, name: str) -> bool:
+        return bool(self._regex.match(name))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NamePattern({self.text})"
+
+    def __str__(self) -> str:
+        return self.text
+
+
+#: Sentinel for the ``..`` parameter wildcard.
+ELLIPSIS_PARAM = ".."
+#: Sentinel for the ``*`` single-parameter wildcard.
+ANY_PARAM = "*"
+
+
+class ParamsPattern:
+    """Pattern over the *dynamic* argument list of a joinpoint.
+
+    ``(..)`` matches anything; ``(*)`` exactly one argument; ``(int, ..)``
+    one ``int`` followed by anything.  Type names are matched against the
+    dynamic type of each positional argument using :class:`TypePattern`
+    rules (so user classes match by name and ``+`` works).
+    """
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Iterable[str]):
+        self.elements: list[str | TypePattern] = []
+        for raw in elements:
+            raw = raw.strip()
+            if not raw:
+                continue
+            if raw == ELLIPSIS_PARAM or raw == ANY_PARAM:
+                self.elements.append(raw)
+            else:
+                self.elements.append(TypePattern(raw))
+
+    @classmethod
+    def any(cls) -> "ParamsPattern":
+        return cls([ELLIPSIS_PARAM])
+
+    @property
+    def is_any(self) -> bool:
+        return self.elements == [ELLIPSIS_PARAM]
+
+    def matches(self, args: tuple[Any, ...]) -> bool:
+        return self._match(self.elements, list(args))
+
+    def _match(self, pattern: list, args: list) -> bool:
+        if not pattern:
+            return not args
+        head, rest = pattern[0], pattern[1:]
+        if head == ELLIPSIS_PARAM:
+            # try to consume 0..len(args) arguments
+            for skip in range(len(args) + 1):
+                if self._match(rest, args[skip:]):
+                    return True
+            return False
+        if not args:
+            return False
+        if head == ANY_PARAM:
+            return self._match(rest, args[1:])
+        assert isinstance(head, TypePattern)
+        if not head.matches_class(type(args[0])) and not _primitive_match(
+            head, args[0]
+        ):
+            return False
+        return self._match(rest, args[1:])
+
+    def __str__(self) -> str:
+        return ", ".join(str(e) for e in self.elements)
+
+
+_PRIMITIVE_ALIASES = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+    "bytes": bytes,
+    "list": list,
+    "dict": dict,
+    "tuple": tuple,
+    "set": set,
+}
+
+
+def _primitive_match(pattern: TypePattern, value: Any) -> bool:
+    """Allow Java-ish primitive names (``int``, ``str``...) as type
+    patterns, including against numpy scalar/array kinds for ``int`` and
+    ``float`` arguments coming from vectorised workloads."""
+    alias = _PRIMITIVE_ALIASES.get(pattern.text)
+    if alias is None:
+        return False
+    if isinstance(value, alias):
+        return True
+    kind = getattr(getattr(value, "dtype", None), "kind", None)
+    if kind is not None:
+        if alias is int and kind in ("i", "u"):
+            return True
+        if alias is float and kind == "f":
+            return True
+    return False
+
+
+class SignaturePattern:
+    """``TypePattern.NamePattern(ParamsPattern)`` — a full signature.
+
+    The special method name ``new`` designates construction, mirroring
+    AspectJ's ``Class.new(..)`` (the paper writes
+    ``around (PrimeFilter.new(..))``).
+    """
+
+    __slots__ = ("type_pattern", "name_pattern", "params")
+
+    def __init__(
+        self,
+        type_pattern: TypePattern,
+        name_pattern: NamePattern,
+        params: ParamsPattern,
+    ):
+        self.type_pattern = type_pattern
+        self.name_pattern = name_pattern
+        self.params = params
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.name_pattern.text in ("new", "__init__")
+
+    @classmethod
+    def parse(cls, text: str) -> "SignaturePattern":
+        """Parse ``Type.name(params)`` (params optional → ``(..)``)."""
+        text = text.strip()
+        params = ParamsPattern.any()
+        if "(" in text:
+            if not text.endswith(")"):
+                raise PointcutSyntaxError(
+                    f"unbalanced parentheses in signature {text!r}", text
+                )
+            head, _, inner = text.partition("(")
+            inner = inner[:-1]
+            params = ParamsPattern(_split_params(inner)) if inner.strip() else ParamsPattern([])
+            text = head.strip()
+        if "." not in text:
+            raise PointcutSyntaxError(
+                f"signature {text!r} must be of the form Type.method(..)", text
+            )
+        type_text, _, name_text = text.rpartition(".")
+        return cls(TypePattern(type_text), NamePattern(name_text), params)
+
+    def matches_shadow(self, cls: type, name: str) -> bool:
+        """Static part of matching: class and method name only."""
+        return self.type_pattern.matches_class(cls) and self.name_pattern.matches(
+            name
+        )
+
+    def matches_args(self, args: tuple[Any, ...]) -> bool:
+        return self.params.matches(args)
+
+    @property
+    def has_dynamic_residue(self) -> bool:
+        """True when argument matching must happen at each call."""
+        return not self.params.is_any
+
+    def __str__(self) -> str:
+        return f"{self.type_pattern}.{self.name_pattern}({self.params})"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SignaturePattern({self})"
+
+
+def _split_params(inner: str) -> list[str]:
+    """Split a parameter list on commas (no nested generics to worry
+    about in our pattern language)."""
+    return [piece for piece in (p.strip() for p in inner.split(",")) if piece]

@@ -1,0 +1,538 @@
+"""The weaver: class instrumentation and the deployment registry.
+
+``weave(cls)`` rewrites a class in place — each plain method is replaced
+by a *dispatcher* and construction is intercepted through ``__new__`` /
+``__init__`` patches.  This is the runtime analogue of AspectJ's
+compile-time weaving: woven classes stay inert (one dict lookup of
+overhead) until aspects are *deployed*, and deployment/undeployment never
+rewrites classes again — dispatchers consult an epoch-cached advice-chain
+table, which is what makes the paper's "(un)plug on the fly" cheap.
+
+Construction semantics (matching paper Section 4.1):
+
+* around advice on ``initialization(C.new(..))`` may call ``proceed``
+  several times — each call builds a **fresh fully-initialised instance**
+  (the aspect-managed objects of Figure 4) — and may return any object to
+  the client;
+* constructions performed *inside advice bodies* (e.g. the partition
+  aspect composing its own helpers) take the raw path and are NOT
+  re-intercepted — "this pointcut only intercepts object creations in the
+  core functionality";
+* method **calls** made inside advice ARE re-intercepted — Figure 7's
+  block 3 relies on recursive interception of ``filter`` to forward packs
+  down the pipeline.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.aop.advice import AdviceKind, BoundAdvice, run_chain
+from repro.aop.aspect import Aspect
+from repro.aop.cflow import (
+    bypassing_construction,
+    construction_bypass,
+    entered_joinpoint,
+    in_advice,
+)
+from repro.aop.intertype import IntertypeApplier
+from repro.aop.joinpoint import CallerInfo, JoinPoint, JoinPointKind
+from repro.aop.pointcut import MAYBE, NO, Pointcut, contains_cflow
+from repro.errors import DeploymentError, WeaveError
+
+__all__ = ["Weaver", "default_weaver", "weave", "unweave", "deploy", "undeploy",
+           "undeploy_all", "unweave_all", "raw_construct", "deployed_aspects",
+           "is_woven"]
+
+_MISSING = object()
+_ORIGINALS_ATTR = "__aop_originals__"
+_WOVEN_FLAG = "__aop_woven__"
+
+
+# CPython quirk: once a class's ``__new__``/``__init__`` has been assigned
+# a Python function, the type's tp_new/tp_init slots are permanently
+# de-optimised to the dynamic-lookup wrappers.  Deleting the attribute then
+# leaves ``object.__new__`` reachable through ``slot_tp_new``, which makes
+# it reject constructor arguments ("object.__new__() takes exactly one
+# argument") for every subclass.  Unweaving therefore installs these
+# passthrough shims instead of deleting, restoring default construction
+# semantics for classes that never defined the dunder themselves.
+
+
+def _shim_new(cls: type, *args: Any, **kwargs: Any) -> Any:
+    return object.__new__(cls)
+
+
+def _shim_init(self: Any, *args: Any, **kwargs: Any) -> None:
+    object.__init__(self)
+
+
+_shim_new.__aop_shim__ = True  # type: ignore[attr-defined]
+_shim_init.__aop_shim__ = True  # type: ignore[attr-defined]
+
+
+class _ConstructionState(threading.local):
+    def __init__(self) -> None:
+        self.skip_init_ids: set[int] = set()
+
+
+_RECONSTRUCTORS = frozenset({"copy", "copyreg", "pickle"})
+
+
+def _called_from_reconstruction() -> bool:
+    """Is ``cls.__new__(cls)`` being invoked by copy/pickle machinery?
+
+    Object *reconstruction* (deepcopy, unpickling) calls ``__new__``
+    directly with no arguments and must not run initialization advice —
+    AspectJ's deserialization likewise skips constructors.  The Python
+    implementations of :mod:`copy`/:mod:`pickle` are visible on the
+    stack; the C unpickler is not (the serializer's construction bypass
+    covers that path).
+    """
+    frame = sys._getframe(2)
+    for _ in range(5):
+        if frame is None:
+            return False
+        module = frame.f_globals.get("__name__", "")
+        if module in _RECONSTRUCTORS:
+            return True
+        frame = frame.f_back
+    return False
+
+
+def _init_requires_args(init: Callable) -> bool:
+    """Does ``init`` have required parameters beyond ``self``?"""
+    code = getattr(init, "__code__", None)
+    if code is None:
+        return False
+    required = code.co_argcount - 1 - len(getattr(init, "__defaults__", None) or ())
+    return required > 0
+
+
+def _resolve_caller() -> CallerInfo | None:
+    """Find the first stack frame outside the AOP machinery."""
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - no caller frames
+        return None
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if not module.startswith("repro.aop"):
+            code = frame.f_code
+            qualname = getattr(code, "co_qualname", code.co_name)
+            return CallerInfo(module, qualname, code.co_name)
+        frame = frame.f_back
+    return None
+
+
+class _Deployment:
+    """Book-keeping for one deployed aspect instance."""
+
+    __slots__ = ("aspect", "seq", "resolved", "intertype")
+
+    def __init__(self, aspect: Aspect, seq: int):
+        self.aspect = aspect
+        self.seq = seq
+        # list of (kind, pointcut, bound_func, decl_index)
+        self.resolved: list[tuple[AdviceKind, Pointcut, Callable, int]] = []
+        self.intertype = IntertypeApplier()
+
+
+class Weaver:
+    """Instrumentation + deployment registry.
+
+    A single :data:`default_weaver` serves normal use (class patches are
+    global by nature); independent instances exist for tests that need an
+    isolated registry over their own classes.
+    """
+
+    def __init__(self) -> None:
+        self._woven: dict[type, dict[str, Any]] = {}
+        self._deployments: list[_Deployment] = []
+        self._epoch = 0
+        self._seq = 0
+        self._chain_cache: dict[tuple[type, str, JoinPointKind], tuple[int, list[BoundAdvice], bool]] = {}
+        self._ctor_state = _ConstructionState()
+        self._lock = threading.RLock()
+        # True while any deployed pointcut is flow-sensitive; dispatchers
+        # then maintain the joinpoint stack even on the no-advice path.
+        self._cflow_active = False
+
+    # ------------------------------------------------------------------
+    # Weaving
+    # ------------------------------------------------------------------
+
+    def weave(self, cls: type, methods: Iterable[str] | None = None) -> type:
+        """Instrument ``cls`` for interception.  Idempotent.
+
+        ``methods`` restricts which methods get dispatchers; by default
+        every plain function defined in the class body (no dunders, no
+        static/class methods, no properties) plus construction.
+        """
+        if not isinstance(cls, type):
+            raise WeaveError(f"can only weave classes, got {cls!r}")
+        with self._lock:
+            if cls in self._woven:
+                return cls
+            originals: dict[str, Any] = {}
+            names = list(methods) if methods is not None else [
+                name
+                for name, attr in vars(cls).items()
+                if not name.startswith("__")
+                and isinstance(attr, type(lambda: None))
+            ]
+            for name in names:
+                attr = vars(cls).get(name, _MISSING)
+                if attr is _MISSING:
+                    raise WeaveError(f"{cls.__name__}.{name} is not defined in the class body")
+                if not callable(attr):
+                    raise WeaveError(f"{cls.__name__}.{name} is not callable")
+                originals[name] = attr
+                setattr(cls, name, self._make_method_dispatcher(cls, name, attr))
+            self._weave_construction(cls, originals)
+            self._woven[cls] = originals
+            setattr(cls, _WOVEN_FLAG, True)
+            setattr(cls, _ORIGINALS_ATTR, originals)
+            self._bump_epoch()
+            return cls
+
+    def unweave(self, cls: type) -> None:
+        """Restore ``cls`` to its pre-weave definition."""
+        with self._lock:
+            originals = self._woven.pop(cls, None)
+            if originals is None:
+                raise WeaveError(f"{cls.__name__} is not woven")
+            for name, attr in originals.items():
+                if attr is _MISSING:
+                    if name == "__new__":
+                        cls.__new__ = _shim_new  # type: ignore[assignment]
+                    elif name == "__init__":
+                        cls.__init__ = _shim_init  # type: ignore[assignment]
+                    else:
+                        try:
+                            delattr(cls, name)
+                        except AttributeError:
+                            pass
+                else:
+                    setattr(cls, name, attr)
+            for flag in (_WOVEN_FLAG, _ORIGINALS_ATTR):
+                try:
+                    delattr(cls, flag)
+                except AttributeError:
+                    pass
+            self._bump_epoch()
+
+    def unweave_all(self) -> None:
+        for cls in list(self._woven):
+            self.unweave(cls)
+
+    def is_woven(self, cls: type) -> bool:
+        return cls in self._woven
+
+    @property
+    def woven_classes(self) -> tuple[type, ...]:
+        return tuple(self._woven)
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(self, aspect: Aspect, targets: Iterable[type] = ()) -> Aspect:
+        """Deploy an aspect instance: resolve its pointcuts, apply its
+        inter-type declarations, and make its advice live.
+
+        ``targets`` is a convenience that weaves the listed classes first
+        (AspectJ weaves the whole program; we weave what we are told).
+        """
+        if not isinstance(aspect, Aspect):
+            raise DeploymentError(f"expected an Aspect instance, got {aspect!r}")
+        with self._lock:
+            if any(d.aspect is aspect for d in self._deployments):
+                raise DeploymentError(f"{aspect!r} is already deployed")
+            for cls in targets:
+                self.weave(cls)
+            deployment = _Deployment(aspect, self._seq)
+            self._seq += 1
+            # Resolve all pointcuts up front so abstract aspects fail fast.
+            for decl in type(aspect)._advice_decls:
+                resolved = aspect.resolve_pointcut(decl.pointcut_source)
+                bound = decl.func.__get__(aspect, type(aspect))
+                deployment.resolved.append((decl.kind, resolved, bound, decl.index))
+            try:
+                for target_cls, name, func in type(aspect)._introductions:
+                    deployment.intertype.introduce_member(
+                        target_cls, name, func.__get__(aspect, type(aspect))
+                        if _wants_self(func)
+                        else func,
+                    )
+                for parent_decl in aspect.parents:
+                    deployment.intertype.declare_parent(
+                        parent_decl.target, parent_decl.base
+                    )
+            except Exception:
+                deployment.intertype.revert()
+                raise
+            self._deployments.append(deployment)
+            self._bump_epoch()
+            aspect.on_deploy()
+            return aspect
+
+    def undeploy(self, aspect: Aspect) -> None:
+        """Remove a deployed aspect; its advice stops matching and its
+        inter-type declarations are reverted."""
+        with self._lock:
+            for i, deployment in enumerate(self._deployments):
+                if deployment.aspect is aspect:
+                    del self._deployments[i]
+                    deployment.intertype.revert()
+                    self._bump_epoch()
+                    aspect.on_undeploy()
+                    return
+            raise DeploymentError(f"{aspect!r} is not deployed")
+
+    def undeploy_all(self) -> None:
+        for deployment in list(reversed(self._deployments)):
+            self.undeploy(deployment.aspect)
+
+    @property
+    def deployed(self) -> tuple[Aspect, ...]:
+        return tuple(d.aspect for d in self._deployments)
+
+    def is_deployed(self, aspect: Aspect) -> bool:
+        return any(d.aspect is aspect for d in self._deployments)
+
+    # ------------------------------------------------------------------
+    # Chain computation
+    # ------------------------------------------------------------------
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+        self._cflow_active = any(
+            contains_cflow(resolved)
+            for deployment in self._deployments
+            for _, resolved, _, _ in deployment.resolved
+        )
+
+    def chain(
+        self, cls: type, name: str, kind: JoinPointKind
+    ) -> tuple[list[BoundAdvice], bool]:
+        """Advice chain for a shadow, outermost-first, epoch-cached.
+
+        Returns ``(entries, needs_caller)``.
+        """
+        key = (cls, name, kind)
+        cached = self._chain_cache.get(key)
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1], cached[2]
+        with self._lock:
+            entries: list[BoundAdvice] = []
+            needs_caller = False
+            for deployment in self._deployments:
+                precedence = deployment.aspect.precedence
+                for advice_kind, resolved, bound, index in deployment.resolved:
+                    shadow = resolved.matches_shadow(cls, name, kind)
+                    if shadow is NO:
+                        continue
+                    needs_eval = shadow is MAYBE or resolved.needs_caller
+                    needs_caller = needs_caller or resolved.needs_caller
+                    entries.append(
+                        BoundAdvice(
+                            advice_kind,
+                            resolved,
+                            bound,
+                            needs_eval,
+                            deployment.aspect,
+                            (-precedence, deployment.seq, index),
+                        )
+                    )
+            entries.sort(key=lambda e: e.sort_key)
+            self._chain_cache[key] = (self._epoch, entries, needs_caller)
+            return entries, needs_caller
+
+    # ------------------------------------------------------------------
+    # Dispatchers
+    # ------------------------------------------------------------------
+
+    def _make_method_dispatcher(
+        self, cls: type, name: str, original: Callable
+    ) -> Callable:
+        weaver = self
+
+        @functools.wraps(original)
+        def dispatcher(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+            entries, needs_caller = weaver.chain(cls, name, JoinPointKind.CALL)
+            if not entries:
+                if weaver._cflow_active:
+                    jp = JoinPoint(
+                        JoinPointKind.CALL, cls, name, self_obj, args, kwargs
+                    )
+                    with entered_joinpoint(jp):
+                        return original(self_obj, *args, **kwargs)
+                return original(self_obj, *args, **kwargs)
+            jp = JoinPoint(JoinPointKind.CALL, cls, name, self_obj, args, kwargs)
+            jp.from_advice = in_advice()
+            if needs_caller:
+                jp._caller = _resolve_caller()
+            with entered_joinpoint(jp):
+                return run_chain(
+                    entries,
+                    jp,
+                    lambda *a, **k: original(self_obj, *a, **k),
+                )
+
+        dispatcher.__aop_dispatcher__ = True  # type: ignore[attr-defined]
+        dispatcher.__wrapped__ = original
+        return dispatcher
+
+    def _weave_construction(self, cls: type, originals: dict[str, Any]) -> None:
+        weaver = self
+        orig_new = vars(cls).get("__new__", _MISSING)
+        orig_init = vars(cls).get("__init__", _MISSING)
+        # shims left by a previous unweave count as "not defined"
+        if getattr(orig_new, "__aop_shim__", False):
+            orig_new = _MISSING
+        if getattr(orig_init, "__aop_shim__", False):
+            orig_init = _MISSING
+        originals["__new__"] = orig_new
+        originals["__init__"] = orig_init
+        # effective originals (may be inherited; may be a previous
+        # unweave's shim, which is behaviourally the object default)
+        real_new = cls.__new__
+        real_init = cls.__init__
+
+        def raw_new(kls: type, args: tuple, kwargs: dict) -> Any:
+            if real_new is object.__new__:
+                return object.__new__(kls)
+            return real_new(kls, *args, **kwargs)
+
+        init_needs_args = _init_requires_args(real_init)
+
+        def woven_new(kls: type, *args: Any, **kwargs: Any) -> Any:
+            if (
+                kls is not cls
+                or construction_bypass()
+                or in_advice()
+            ):
+                return raw_new(kls, args, kwargs)
+            if not args and not kwargs and (
+                init_needs_args or _called_from_reconstruction()
+            ):
+                # bare __new__(cls): object reconstruction, not a client
+                # construction — never an initialization joinpoint
+                return raw_new(kls, args, kwargs)
+            entries, needs_caller = weaver.chain(
+                cls, "__init__", JoinPointKind.INITIALIZATION
+            )
+            if not entries:
+                return raw_new(kls, args, kwargs)
+            jp = JoinPoint(
+                JoinPointKind.INITIALIZATION, cls, "__init__", None, args, kwargs
+            )
+            jp.from_advice = in_advice()
+            if needs_caller:
+                jp._caller = _resolve_caller()
+
+            def construct(*a: Any, **k: Any) -> Any:
+                with bypassing_construction():
+                    return cls(*a, **k)
+
+            with entered_joinpoint(jp):
+                result = run_chain(entries, jp, construct)
+            if isinstance(result, cls):
+                weaver._ctor_state.skip_init_ids.add(id(result))
+            return result
+
+        def woven_init(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+            skip = weaver._ctor_state.skip_init_ids
+            ident = id(self_obj)
+            if ident in skip:
+                skip.discard(ident)
+                return None
+            return real_init(self_obj, *args, **kwargs)
+
+        woven_new.__aop_dispatcher__ = True  # type: ignore[attr-defined]
+        woven_init.__aop_dispatcher__ = True  # type: ignore[attr-defined]
+        if real_init is not object.__init__ or orig_init is not _MISSING:
+            functools.update_wrapper(woven_init, real_init)
+        cls.__new__ = woven_new  # type: ignore[assignment]
+        cls.__init__ = woven_init  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Raw construction helper
+    # ------------------------------------------------------------------
+
+    def raw_construct(self, cls: type, *args: Any, **kwargs: Any) -> Any:
+        """Construct an instance bypassing initialization interception —
+        the explicit way to build "aspect managed objects" outside of
+        ``proceed``."""
+        with bypassing_construction():
+            return cls(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Test / lifecycle support
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Undeploy every aspect and unweave every class."""
+        self.undeploy_all()
+        self.unweave_all()
+        self._chain_cache.clear()
+
+
+def _wants_self(func: Callable) -> bool:
+    """Introduced members whose first parameter is named ``self`` become
+    methods of the *target* class; if the first parameter is named
+    ``aspect`` the member is bound to the aspect instance instead (so the
+    introduction can reach aspect state)."""
+    code = getattr(func, "__code__", None)
+    if code is None or code.co_argcount == 0:
+        return False
+    return code.co_varnames[0] == "aspect"
+
+
+# ---------------------------------------------------------------------------
+# Default weaver + module-level convenience API
+# ---------------------------------------------------------------------------
+
+default_weaver = Weaver()
+
+
+def weave(cls: type, methods: Iterable[str] | None = None) -> type:
+    """Weave ``cls`` with the default weaver (see :meth:`Weaver.weave`)."""
+    return default_weaver.weave(cls, methods)
+
+
+def unweave(cls: type) -> None:
+    default_weaver.unweave(cls)
+
+
+def unweave_all() -> None:
+    default_weaver.unweave_all()
+
+
+def deploy(aspect: Aspect, targets: Iterable[type] = ()) -> Aspect:
+    """Deploy with the default weaver (see :meth:`Weaver.deploy`)."""
+    return default_weaver.deploy(aspect, targets)
+
+
+def undeploy(aspect: Aspect) -> None:
+    default_weaver.undeploy(aspect)
+
+
+def undeploy_all() -> None:
+    default_weaver.undeploy_all()
+
+
+def deployed_aspects() -> tuple[Aspect, ...]:
+    return default_weaver.deployed
+
+
+def raw_construct(cls: type, *args: Any, **kwargs: Any) -> Any:
+    return default_weaver.raw_construct(cls, *args, **kwargs)
+
+
+def is_woven(cls: type) -> bool:
+    return default_weaver.is_woven(cls)

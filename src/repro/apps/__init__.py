@@ -1,0 +1,2 @@
+"""Case-study applications: core functionality written as plain
+sequential OO code, parallelised purely by plugging aspect modules."""

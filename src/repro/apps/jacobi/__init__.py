@@ -1,0 +1,19 @@
+"""Heartbeat case study: Jacobi 5-point stencil solver."""
+
+from repro.apps.jacobi.aspects import (
+    JACOBI_CREATION,
+    JACOBI_WORK,
+    block_ranges,
+    jacobi_splitter,
+    stitch_blocks,
+)
+from repro.apps.jacobi.core import JacobiGrid
+
+__all__ = [
+    "JacobiGrid",
+    "jacobi_splitter",
+    "block_ranges",
+    "stitch_blocks",
+    "JACOBI_CREATION",
+    "JACOBI_WORK",
+]

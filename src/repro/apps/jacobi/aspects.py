@@ -1,0 +1,65 @@
+"""Heartbeat strategy description for the Jacobi solver.
+
+The client's ``JacobiGrid(rows, cols)`` construction is re-expressed as
+one block per worker; the client's ``solve(iterations)`` call becomes
+the heartbeat rhythm (compute one sweep everywhere, exchange halos,
+repeat).  Only the joinpoint names and this splitter are
+application-specific.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.partition.base import WorkSplitter
+
+__all__ = [
+    "jacobi_splitter",
+    "block_ranges",
+    "JACOBI_CREATION",
+    "JACOBI_WORK",
+    "stitch_blocks",
+]
+
+JACOBI_CREATION = "initialization(JacobiGrid.new(..))"
+JACOBI_WORK = "call(JacobiGrid.solve(..))"
+
+
+def block_ranges(rows: int, blocks: int) -> list[tuple[int, int]]:
+    """Near-equal contiguous row ranges covering ``[0, rows)``."""
+    edges = np.linspace(0, rows, blocks + 1).astype(int)
+    return [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(blocks)
+        if edges[i + 1] > edges[i]
+    ]
+
+
+def jacobi_splitter(blocks: int) -> WorkSplitter:
+    """Duplicate the grid as row blocks; combine residuals with max."""
+
+    def ctor_args(args: tuple, kwargs: dict, index: int, count: int):
+        rows, cols = args[0], args[1]
+        ranges = block_ranges(rows, count)
+        if index >= len(ranges):
+            # degenerate: more blocks than rows; give a 1-row slice of
+            # the last range (keeps worker count stable for tiny grids)
+            lo, hi = ranges[-1]
+        else:
+            lo, hi = ranges[index]
+        merged_kwargs = dict(kwargs)
+        merged_kwargs.update({"row_lo": lo, "row_hi": hi})
+        return (rows, cols), merged_kwargs
+
+    def combine(results: list) -> float:
+        values = [float(r) for r in results if r is not None]
+        return max(values) if values else 0.0
+
+    return WorkSplitter(duplicates=blocks, ctor_args=ctor_args, combine=combine)
+
+
+def stitch_blocks(workers) -> np.ndarray:
+    """Reassemble the global interior from the block workers (in block
+    order) — used by tests and examples to compare against the
+    sequential solution."""
+    return np.vstack([w.interior() for w in workers])

@@ -1,0 +1,113 @@
+"""Jacobi 5-point stencil solver — the heartbeat case study.
+
+A steady-state heat-diffusion grid iterated with the Jacobi method.  The
+heartbeat parallelisation partitions the grid into horizontal blocks;
+every iteration each block computes locally, then exchanges its first
+and last interior rows with its neighbours (the *heartbeat*: compute,
+exchange, repeat).
+
+Core functionality contract for the heartbeat aspect:
+
+* the constructor takes an explicit row range so the partition aspect
+  can re-parameterise it per block;
+* ``step(iterations)`` advances the block and returns the max residual;
+* ``get_boundary(side)`` / ``set_boundary(side, row)`` expose the halo
+  rows (``side`` is ``"top"`` or ``"bottom"``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["JacobiGrid"]
+
+
+class JacobiGrid:
+    """One block of the global grid, with one halo row on each side.
+
+    The global problem is ``rows × cols`` interior points with fixed
+    boundary values: ``top_value`` along the first halo row and zero on
+    the other three edges.  A block covers global interior rows
+    ``[row_lo, row_hi)``.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        row_lo: int = 0,
+        row_hi: int | None = None,
+        top_value: float = 100.0,
+    ):
+        if rows < 1 or cols < 1:
+            raise ValueError("grid must be at least 1x1")
+        row_hi = rows if row_hi is None else row_hi
+        if not 0 <= row_lo < row_hi <= rows:
+            raise ValueError(f"invalid block [{row_lo},{row_hi}) of {rows}")
+        self.rows = rows
+        self.cols = cols
+        self.row_lo = row_lo
+        self.row_hi = row_hi
+        self.top_value = top_value
+        block = row_hi - row_lo
+        # interior block + one halo row above and below
+        self.grid = np.zeros((block + 2, cols + 2), dtype=np.float64)
+        if row_lo == 0:
+            self.grid[0, 1:-1] = top_value
+        #: stencil point-updates performed by the last step() call
+        self.ops_last = 0
+        self.ops_total = 0
+        self.iterations_done = 0
+
+    # -- the heartbeat-visible API ------------------------------------------
+
+    def step(self, iterations: int = 1) -> float:
+        """Run Jacobi sweeps over this block; returns the max residual."""
+        residual = 0.0
+        for _ in range(iterations):
+            interior = self.grid[1:-1, 1:-1]
+            new = 0.25 * (
+                self.grid[:-2, 1:-1]
+                + self.grid[2:, 1:-1]
+                + self.grid[1:-1, :-2]
+                + self.grid[1:-1, 2:]
+            )
+            residual = float(np.abs(new - interior).max()) if new.size else 0.0
+            self.grid[1:-1, 1:-1] = new
+            self.ops_last = int(new.size)
+            self.ops_total += self.ops_last
+            self.iterations_done += 1
+        return residual
+
+    def get_boundary(self, side: str) -> np.ndarray:
+        """First ('top') or last ('bottom') *interior* row of the block."""
+        if side == "top":
+            return self.grid[1, :].copy()
+        if side == "bottom":
+            return self.grid[-2, :].copy()
+        raise ValueError(f"unknown side {side!r}")
+
+    def set_boundary(self, side: str, row: np.ndarray) -> None:
+        """Install a neighbour's interior row into this block's halo."""
+        row = np.asarray(row, dtype=np.float64)
+        if row.shape != (self.cols + 2,):
+            raise ValueError(f"boundary row must have {self.cols + 2} values")
+        if side == "top":
+            self.grid[0, :] = row
+        elif side == "bottom":
+            self.grid[-1, :] = row
+        else:
+            raise ValueError(f"unknown side {side!r}")
+
+    # -- whole-problem (sequential core) -------------------------------------
+
+    def solve(self, iterations: int) -> float:
+        """The sequential driver the heartbeat aspect intercepts."""
+        residual = 0.0
+        for _ in range(iterations):
+            residual = self.step(1)
+        return residual
+
+    def interior(self) -> np.ndarray:
+        """This block's interior values (without halos)."""
+        return self.grid[1:-1, 1:-1].copy()

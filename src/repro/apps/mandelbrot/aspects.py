@@ -1,0 +1,49 @@
+"""Partition strategy description for the Mandelbrot farm.
+
+Demonstrates the paper's reuse claim: "moving from a parallel
+application to another using the same parallelisation strategy is
+performed by copying the parallelisation aspects and updating these
+modules to the new application."  Only this splitter is
+application-specific — the farm aspect, the concurrency module and the
+distribution aspects are reused verbatim from the sieve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.partition.base import CallPiece, WorkSplitter
+
+__all__ = ["mandelbrot_splitter", "MANDEL_CREATION", "MANDEL_WORK"]
+
+MANDEL_CREATION = "initialization(MandelbrotRenderer.new(..))"
+MANDEL_WORK = "call(MandelbrotRenderer.render(..))"
+
+
+def mandelbrot_splitter(workers: int, bands: int) -> WorkSplitter:
+    """Broadcast the scene; split ``render(rows)`` into ``bands`` pieces.
+
+    Results (row-band arrays) are re-stitched in *row* order using the
+    piece index — the farm preserves piece order by construction.
+    """
+
+    def split(args: tuple, kwargs: dict) -> list[CallPiece]:
+        (rows,) = args
+        chunks = np.array_split(np.asarray(rows), bands)
+        return [
+            CallPiece(i, (chunk,)) for i, chunk in enumerate(chunks) if len(chunk)
+        ]
+
+    def combine(results: list) -> np.ndarray:
+        return np.vstack([np.asarray(r) for r in results])
+
+    def merge_pieces(pieces) -> CallPiece:
+        rows = np.concatenate([p.args[0] for p in pieces])
+        return CallPiece(pieces[0].index, (rows,))
+
+    return WorkSplitter(
+        duplicates=workers,
+        split=split,
+        combine=combine,
+        merge_pieces=merge_pieces,
+    )

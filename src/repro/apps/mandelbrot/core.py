@@ -1,0 +1,94 @@
+"""Mandelbrot escape-time renderer — farm-with-separable-dependencies.
+
+The paper reports parallelisation strategies for "the three most common
+categories: pipeline, farm with separable dependencies and heartbeat".
+This is the farm representative: rows of the image are independent, so
+any worker can compute any band (a classic embarrassingly parallel
+workload with *separable* data dependencies — the constructor parameters
+are broadcast, each call carries its own band).
+
+Core functionality only: plain sequential OO code with the "adequate
+joinpoints" the methodology needs — a constructor describing the scene
+and a ``render(rows)`` method computing a band of rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MandelbrotRenderer", "MandelbrotScene"]
+
+
+class MandelbrotScene:
+    """Viewing window + resolution (value object shared by workers)."""
+
+    def __init__(
+        self,
+        width: int = 200,
+        height: int = 200,
+        x_min: float = -2.0,
+        x_max: float = 0.6,
+        y_min: float = -1.3,
+        y_max: float = 1.3,
+        max_iter: int = 100,
+    ):
+        if width < 1 or height < 1:
+            raise ValueError("resolution must be positive")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.width = width
+        self.height = height
+        self.x_min, self.x_max = x_min, x_max
+        self.y_min, self.y_max = y_min, y_max
+        self.max_iter = max_iter
+
+    def xs(self) -> np.ndarray:
+        return np.linspace(self.x_min, self.x_max, self.width)
+
+    def y_of_row(self, row: int) -> float:
+        return self.y_min + (self.y_max - self.y_min) * row / max(
+            1, self.height - 1
+        )
+
+
+class MandelbrotRenderer:
+    """Renders bands of rows; keeps iteration counters as statistics."""
+
+    def __init__(self, scene: MandelbrotScene):
+        self.scene = scene
+        #: iterations performed by the most recent :meth:`render` call
+        self.ops_last = 0
+        self.ops_total = 0
+
+    def render(self, rows: np.ndarray) -> np.ndarray:
+        """Escape-time counts for the given row indices.
+
+        Returns an array of shape ``(len(rows), width)``; vectorised over
+        the x axis, iterating rows.
+        """
+        scene = self.scene
+        xs = scene.xs()
+        out = np.zeros((len(rows), scene.width), dtype=np.int32)
+        ops = 0
+        for i, row in enumerate(np.asarray(rows)):
+            c = xs + 1j * scene.y_of_row(int(row))
+            z = np.zeros_like(c)
+            alive = np.ones(c.shape, dtype=bool)
+            counts = np.zeros(c.shape, dtype=np.int32)
+            for _ in range(scene.max_iter):
+                if not alive.any():
+                    break
+                ops += int(alive.sum())
+                z[alive] = z[alive] * z[alive] + c[alive]
+                escaped = alive & (np.abs(z) > 2.0)
+                counts[escaped] = counts[escaped]
+                alive &= ~escaped
+                counts[alive] += 1
+            out[i] = counts
+        self.ops_last = ops
+        self.ops_total += ops
+        return out
+
+    def render_all(self) -> np.ndarray:
+        """Sequential whole-image render (the core-functionality main)."""
+        return self.render(np.arange(self.scene.height))

@@ -1,0 +1,244 @@
+"""Sieve-specific parallelisation stacks — the rows of Table 1.
+
+Everything here is *configuration*: the pointcuts naming the sieve's
+joinpoints, the cost function reading the sieve's operation counters,
+and builders assembling the named module combinations:
+
+=============  ============  ===========  ============
+name           partition     concurrency  distribution
+=============  ============  ===========  ============
+FarmThreads    farm          yes          no
+PipeRMI        pipeline      yes          RMI
+FarmRMI        farm          yes          RMI
+FarmDRMI       dynamic farm  (merged)     RMI
+FarmMPP        farm          yes          MPP
+=============  ============  ===========  ============
+
+plus extra combinations used by the ablation benches (PipeThreads,
+PipeMPP, FarmHybrid, Sequential).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.apps.primes.core import PrimeFilter
+from repro.apps.primes.workload import SieveWorkload
+from repro.cluster.topology import Cluster
+from repro.errors import DeploymentError
+from repro.middleware.base import Middleware
+from repro.middleware.mpp import MppMiddleware
+from repro.middleware.placement import PlacementPolicy, RoundRobin
+from repro.middleware.rmi import RmiMiddleware
+from repro.parallel import (
+    Composition,
+    ComputeCostAspect,
+    Concern,
+    ParallelModule,
+    concurrency_module,
+    dynamic_farm_module,
+    farm_module,
+    hybrid_distribution_module,
+    mpp_distribution_module,
+    pipeline_module,
+    rmi_distribution_module,
+)
+
+__all__ = [
+    "SIEVE_CREATION",
+    "SIEVE_WORK",
+    "IPrimeFilter",
+    "SieveStack",
+    "sieve_cost_aspect",
+    "build_sieve_stack",
+    "TABLE1_COMBINATIONS",
+]
+
+#: the sieve's two joinpoint families (paper Figure 8)
+SIEVE_CREATION = "initialization(PrimeFilter.new(..))"
+SIEVE_WORK = "call(PrimeFilter.filter(..))"
+
+#: Table 1 rows, in the paper's order
+TABLE1_COMBINATIONS = ("FarmThreads", "PipeRMI", "FarmRMI", "FarmDRMI", "FarmMPP")
+
+
+class IPrimeFilter(abc.ABC):
+    """The remote interface RMI requires (paper modification #1) —
+    declared onto :class:`PrimeFilter` by the distribution aspect."""
+
+    @abc.abstractmethod
+    def filter(self, candidates):  # pragma: no cover - marker only
+        ...
+
+
+def sieve_cost_fn(ns_per_op: float):
+    """Work model: the filter's counted divisions × seconds-per-division."""
+
+    def cost(jp, result) -> float:
+        if jp.name != "filter":
+            return 0.0
+        return jp.target.ops_last * ns_per_op
+
+    return cost
+
+
+def sieve_cost_aspect(
+    ns_per_op: float,
+    aop_factor: float = 1.0,
+    dispatch_cost: float = 0.0,
+) -> ComputeCostAspect:
+    return ComputeCostAspect(
+        cost_fn=sieve_cost_fn(ns_per_op),
+        work_calls=SIEVE_WORK,
+        aop_factor=aop_factor,
+        dispatch_cost=dispatch_cost,
+    )
+
+
+@dataclass
+class SieveStack:
+    """One assembled combination, with handles for tests and metrics."""
+
+    name: str
+    composition: Composition
+    partition: Any = None
+    async_aspect: Any = None
+    distribution: Any = None
+    middleware: Middleware | None = None
+    extra_middleware: Middleware | None = None
+    cost: ComputeCostAspect | None = None
+    modules: dict[str, ParallelModule] = field(default_factory=dict)
+
+    def shutdown(self) -> None:
+        for mw in (self.middleware, self.extra_middleware):
+            if mw is not None:
+                mw.shutdown()
+
+
+def build_sieve_stack(
+    combo: str,
+    workload: SieveWorkload,
+    n_filters: int,
+    cluster: Cluster | None = None,
+    placement: PlacementPolicy | None = None,
+    cost: ComputeCostAspect | None = None,
+) -> SieveStack:
+    """Assemble one named module combination for ``n_filters`` filters.
+
+    ``cluster`` is required for the distributed combinations; ``cost``
+    (an instrumentation aspect) is attached when provided (simulated
+    runs) and omitted for functional-mode runs.
+    """
+    placement = placement if placement is not None else RoundRobin()
+    stack = SieveStack(combo, Composition(combo))
+
+    def add(module: ParallelModule) -> ParallelModule:
+        stack.composition.plug(module)
+        stack.modules[module.name] = module
+        return module
+
+    def need_cluster() -> Cluster:
+        if cluster is None:
+            raise DeploymentError(f"combination {combo!r} needs a cluster")
+        return cluster
+
+    partition_kind, middleware_kind = _parse_combo(combo)
+
+    # -- partition ---------------------------------------------------------
+    if partition_kind == "pipeline":
+        module = add(
+            pipeline_module(
+                workload.pipeline_splitter(n_filters), SIEVE_CREATION, SIEVE_WORK
+            )
+        )
+        stack.partition = module.coordinator  # type: ignore[attr-defined]
+    elif partition_kind == "farm":
+        module = add(
+            farm_module(
+                workload.farm_splitter(n_filters), SIEVE_CREATION, SIEVE_WORK
+            )
+        )
+        stack.partition = module.coordinator  # type: ignore[attr-defined]
+    elif partition_kind == "dynamic-farm":
+        module = add(
+            dynamic_farm_module(
+                workload.farm_splitter(n_filters), SIEVE_CREATION, SIEVE_WORK
+            )
+        )
+        stack.partition = module.coordinator  # type: ignore[attr-defined]
+    elif partition_kind != "none":  # pragma: no cover - guarded by _parse_combo
+        raise DeploymentError(f"unknown partition {partition_kind!r}")
+
+    # -- concurrency (dynamic farm brings its own) ---------------------------
+    if partition_kind in ("pipeline", "farm"):
+        module = add(concurrency_module(SIEVE_WORK, SIEVE_WORK))
+        stack.async_aspect = module.async_aspect  # type: ignore[attr-defined]
+
+    # -- distribution --------------------------------------------------------
+    if middleware_kind == "rmi":
+        stack.middleware = RmiMiddleware(need_cluster())
+        module = add(
+            rmi_distribution_module(
+                stack.middleware,
+                SIEVE_CREATION,
+                SIEVE_WORK,
+                placement=placement,
+                remote_interface=IPrimeFilter,
+                distributed_classes=(PrimeFilter,),
+            )
+        )
+        stack.distribution = module.aspect  # type: ignore[attr-defined]
+    elif middleware_kind == "mpp":
+        stack.middleware = MppMiddleware(need_cluster())
+        module = add(
+            mpp_distribution_module(
+                stack.middleware, SIEVE_CREATION, SIEVE_WORK, placement=placement
+            )
+        )
+        stack.distribution = module.aspect  # type: ignore[attr-defined]
+    elif middleware_kind == "hybrid":
+        stack.middleware = RmiMiddleware(need_cluster())
+        stack.extra_middleware = MppMiddleware(need_cluster())
+        module = add(
+            hybrid_distribution_module(
+                stack.middleware,
+                stack.extra_middleware,
+                data_methods=("filter",),
+                remote_new=SIEVE_CREATION,
+                remote_calls=SIEVE_WORK,
+                placement=placement,
+            )
+        )
+        stack.distribution = module.aspect  # type: ignore[attr-defined]
+    elif middleware_kind != "none":  # pragma: no cover
+        raise DeploymentError(f"unknown middleware {middleware_kind!r}")
+
+    # -- instrumentation ------------------------------------------------------
+    if cost is not None:
+        stack.cost = cost
+        add(ParallelModule("cost-model", Concern.INSTRUMENTATION, [cost]))
+
+    return stack
+
+
+def _parse_combo(combo: str) -> tuple[str, str]:
+    """Map a combination name to (partition kind, middleware kind)."""
+    table = {
+        "Sequential": ("none", "none"),
+        "FarmThreads": ("farm", "none"),
+        "PipeThreads": ("pipeline", "none"),
+        "PipeRMI": ("pipeline", "rmi"),
+        "FarmRMI": ("farm", "rmi"),
+        "FarmDRMI": ("dynamic-farm", "rmi"),
+        "FarmMPP": ("farm", "mpp"),
+        "PipeMPP": ("pipeline", "mpp"),
+        "FarmDMPP": ("dynamic-farm", "mpp"),
+        "FarmHybrid": ("farm", "hybrid"),
+    }
+    if combo not in table:
+        raise DeploymentError(
+            f"unknown combination {combo!r}; known: {sorted(table)}"
+        )
+    return table[combo]

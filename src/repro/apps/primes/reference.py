@@ -1,0 +1,37 @@
+"""Independent reference results for validating every sieve variant.
+
+Deliberately *not* built on :class:`PrimeFilter` — a separate
+odd-only segmented check — so a shared bug cannot validate itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["primes_up_to", "expected_sieve_output"]
+
+
+def primes_up_to(n: int) -> np.ndarray:
+    """All primes ``<= n`` (odd-wheel boolean sieve)."""
+    if n < 2:
+        return np.empty(0, dtype=np.int64)
+    if n == 2:
+        return np.array([2], dtype=np.int64)
+    size = (n - 1) // 2  # index i -> odd number 2i + 3
+    composite = np.zeros(size, dtype=bool)
+    for i in range(math.isqrt(n) // 2 + 1):
+        if not composite[i]:
+            p = 2 * i + 3
+            start = (p * p - 3) // 2
+            if start < size:
+                composite[start::p] = True
+    odds = 2 * np.flatnonzero(~composite).astype(np.int64) + 3
+    return np.concatenate(([2], odds[odds <= n]))
+
+
+def expected_sieve_output(maximum: int) -> np.ndarray:
+    """What a full sieve run must produce: primes in (sqrt(max), max]."""
+    primes = primes_up_to(maximum)
+    return primes[primes > math.isqrt(maximum)]

@@ -1,0 +1,6 @@
+"""Pipeline case study: streaming word count."""
+
+from repro.apps.wordcount.aspects import WC_CREATION, WC_WORK, wordcount_splitter
+from repro.apps.wordcount.core import ALL_ROLES, TextPipeline
+
+__all__ = ["TextPipeline", "ALL_ROLES", "wordcount_splitter", "WC_CREATION", "WC_WORK"]

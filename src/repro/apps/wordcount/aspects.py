@@ -1,0 +1,53 @@
+"""Pipeline strategy description for the word-count application.
+
+Each stage is constructed with exactly one role; document batches are
+split into sub-batches; stage results (transformed data) forward to the
+next stage; final-stage Counters merge into one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.apps.wordcount.core import ALL_ROLES
+from repro.parallel.partition.base import CallPiece, WorkSplitter
+
+__all__ = ["wordcount_splitter", "WC_CREATION", "WC_WORK"]
+
+WC_CREATION = "initialization(TextPipeline.new(..))"
+WC_WORK = "call(TextPipeline.process(..))"
+
+
+def wordcount_splitter(batches: int) -> WorkSplitter:
+    """One stage per role; batches split evenly; Counters merged."""
+    stages = len(ALL_ROLES)
+
+    def ctor_args(args: tuple, kwargs: dict, index: int, count: int):
+        # stage i applies role i; with more stages than roles the tail
+        # stages are identity (empty role tuple)
+        role = (ALL_ROLES[index],) if index < stages else ()
+        return (role,), {}
+
+    def split(args: tuple, kwargs: dict) -> list[CallPiece]:
+        (documents,) = args
+        if not documents:
+            return [CallPiece(0, (list(documents),))]
+        size = max(1, (len(documents) + batches - 1) // batches)
+        pieces = []
+        for i in range(0, len(documents), size):
+            pieces.append(CallPiece(len(pieces), (list(documents[i : i + size]),)))
+        return pieces
+
+    def combine(results: Sequence) -> Counter:
+        total: Counter[str] = Counter()
+        for result in results:
+            total.update(result)
+        return total
+
+    return WorkSplitter(
+        duplicates=stages,
+        ctor_args=ctor_args,
+        split=split,
+        combine=combine,
+    )

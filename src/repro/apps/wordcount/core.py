@@ -1,0 +1,56 @@
+"""Streaming word-count — a second pipeline case study.
+
+A three-role text pipeline (tokenise → normalise → count) expressed as a
+*single* core class processing documents end-to-end; the pipeline
+partition re-expresses it as stages, each owning one role — showing the
+partition mechanism on a call whose payload is transformed (not merely
+filtered) between stages.
+
+The class's ``process`` method applies the roles in ``self.roles``; the
+pipeline splitter constructs each stage with a single role.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+__all__ = ["TextPipeline", "ALL_ROLES"]
+
+_TOKEN_RE = re.compile(r"[A-Za-z']+")
+
+ALL_ROLES = ("tokenise", "normalise", "count")
+
+
+class TextPipeline:
+    """Applies a subset of the roles to a batch of documents."""
+
+    def __init__(self, roles: tuple[str, ...] = ALL_ROLES):
+        unknown = set(roles) - set(ALL_ROLES)
+        if unknown:
+            raise ValueError(f"unknown roles: {sorted(unknown)}")
+        self.roles = tuple(roles)
+        self.batches = 0
+
+    def process(self, batch):
+        """Run this stage's roles over ``batch``.
+
+        Input/output types depend on the roles applied: documents →
+        token lists → normalised token lists → a Counter.
+        """
+        self.batches += 1
+        data = batch
+        for role in self.roles:
+            if role == "tokenise":
+                data = [_TOKEN_RE.findall(doc) for doc in data]
+            elif role == "normalise":
+                data = [
+                    [token.lower().strip("'") for token in tokens if len(token) > 1]
+                    for tokens in data
+                ]
+            elif role == "count":
+                counter: Counter[str] = Counter()
+                for tokens in data:
+                    counter.update(tokens)
+                data = counter
+        return data

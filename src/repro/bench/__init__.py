@@ -1,0 +1,30 @@
+"""Experiment harness: calibrated cost model, per-configuration runners,
+figure/table generators and paper-format reporting."""
+
+from repro.bench.costmodel import HANDCODED_COST_MODEL, PAPER_COST_MODEL, CostModel
+from repro.bench.experiments import (
+    FILTER_COUNTS,
+    ExperimentResult,
+    fig16,
+    fig17,
+    table1,
+)
+from repro.bench.harness import RunResult, run_handcoded, run_sieve
+from repro.bench.report import render_checks, render_series, render_table1
+
+__all__ = [
+    "CostModel",
+    "PAPER_COST_MODEL",
+    "HANDCODED_COST_MODEL",
+    "RunResult",
+    "run_sieve",
+    "run_handcoded",
+    "ExperimentResult",
+    "FILTER_COUNTS",
+    "fig16",
+    "fig17",
+    "table1",
+    "render_series",
+    "render_table1",
+    "render_checks",
+]

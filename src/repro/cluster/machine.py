@@ -1,0 +1,55 @@
+"""Compute-node model.
+
+One :class:`Node` = one machine of the testbed: a processor-sharing CPU
+complex (cores + hyper-threading) and an identity the placement policies
+and metrics refer to.  The paper's machines are dual Xeon 3.2 GHz with
+HT enabled — :func:`repro.cluster.topology.paper_testbed` builds seven of
+these.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClusterError
+from repro.sim import ProcessorSharingCPU, Simulator
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A simulated machine: identity + CPU complex."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        cores: int = 2,
+        ht_factor: float = 1.3,
+        speed: float = 1.0,
+        name: str | None = None,
+    ):
+        if node_id < 0:
+            raise ClusterError("node_id must be >= 0")
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name or f"node{node_id}"
+        self.cpu = ProcessorSharingCPU(
+            sim, cores=cores, ht_factor=ht_factor, speed=speed, name=f"{self.name}.cpu"
+        )
+        #: objects placed on this node (informational, for reports)
+        self.resident_objects: list[object] = []
+
+    @property
+    def cores(self) -> int:
+        return self.cpu.cores
+
+    def place(self, obj: object) -> None:
+        """Record that ``obj`` lives here (placement bookkeeping)."""
+        self.resident_objects.append(obj)
+
+    def execute(self, work: float) -> None:
+        """Run ``work`` seconds-at-full-speed on this node's CPU complex
+        (blocks the calling simulated process for the shared duration)."""
+        self.cpu.execute(work)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} cores={self.cores} objects={len(self.resident_objects)}>"

@@ -1,0 +1,64 @@
+"""Cluster-level measurement reports.
+
+Aggregates node CPU utilisation and network traffic into the summary
+dictionaries the benchmark harness prints next to each experiment row —
+the observability needed to *explain* the shapes of Figures 16/17 (e.g.
+the pipeline's ``messages ≈ packs × stages`` blow-up).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.topology import Cluster
+
+__all__ = ["snapshot", "format_report"]
+
+
+def snapshot(cluster: Cluster) -> dict[str, Any]:
+    """Collect the current measurement state of a cluster."""
+    sim_time = cluster.sim.now
+    per_node = []
+    for node in cluster.nodes:
+        per_node.append(
+            {
+                "node": node.name,
+                "cores": node.cores,
+                "busy_time": node.cpu.busy_time,
+                "utilisation": node.cpu.utilisation(),
+                "jobs_completed": node.cpu.jobs_completed,
+                "resident_objects": len(node.resident_objects),
+            }
+        )
+    return {
+        "sim_time": sim_time,
+        "nodes": per_node,
+        "network": {
+            "messages": cluster.network.messages,
+            "remote_messages": cluster.network.remote_messages,
+            "bytes": cluster.network.bytes,
+        },
+        "mean_utilisation": (
+            sum(n["utilisation"] for n in per_node) / len(per_node)
+            if per_node
+            else 0.0
+        ),
+    }
+
+
+def format_report(snap: dict[str, Any]) -> str:
+    """ASCII rendering of a snapshot (one line per node + totals)."""
+    lines = [
+        f"sim_time={snap['sim_time']:.4f}s  "
+        f"messages={snap['network']['messages']} "
+        f"(remote={snap['network']['remote_messages']}) "
+        f"bytes={snap['network']['bytes']}",
+    ]
+    for node in snap["nodes"]:
+        lines.append(
+            f"  {node['node']:<8} util={node['utilisation']:6.1%} "
+            f"busy={node['busy_time']:8.3f}s jobs={node['jobs_completed']:4d} "
+            f"objects={node['resident_objects']}"
+        )
+    lines.append(f"  mean utilisation: {snap['mean_utilisation']:.1%}")
+    return "\n".join(lines)

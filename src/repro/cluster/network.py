@@ -1,0 +1,79 @@
+"""Interconnect model.
+
+A switched, full-duplex Ethernet in the style of the paper's Gigabit
+testbed.  We model the dominant first-order costs:
+
+* **latency** — per-message one-way delay (propagation + switch + stack);
+* **bandwidth** — serialisation of the payload onto the wire;
+* **intra-node** messages are (near-)free: a small loopback latency.
+
+Link contention is *not* modelled (a non-blocking switch fabric); the
+paper's bottleneck is message volume through the pipeline and middleware
+per-message overhead, both of which we do model (the latter in the
+middleware layer, where it belongs — RMI and MPP differ there, not on
+the wire).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClusterError
+
+__all__ = ["Network", "GIGABIT_ETHERNET"]
+
+
+class Network:
+    """Latency/bandwidth delay model plus traffic accounting."""
+
+    def __init__(
+        self,
+        latency: float = 80e-6,
+        bandwidth: float = 125e6,
+        loopback_latency: float = 2e-6,
+        name: str = "net",
+    ):
+        if latency < 0 or loopback_latency < 0:
+            raise ClusterError("latencies must be >= 0")
+        if bandwidth <= 0:
+            raise ClusterError("bandwidth must be positive")
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.loopback_latency = loopback_latency
+        self.name = name
+        # traffic accounting
+        self.messages = 0
+        self.bytes = 0
+        self.remote_messages = 0
+
+    def transit_delay(
+        self, size_bytes: int, src_node: int | None, dst_node: int | None
+    ) -> float:
+        """One-way delay for ``size_bytes`` between two nodes.
+
+        ``src_node == dst_node`` (or either unknown) uses the loopback
+        path: no wire serialisation, tiny latency.
+        """
+        if size_bytes < 0:
+            raise ClusterError("size_bytes must be >= 0")
+        self.messages += 1
+        self.bytes += size_bytes
+        if src_node is None or dst_node is None or src_node == dst_node:
+            return self.loopback_latency
+        self.remote_messages += 1
+        return self.latency + size_bytes / self.bandwidth
+
+    def reset_counters(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.remote_messages = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Network {self.name} latency={self.latency:g}s "
+            f"bandwidth={self.bandwidth:g}B/s msgs={self.messages}>"
+        )
+
+
+def GIGABIT_ETHERNET() -> Network:
+    """The paper's interconnect: Gigabit Ethernet (~80 µs one-way
+    latency through the stack, 125 MB/s)."""
+    return Network(latency=80e-6, bandwidth=125e6)

@@ -1,0 +1,144 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, split
+into three families mirroring the three layers of the system:
+
+* the AOP engine (:class:`AopError` and friends),
+* the discrete-event simulator (:class:`SimulationError` and friends),
+* the distribution middleware (:class:`MiddlewareError` and friends).
+
+Keeping the hierarchy in one module lets callers catch a whole layer with
+a single ``except`` clause while tests can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+# ---------------------------------------------------------------------------
+# AOP engine errors
+# ---------------------------------------------------------------------------
+
+
+class AopError(ReproError):
+    """Base class for errors raised by the aspect-weaving engine."""
+
+
+class PointcutSyntaxError(AopError):
+    """A pointcut expression string failed to parse.
+
+    Carries the offending ``text`` and the character ``position`` where
+    parsing stopped, so tooling can point at the error.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class WeaveError(AopError):
+    """A class could not be woven or unwoven."""
+
+
+class DeploymentError(AopError):
+    """An aspect could not be deployed (e.g. unresolved abstract pointcut)."""
+
+
+class AdviceError(AopError):
+    """Invalid advice declaration or advice execution failure."""
+
+
+class ProceedError(AopError):
+    """``proceed`` was invoked outside an around advice or after the
+    joinpoint completed in a non-reentrant context."""
+
+
+class IntertypeError(AopError):
+    """Invalid inter-type declaration (member introduction or
+    ``declare parents``)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulator errors."""
+
+
+class SimDeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+
+class SimInterrupt(SimulationError):
+    """A blocked process was interrupted by another process."""
+
+
+class SimTimeError(SimulationError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class ProcessKilled(BaseException):
+    """Raised inside a simulated process when the simulation shuts down.
+
+    Deliberately derives from :class:`BaseException` (like
+    ``KeyboardInterrupt``) so application-level ``except Exception``
+    blocks cannot swallow it; the kernel uses it to unwind worker
+    threads deterministically at the end of a run.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Cluster / runtime errors
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Invalid cluster topology or node configuration."""
+
+
+class BackendError(ReproError):
+    """Execution backend misuse (e.g. sim backend outside a simulation)."""
+
+
+class FutureError(ReproError):
+    """Invalid future usage (e.g. reading a cancelled future)."""
+
+
+# ---------------------------------------------------------------------------
+# Middleware errors
+# ---------------------------------------------------------------------------
+
+
+class MiddlewareError(ReproError):
+    """Base class for distribution middleware errors."""
+
+
+class RemoteError(MiddlewareError):
+    """A remote invocation failed.
+
+    The Python analogue of Java's ``RemoteException``: the distribution
+    aspect is responsible for catching these at redirected call sites,
+    exactly like the paper's modification #4.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class RegistryError(MiddlewareError):
+    """Name-server lookup/bind failure (unknown or duplicate name)."""
+
+
+class SerializationError(MiddlewareError):
+    """An object could not be (de)serialised for transport."""
+
+
+class PlacementError(MiddlewareError):
+    """No node satisfies a placement request."""

@@ -1,0 +1,290 @@
+"""Middleware interface and shared machinery.
+
+A *middleware* exports objects to cluster nodes and carries invocations
+to them.  Both concrete middlewares (RMI and MPP) share:
+
+* a :class:`RemoteRef` — opaque handle naming an exported servant;
+* a :class:`MiddlewareCosts` profile — the per-call and per-byte costs
+  that distinguish them (this is where "MPP introduces lower
+  communication overhead than Java RMI" lives);
+* the server-side dispatch pattern: requests arrive on a channel owned by
+  the servant's node; each request is served by a fresh activity (RMI
+  semantics — concurrent calls overlap unless a synchronisation aspect
+  serialises them).
+
+Cost charging uses the *caller's* CPU for marshalling and the *servant's*
+CPU for unmarshalling + dispatch, with wire time from the cluster network
+model.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster.machine import Node
+from repro.cluster.topology import Cluster
+from repro.errors import MiddlewareError, RemoteError
+from repro.middleware.context import current_node, server_dispatch, use_node
+from repro.middleware.serialize import Serializer, measure_size
+from repro.runtime.simbackend import SimBackend
+from repro.sim import Channel, Simulator
+
+__all__ = ["MiddlewareCosts", "RemoteRef", "Middleware", "SimMiddleware"]
+
+
+@dataclass(frozen=True)
+class MiddlewareCosts:
+    """Per-invocation cost profile (seconds / seconds-per-byte).
+
+    ``client_overhead``: stub + protocol work on the caller per call;
+    ``server_overhead``: skeleton + dispatch work on the servant per call;
+    ``serialize_per_byte`` / ``deserialize_per_byte``: marshalling rates.
+    """
+
+    client_overhead: float = 0.0
+    server_overhead: float = 0.0
+    serialize_per_byte: float = 0.0
+    deserialize_per_byte: float = 0.0
+
+    def marshal_time(self, size_bytes: int) -> float:
+        return self.client_overhead + size_bytes * self.serialize_per_byte
+
+    def unmarshal_time(self, size_bytes: int) -> float:
+        return self.server_overhead + size_bytes * self.deserialize_per_byte
+
+
+class RemoteRef:
+    """Handle to an exported servant."""
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("object_id", "node_id", "middleware_name", "type_name")
+
+    def __init__(self, node_id: int, middleware_name: str, type_name: str):
+        self.object_id = next(RemoteRef._ids)
+        self.node_id = node_id
+        self.middleware_name = middleware_name
+        self.type_name = type_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RemoteRef #{self.object_id} {self.type_name}@node{self.node_id} "
+            f"via {self.middleware_name}>"
+        )
+
+
+class Middleware(abc.ABC):
+    """Export / invoke interface implemented by all middlewares."""
+
+    name: str = "middleware"
+
+    @abc.abstractmethod
+    def export(self, obj: Any, node: Node) -> RemoteRef:
+        """Install ``obj`` as a servant on ``node``; returns its ref."""
+
+    @abc.abstractmethod
+    def invoke(
+        self,
+        ref: RemoteRef,
+        method: str,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        oneway: bool = False,
+    ) -> Any:
+        """Call ``method`` on the servant behind ``ref``.
+
+        ``oneway=True`` returns immediately after the send (no reply,
+        result is ``None``) where the middleware supports it.
+        """
+
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Stop server activities (end of run)."""
+
+
+class _Servant:
+    """Server-side record for one exported object."""
+
+    __slots__ = ("obj", "node", "channel", "ref")
+
+    def __init__(self, obj: Any, node: Node, channel: Channel, ref: RemoteRef):
+        self.obj = obj
+        self.node = node
+        self.channel = channel
+        self.ref = ref
+
+
+class _Request:
+    __slots__ = (
+        "method",
+        "args",
+        "kwargs",
+        "reply_channel",
+        "oneway",
+        "size",
+        "caller_node",
+    )
+
+    def __init__(self, method, args, kwargs, reply_channel, oneway, size, caller_node):
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.reply_channel = reply_channel
+        self.oneway = oneway
+        self.size = size
+        self.caller_node = caller_node
+
+
+_STOP = object()
+
+
+class SimMiddleware(Middleware):
+    """Common simulated middleware: channels + per-request activities.
+
+    Concrete subclasses supply the cost profile and a name; RMI adds a
+    name-server registry on top, MPP adds the rank/collective API.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        costs: MiddlewareCosts,
+        copy_payloads: bool = True,
+    ):
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.costs = costs
+        self.serializer = Serializer(copy=copy_payloads)
+        self.backend = SimBackend(self.sim)
+        self._servants: dict[int, _Servant] = {}
+        self._servers: list[Any] = []
+        self.calls = 0
+        self.oneway_calls = 0
+
+    # -- export -----------------------------------------------------------
+
+    def export(self, obj: Any, node: Node) -> RemoteRef:
+        ref = RemoteRef(node.node_id, self.name, type(obj).__name__)
+        channel = Channel(self.sim, name=f"{self.name}.srv{ref.object_id}")
+        servant = _Servant(obj, node, channel, ref)
+        self._servants[ref.object_id] = servant
+        node.place(obj)
+        handle = self.backend.spawn(
+            lambda: self._serve(servant),
+            name=f"{self.name}.server.{ref.object_id}",
+            daemon=True,
+        )
+        self._servers.append((servant, handle))
+        return ref
+
+    def servant_of(self, ref: RemoteRef) -> Any:
+        """The actual object behind a ref (testing/metrics use)."""
+        servant = self._servants.get(ref.object_id)
+        if servant is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        return servant.obj
+
+    def node_of(self, ref: RemoteRef) -> Node:
+        servant = self._servants.get(ref.object_id)
+        if servant is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        return servant.node
+
+    # -- invoke -----------------------------------------------------------
+
+    def invoke(
+        self,
+        ref: RemoteRef,
+        method: str,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        oneway: bool = False,
+    ) -> Any:
+        kwargs = kwargs or {}
+        servant = self._servants.get(ref.object_id)
+        if servant is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        self.calls += 1
+        if oneway:
+            self.oneway_calls += 1
+        src = current_node()
+        # 1. marshal on the caller's CPU
+        wire_args, size = self.serializer.pack((args, kwargs))
+        if src is not None:
+            src.execute(self.costs.marshal_time(size))
+        # 2. wire transit
+        delay = self.cluster.transit_delay(size, src, servant.node)
+        reply_channel = (
+            None if oneway else Channel(self.sim, name=f"{self.name}.reply")
+        )
+        servant.channel.send(
+            _Request(
+                method, wire_args[0], wire_args[1], reply_channel, oneway, size, src
+            ),
+            delay=delay,
+            size_bytes=size,
+            tag=method,
+        )
+        if oneway:
+            return None
+        # 3. synchronous wait for the reply
+        reply = reply_channel.recv()
+        outcome, payload = reply.payload
+        # 4. unmarshal the reply on the caller's CPU
+        if src is not None:
+            src.execute(self.costs.unmarshal_time(reply.size_bytes))
+        if outcome == "error":
+            raise RemoteError(
+                f"remote invocation {ref.type_name}.{method} failed: {payload}",
+                cause=payload,
+            )
+        return self.serializer.unpack(payload)
+
+    # -- server side -----------------------------------------------------------
+
+    def _serve(self, servant: _Servant) -> None:
+        """Accept loop: one activity per request (RMI thread-per-call)."""
+        with use_node(servant.node):
+            while True:
+                message = servant.channel.recv()
+                if message.payload is _STOP:
+                    return
+                request: _Request = message.payload
+                self.backend.spawn(
+                    lambda r=request: self._dispatch(servant, r),
+                    name=f"{self.name}.dispatch.{servant.ref.object_id}",
+                )
+
+    def _dispatch(self, servant: _Servant, request: _Request) -> None:
+        with use_node(servant.node):
+            # unmarshal on the servant's CPU
+            servant.node.execute(self.costs.unmarshal_time(request.size))
+            try:
+                with server_dispatch():
+                    result = getattr(servant.obj, request.method)(
+                        *request.args, **request.kwargs
+                    )
+                outcome: tuple[str, Any] = ("ok", result)
+            except Exception as exc:  # noqa: BLE001 - shipped to the client
+                outcome = ("error", exc)
+            if request.oneway:
+                return
+            wire_result, size = self.serializer.pack(outcome[1])
+            servant.node.execute(self.costs.marshal_time(size))
+            delay = self.cluster.transit_delay(size, servant.node, request.caller_node)
+            request.reply_channel.send(
+                (outcome[0], wire_result if outcome[0] == "ok" else outcome[1]),
+                delay=delay,
+                size_bytes=size,
+                tag="reply",
+            )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for servant, _handle in self._servers:
+            servant.channel.send(_STOP)
+        self._servers.clear()

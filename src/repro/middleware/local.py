@@ -1,0 +1,70 @@
+"""In-process middleware.
+
+The null object of the middleware family: ``export`` records placement
+but ``invoke`` is a direct method call with no communication cost.  Two
+uses:
+
+* the "distribution unplugged" configuration (FarmThreads) still runs
+  through a uniform code path in tests;
+* the functional (real-thread) mode, where there is no simulated cluster.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.cluster.machine import Node
+from repro.errors import MiddlewareError, RemoteError
+from repro.middleware.base import Middleware, RemoteRef
+from repro.middleware.context import server_dispatch
+
+__all__ = ["LocalMiddleware"]
+
+
+class LocalMiddleware(Middleware):
+    """Direct dispatch; placement is bookkeeping only."""
+
+    name = "local"
+
+    def __init__(self) -> None:
+        self._objects: dict[int, Any] = {}
+        self.calls = 0
+
+    def export(self, obj: Any, node: Node | None = None) -> RemoteRef:
+        ref = RemoteRef(node.node_id if node is not None else -1, self.name,
+                        type(obj).__name__)
+        self._objects[ref.object_id] = obj
+        if node is not None:
+            node.place(obj)
+        return ref
+
+    def invoke(
+        self,
+        ref: RemoteRef,
+        method: str,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        oneway: bool = False,
+    ) -> Any:
+        obj = self._objects.get(ref.object_id)
+        if obj is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        self.calls += 1
+        try:
+            with server_dispatch():
+                return getattr(obj, method)(*args, **(kwargs or {}))
+        except Exception as exc:  # noqa: BLE001 - uniform error surface
+            raise RemoteError(
+                f"local invocation {ref.type_name}.{method} failed: {exc}",
+                cause=exc,
+            ) from exc
+
+    def servant_of(self, ref: RemoteRef) -> Any:
+        obj = self._objects.get(ref.object_id)
+        if obj is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        return obj
+
+    def shutdown(self) -> None:
+        self._objects.clear()

@@ -1,0 +1,104 @@
+"""Object-placement policies.
+
+"Distribution aspect is also responsible by the selection of the most
+adequate node for a particular object instance.  Several policies can be
+implemented in this aspect (e.g., random, round-robin)."  — Section 4.3.
+
+A policy maps the *i*-th placement request onto a node of the cluster.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any
+
+from repro.cluster.machine import Node
+from repro.cluster.topology import Cluster
+from repro.errors import PlacementError
+
+__all__ = [
+    "PlacementPolicy",
+    "RoundRobin",
+    "RandomPlacement",
+    "BlockPlacement",
+    "LeastLoaded",
+    "FixedPlacement",
+]
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses the node for each successive exported object."""
+
+    @abc.abstractmethod
+    def choose(self, cluster: Cluster, index: int, obj: Any = None) -> Node:
+        """Node for the ``index``-th placement (0-based)."""
+
+    def reset(self) -> None:
+        """Forget placement history (new experiment run)."""
+
+
+class RoundRobin(PlacementPolicy):
+    """Cycle through nodes, optionally starting at an offset.
+
+    The default (offset 0) also uses the head node: the paper's client
+    mostly waits, so its machine hosts filters too.
+    """
+
+    def __init__(self, offset: int = 0):
+        self.offset = offset
+
+    def choose(self, cluster: Cluster, index: int, obj: Any = None) -> Node:
+        return cluster.nodes[(self.offset + index) % len(cluster.nodes)]
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform random node, deterministic under a fixed seed."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, cluster: Cluster, index: int, obj: Any = None) -> Node:
+        return self._rng.choice(cluster.nodes)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class BlockPlacement(PlacementPolicy):
+    """First ``block`` objects on node 0, next ``block`` on node 1, ...
+
+    Natural for heartbeat data partitions where neighbouring blocks
+    should share a node.
+    """
+
+    def __init__(self, block: int):
+        if block < 1:
+            raise PlacementError("block size must be >= 1")
+        self.block = block
+
+    def choose(self, cluster: Cluster, index: int, obj: Any = None) -> Node:
+        node_index = index // self.block
+        if node_index >= len(cluster.nodes):
+            node_index = node_index % len(cluster.nodes)
+        return cluster.nodes[node_index]
+
+
+class LeastLoaded(PlacementPolicy):
+    """Node currently hosting the fewest placed objects (ties → lowest id)."""
+
+    def choose(self, cluster: Cluster, index: int, obj: Any = None) -> Node:
+        return min(
+            cluster.nodes, key=lambda n: (len(n.resident_objects), n.node_id)
+        )
+
+
+class FixedPlacement(PlacementPolicy):
+    """Everything on one node (degenerate case; useful in tests)."""
+
+    def __init__(self, node_id: int = 0):
+        self.node_id = node_id
+
+    def choose(self, cluster: Cluster, index: int, obj: Any = None) -> Node:
+        return cluster.node(self.node_id)

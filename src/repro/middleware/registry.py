@@ -1,0 +1,74 @@
+"""RMI name server.
+
+Java RMI's ``rmiregistry``: servants are *bound* under string names
+(the paper generates ``PS<instance number>``) and clients *look up* an
+initial reference — the paper's client-side modification #3.
+
+A lookup performed from a simulated process pays one network round-trip
+to the registry's node, like a real registry query.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import RegistryError
+from repro.middleware.context import current_node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.machine import Node
+    from repro.cluster.topology import Cluster
+    from repro.middleware.base import RemoteRef
+
+__all__ = ["NameRegistry"]
+
+_QUERY_BYTES = 128
+
+
+class NameRegistry:
+    """Name → RemoteRef table hosted on one node."""
+
+    def __init__(self, cluster: "Cluster", node: "Node | None" = None):
+        self.cluster = cluster
+        self.node = node if node is not None else cluster.head
+        self._bindings: dict[str, "RemoteRef"] = {}
+        self.lookups = 0
+
+    def bind(self, name: str, ref: "RemoteRef") -> None:
+        """Bind ``name``; rebinding an existing name is an error
+        (``Naming.bind`` semantics — use :meth:`rebind` to replace)."""
+        if name in self._bindings:
+            raise RegistryError(f"name already bound: {name!r}")
+        self._bindings[name] = ref
+
+    def rebind(self, name: str, ref: "RemoteRef") -> None:
+        self._bindings[name] = ref
+
+    def unbind(self, name: str) -> None:
+        if name not in self._bindings:
+            raise RegistryError(f"name not bound: {name!r}")
+        del self._bindings[name]
+
+    def lookup(self, name: str) -> "RemoteRef":
+        """Resolve ``name``; pays a registry round-trip when called from
+        a placed simulated activity."""
+        self.lookups += 1
+        self._charge_roundtrip()
+        ref = self._bindings.get(name)
+        if ref is None:
+            raise RegistryError(f"name not bound: {name!r}")
+        return ref
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._bindings))
+
+    def _charge_roundtrip(self) -> None:
+        src = current_node()
+        if src is None:
+            return
+        sim = self.cluster.sim
+        delay = self.cluster.transit_delay(
+            _QUERY_BYTES, src, self.node
+        ) + self.cluster.transit_delay(_QUERY_BYTES, self.node, src)
+        if delay > 0:
+            sim.hold(delay)

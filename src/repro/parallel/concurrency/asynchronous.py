@@ -1,0 +1,111 @@
+"""Asynchronous method invocation (paper Section 4.2, Figure 12 top).
+
+"Concurrency is based on asynchronous method calls.  In Java these calls
+can be implemented by spawning a new thread to perform the requested
+method call."
+
+The around advice captures the rest of the chain (synchronisation →
+forwarding → distribution → the method itself) and hands it to a spawned
+activity; the caller immediately receives a
+:class:`~repro.runtime.futures.Future` (the ABCL-style future the paper's
+related work describes — touching it blocks until the value arrives).
+
+The *spawn strategy* is replaceable at runtime: the thread-pool
+optimisation aspect swaps :class:`SpawnPerCall` for a pooled spawner
+without touching this module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.aop import abstract_pointcut, around, pointcut
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.runtime.backend import ExecutionBackend, current_backend
+from repro.runtime.futures import Future
+
+__all__ = ["SpawnPerCall", "PooledSpawner", "AsyncInvocationAspect"]
+
+
+class SpawnPerCall:
+    """The paper's literal strategy: one new activity per call."""
+
+    def spawn(self, backend: ExecutionBackend, task: Callable[[], None]) -> None:
+        backend.spawn(task, name="async-call")
+
+    def stop(self) -> None:
+        """Nothing to tear down."""
+
+
+class PooledSpawner:
+    """Fixed pool of worker activities fed by a queue.
+
+    Created by the thread-pool optimisation aspect; workers are started
+    lazily on the first spawn (so the pool binds to the right backend).
+    """
+
+    _STOP = object()
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._queue: Any = None
+        self._backend: ExecutionBackend | None = None
+        self.executed = 0
+
+    def spawn(self, backend: ExecutionBackend, task: Callable[[], None]) -> None:
+        if self._queue is None:
+            self._backend = backend
+            self._queue = backend.make_queue(name="pool.tasks")
+            for i in range(self.size):
+                # workers idle on the queue between bursts; daemon=True
+                # keeps the sim's deadlock detector quiet about them
+                backend.spawn(self._worker, name=f"pool.worker{i}", daemon=True)
+        self._queue.put(task)
+
+    def _worker(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is self._STOP:
+                return
+            task()
+            self.executed += 1
+
+    def stop(self) -> None:
+        if self._queue is not None:
+            for _ in range(self.size):
+                self._queue.put(self._STOP)
+
+
+class AsyncInvocationAspect(ParallelAspect):
+    """Spawn-per-call with transparent futures."""
+
+    concern = Concern.CONCURRENCY
+    precedence = LAYER["concurrency"]
+
+    async_calls = abstract_pointcut("calls to execute asynchronously")
+
+    def __init__(self, async_calls: str | None = None, spawner: Any = None):
+        if async_calls is not None:
+            self.async_calls = pointcut(async_calls)
+        self.spawner = spawner if spawner is not None else SpawnPerCall()
+        self.spawned_calls = 0
+
+    @around("async_calls")
+    def make_asynchronous(self, jp):
+        if self.passthrough(jp):
+            return jp.proceed()
+        backend = current_backend()
+        future = Future(name=f"async.{jp.signature}", backend=backend)
+        continuation = jp.capture_proceed()
+
+        def task() -> None:
+            try:
+                future.set_result(continuation())
+            except Exception as exc:  # noqa: BLE001 - delivered via future
+                future.set_exception(exc)
+
+        self.spawned_calls += 1
+        self.spawner.spawn(backend, task)
+        return future

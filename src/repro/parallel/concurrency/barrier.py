@@ -1,0 +1,69 @@
+"""Phase-barrier aspect.
+
+A small reusable concurrency aspect: after every matched call, wait at a
+cyclic barrier shared by ``parties`` activities.  Heartbeat-style codes
+use it to keep compute phases in lockstep when the partition module does
+not already serialise phases itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop import abstract_pointcut, after, pointcut
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.runtime.backend import current_backend
+
+__all__ = ["BarrierAspect"]
+
+
+class BarrierAspect(ParallelAspect):
+    """``after(phase_calls): barrier.wait()``."""
+
+    concern = Concern.CONCURRENCY
+    precedence = LAYER["concurrency"] - 2
+
+    phase_calls = abstract_pointcut("calls ending a phase")
+
+    def __init__(self, parties: int, phase_calls: str | None = None):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        if phase_calls is not None:
+            self.phase_calls = pointcut(phase_calls)
+        self.parties = parties
+        self._barrier: Any = None
+        self.phases = 0
+
+    def _get_barrier(self) -> Any:
+        if self._barrier is None:
+            backend = current_backend()
+            # The sim backend has a true barrier; thread mode synthesises
+            # one from threading via the stdlib.
+            try:
+                from repro.runtime.simbackend import SimBackend
+
+                if isinstance(backend, SimBackend):
+                    from repro.sim import SimBarrier
+
+                    self._barrier = SimBarrier(
+                        backend.sim, self.parties, name="phase"
+                    )
+                else:
+                    import threading
+
+                    self._barrier = threading.Barrier(self.parties)
+            except Exception:  # pragma: no cover - defensive
+                import threading
+
+                self._barrier = threading.Barrier(self.parties)
+        return self._barrier
+
+    @after("phase_calls")
+    def phase_end(self, jp):
+        if self.passthrough(jp):
+            return
+        self.phases += 1
+        self._get_barrier().wait()
+
+    def on_undeploy(self) -> None:
+        self._barrier = None

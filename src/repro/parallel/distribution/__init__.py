@@ -1,0 +1,25 @@
+"""Distribution concern: RMI, MPP and hybrid distribution aspects."""
+
+from repro.parallel.distribution.base import DistributionAspect
+from repro.parallel.distribution.hybrid import (
+    HybridDistributionAspect,
+    hybrid_distribution_module,
+)
+from repro.parallel.distribution.mpp_aspect import (
+    MppDistributionAspect,
+    mpp_distribution_module,
+)
+from repro.parallel.distribution.rmi_aspect import (
+    RmiDistributionAspect,
+    rmi_distribution_module,
+)
+
+__all__ = [
+    "DistributionAspect",
+    "RmiDistributionAspect",
+    "rmi_distribution_module",
+    "MppDistributionAspect",
+    "mpp_distribution_module",
+    "HybridDistributionAspect",
+    "hybrid_distribution_module",
+]

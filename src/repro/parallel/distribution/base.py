@@ -1,0 +1,129 @@
+"""Distribution concern (paper Section 4.3 / Figure 13-15).
+
+The distribution aspect intercepts *both sides* of a call:
+
+* at the client, constructions of distributable objects are associated
+  with freshly exported remote servants on placement-chosen nodes, and
+  calls on those objects are redirected through the middleware;
+* at the server, the servant executes the call locally — our middlewares
+  flag servant execution (``in_server_dispatch``), which is what makes
+  every parallelisation aspect step aside there.
+
+Concrete subclasses bind the middleware flavour (RMI, MPP, hybrid); the
+pattern — create-remote on ``new``, redirect on call, catch remote
+errors — is shared and matches the four code modifications the paper
+enumerates for RMI.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop import abstract_pointcut, around, pointcut
+from repro.errors import RemoteError
+from repro.middleware.base import Middleware, RemoteRef
+from repro.middleware.placement import PlacementPolicy, RoundRobin
+from repro.middleware.serialize import Serializer
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+
+__all__ = ["DistributionAspect"]
+
+
+class DistributionAspect(ParallelAspect):
+    """Create-remote + redirect-call, generic over the middleware."""
+
+    concern = Concern.DISTRIBUTION
+    precedence = LAYER["distribution"]
+
+    remote_new = abstract_pointcut("constructions to distribute")
+    remote_calls = abstract_pointcut("calls to redirect to the servant")
+
+    #: methods invoked one-way when the middleware supports it
+    oneway_methods: frozenset[str] = frozenset()
+
+    def __init__(
+        self,
+        middleware: Middleware,
+        placement: PlacementPolicy | None = None,
+        remote_new: str | None = None,
+        remote_calls: str | None = None,
+        name_prefix: str = "PS",
+    ):
+        self.middleware = middleware
+        self.placement = placement if placement is not None else RoundRobin()
+        if remote_new is not None:
+            self.remote_new = pointcut(remote_new)
+        if remote_calls is not None:
+            self.remote_calls = pointcut(remote_calls)
+        self.name_prefix = name_prefix
+        self._cloner = Serializer(copy=True)
+        #: id(local obj) -> (local obj, RemoteRef)
+        self._refs: dict[int, tuple[Any, RemoteRef]] = {}
+        self.count = 0
+        self.redirected = 0
+        self.remote_errors = 0
+
+    # -- hooks for subclasses -----------------------------------------------
+
+    def register(self, servant: Any, node: Any, name: str) -> RemoteRef:
+        """Export ``servant`` on ``node``; returns the client-side ref."""
+        return self.middleware.export(servant, node)
+
+    def make_servant(self, obj: Any) -> Any:
+        """Server-side instance (a state copy, value semantics)."""
+        return self._cloner.clone(obj)
+
+    def is_oneway(self, jp) -> bool:
+        return jp.name in self.oneway_methods
+
+    # -- advice -----------------------------------------------------------------
+
+    @around("remote_new")
+    def create_remote(self, jp):
+        """Client-side 'new' → remote instance association (Fig 14
+        lines 09-16)."""
+        if self.passthrough(jp):
+            return jp.proceed()
+        obj = jp.proceed()  # local reference the client will hold
+        self.count += 1
+        cluster = getattr(self.middleware, "cluster", None)
+        node = (
+            self.placement.choose(cluster, self.count - 1, obj)
+            if cluster is not None
+            else None
+        )
+        servant = self.make_servant(obj)
+        ref = self.register(servant, node, f"{self.name_prefix}{self.count}")
+        self._refs[id(obj)] = (obj, ref)
+        return obj
+
+    @around("remote_calls")
+    def redirect(self, jp):
+        """Client-side call → middleware invocation (Fig 14 lines 18-23),
+        including the RemoteException handler logic."""
+        if self.passthrough(jp):
+            return jp.proceed()
+        entry = self._refs.get(id(jp.target))
+        if entry is None or entry[0] is not jp.target:
+            return jp.proceed()  # not a distributed object
+        self.redirected += 1
+        try:
+            return self.middleware.invoke(
+                entry[1],
+                jp.name,
+                jp.args,
+                jp.kwargs,
+                oneway=self.is_oneway(jp),
+            )
+        except RemoteError:
+            self.remote_errors += 1
+            raise
+
+    # -- introspection -----------------------------------------------------------
+
+    def ref_of(self, obj: Any) -> RemoteRef | None:
+        entry = self._refs.get(id(obj))
+        return entry[1] if entry is not None and entry[0] is obj else None
+
+    def on_undeploy(self) -> None:
+        self._refs.clear()

@@ -1,0 +1,122 @@
+"""Hybrid distribution.
+
+"It is also possible to develop a hybrid implementation, using MPP and
+RMI" — performance-critical (data) methods travel over MPP while the
+remaining (control) methods use RMI.  The servant object is shared by
+both middlewares' server activities on the same node, so state stays
+consistent regardless of which transport carried the call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.aop import around
+from repro.errors import RemoteError
+from repro.middleware.mpp import MppMiddleware
+from repro.middleware.placement import PlacementPolicy
+from repro.middleware.rmi import RmiMiddleware
+from repro.parallel.composition import ParallelModule
+from repro.parallel.concern import Concern
+from repro.parallel.distribution.base import DistributionAspect
+
+__all__ = ["HybridDistributionAspect", "hybrid_distribution_module"]
+
+
+class HybridDistributionAspect(DistributionAspect):
+    """RMI for control calls, MPP for the listed data methods."""
+
+    def __init__(
+        self,
+        rmi: RmiMiddleware,
+        mpp: MppMiddleware,
+        data_methods: Iterable[str],
+        placement: PlacementPolicy | None = None,
+        remote_new: str | None = None,
+        remote_calls: str | None = None,
+        name_prefix: str = "HY",
+    ):
+        super().__init__(
+            rmi,
+            placement,
+            remote_new=remote_new,
+            remote_calls=remote_calls,
+            name_prefix=name_prefix,
+        )
+        self.mpp = mpp
+        self.data_methods = frozenset(data_methods)
+        #: id(local obj) -> MPP ref for the same servant
+        self._mpp_refs: dict[int, Any] = {}
+        self.data_calls = 0
+        self.control_calls = 0
+
+    def register(self, servant: Any, node: Any, name: str) -> Any:
+        rmi_ref = self.middleware.export_and_bind(name, servant, node)
+        # the SAME servant exported to MPP: both transports reach one state
+        self._pending_mpp_ref = self.mpp.export(servant, node)
+        return self.middleware.lookup(name)
+
+    @around("remote_new")
+    def create_remote(self, jp):  # extends bookkeeping of the base advice
+        if self.passthrough(jp):
+            return jp.proceed()
+        # Same steps as the base advice, plus the MPP export bookkeeping.
+        obj = jp.proceed()
+        self.count += 1
+        cluster = getattr(self.middleware, "cluster", None)
+        node = (
+            self.placement.choose(cluster, self.count - 1, obj)
+            if cluster is not None
+            else None
+        )
+        servant = self.make_servant(obj)
+        ref = self.register(servant, node, f"{self.name_prefix}{self.count}")
+        self._refs[id(obj)] = (obj, ref)
+        self._mpp_refs[id(obj)] = self._pending_mpp_ref
+        return obj
+
+    @around("remote_calls")
+    def redirect(self, jp):
+        if self.passthrough(jp):
+            return jp.proceed()
+        entry = self._refs.get(id(jp.target))
+        if entry is None or entry[0] is not jp.target:
+            return jp.proceed()
+        self.redirected += 1
+        try:
+            if jp.name in self.data_methods:
+                self.data_calls += 1
+                return self.mpp.invoke(
+                    self._mpp_refs[id(jp.target)], jp.name, jp.args, jp.kwargs
+                )
+            self.control_calls += 1
+            return self.middleware.invoke(entry[1], jp.name, jp.args, jp.kwargs)
+        except RemoteError:
+            self.remote_errors += 1
+            raise
+
+    def on_undeploy(self) -> None:
+        super().on_undeploy()
+        self._mpp_refs.clear()
+
+
+def hybrid_distribution_module(
+    rmi: RmiMiddleware,
+    mpp: MppMiddleware,
+    data_methods: Iterable[str],
+    remote_new: str,
+    remote_calls: str,
+    placement: PlacementPolicy | None = None,
+    name: str = "distribution-hybrid",
+) -> ParallelModule:
+    aspect = HybridDistributionAspect(
+        rmi,
+        mpp,
+        data_methods,
+        placement,
+        remote_new=remote_new,
+        remote_calls=remote_calls,
+    )
+    module = ParallelModule(name, Concern.DISTRIBUTION, [aspect])
+    module.aspect = aspect  # type: ignore[attr-defined]
+    return module

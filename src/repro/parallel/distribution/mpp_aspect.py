@@ -1,0 +1,64 @@
+"""MPP distribution aspect (paper Figure 15).
+
+Same create-and-redirect pattern as RMI, but over the message-passing
+middleware: no name server (refs are exchanged directly, like rank ids),
+cheaper marshalling, and genuinely one-way sends for methods declared
+``oneway`` ("the remote method invocation is performed through a message
+send").  The servant's receive loop is the middleware's server activity —
+the aspect stays a thin policy layer, which is exactly the paper's claim
+about exchanging middlewares.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.middleware.mpp import MppMiddleware
+from repro.middleware.placement import PlacementPolicy
+from repro.parallel.composition import ParallelModule
+from repro.parallel.concern import Concern
+from repro.parallel.distribution.base import DistributionAspect
+
+__all__ = ["MppDistributionAspect", "mpp_distribution_module"]
+
+
+class MppDistributionAspect(DistributionAspect):
+    """Distribution over the (simulated) MPP library."""
+
+    def __init__(
+        self,
+        middleware: MppMiddleware,
+        placement: PlacementPolicy | None = None,
+        remote_new: str | None = None,
+        remote_calls: str | None = None,
+        name_prefix: str = "MP",
+        oneway: Iterable[str] = (),
+    ):
+        super().__init__(
+            middleware,
+            placement,
+            remote_new=remote_new,
+            remote_calls=remote_calls,
+            name_prefix=name_prefix,
+        )
+        self.oneway_methods = frozenset(oneway)
+
+
+def mpp_distribution_module(
+    middleware: MppMiddleware,
+    remote_new: str,
+    remote_calls: str,
+    placement: PlacementPolicy | None = None,
+    name: str = "distribution-mpp",
+    **kwargs: Any,
+) -> ParallelModule:
+    aspect = MppDistributionAspect(
+        middleware,
+        placement,
+        remote_new=remote_new,
+        remote_calls=remote_calls,
+        **kwargs,
+    )
+    module = ParallelModule(name, Concern.DISTRIBUTION, [aspect])
+    module.aspect = aspect  # type: ignore[attr-defined]
+    return module

@@ -1,0 +1,81 @@
+"""RMI distribution aspect (paper Figure 14).
+
+Modularises the four RMI code modifications:
+
+1. the remote interface — optional ``declare parents`` against a marker
+   interface, supplied via ``remote_interface``;
+2. export + registry bind under generated names ``PS1, PS2, ...``
+   (``String name = new String("PS" + (++count))``);
+3. client lookup of the initial reference (pays a registry round-trip);
+4. the RemoteException handler around redirected calls (in the base
+   class's ``redirect`` advice).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop import ParentDeclaration
+from repro.middleware.placement import PlacementPolicy
+from repro.middleware.rmi import RmiMiddleware
+from repro.parallel.composition import ParallelModule
+from repro.parallel.concern import Concern
+from repro.parallel.distribution.base import DistributionAspect
+
+__all__ = ["RmiDistributionAspect", "rmi_distribution_module"]
+
+
+class RmiDistributionAspect(DistributionAspect):
+    """Distribution over (simulated) Java RMI."""
+
+    def __init__(
+        self,
+        middleware: RmiMiddleware,
+        placement: PlacementPolicy | None = None,
+        remote_new: str | None = None,
+        remote_calls: str | None = None,
+        name_prefix: str = "PS",
+        remote_interface: type | None = None,
+        distributed_classes: tuple[type, ...] = (),
+    ):
+        super().__init__(
+            middleware,
+            placement,
+            remote_new=remote_new,
+            remote_calls=remote_calls,
+            name_prefix=name_prefix,
+        )
+        # modification #1: declare the class to implement the remote
+        # interface, from within the aspect (static crosscutting)
+        if remote_interface is not None and distributed_classes:
+            self.parents = [
+                ParentDeclaration(cls, remote_interface)
+                for cls in distributed_classes
+            ]
+
+    def register(self, servant: Any, node: Any, name: str) -> Any:
+        # modification #2 (server side): export + bind
+        self.middleware.export_and_bind(name, servant, node)
+        # modification #3 (client side): initial reference via lookup —
+        # charges the registry round-trip like a real Naming.lookup
+        return self.middleware.lookup(name)
+
+
+def rmi_distribution_module(
+    middleware: RmiMiddleware,
+    remote_new: str,
+    remote_calls: str,
+    placement: PlacementPolicy | None = None,
+    name: str = "distribution-rmi",
+    **kwargs: Any,
+) -> ParallelModule:
+    aspect = RmiDistributionAspect(
+        middleware,
+        placement,
+        remote_new=remote_new,
+        remote_calls=remote_calls,
+        **kwargs,
+    )
+    module = ParallelModule(name, Concern.DISTRIBUTION, [aspect])
+    module.aspect = aspect  # type: ignore[attr-defined]
+    return module

@@ -1,0 +1,14 @@
+"""Optimisation concern: thread pools, communication packing, object
+caching and replicated computation — the paper's Section 4.4 examples."""
+
+from repro.parallel.optimisation.caching import ObjectCacheAspect
+from repro.parallel.optimisation.packing import CommunicationPackingAspect
+from repro.parallel.optimisation.replication import ReplicationAspect
+from repro.parallel.optimisation.thread_pool import ThreadPoolAspect
+
+__all__ = [
+    "ThreadPoolAspect",
+    "CommunicationPackingAspect",
+    "ObjectCacheAspect",
+    "ReplicationAspect",
+]

@@ -1,0 +1,75 @@
+"""Object-cache optimisation aspect.
+
+Memoises matched calls: a repeated invocation with identical arguments
+returns the cached result without touching the (possibly remote) target
+— the paper's "cache objects".  Keys combine the method name with a
+caller-supplied argument digest (default: ``repr``; numpy-heavy apps
+pass a bytes-hash).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.aop import abstract_pointcut, around, pointcut
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+
+__all__ = ["ObjectCacheAspect"]
+
+
+def _default_digest(args: tuple, kwargs: dict) -> str:
+    return repr((args, tuple(sorted(kwargs.items()))))
+
+
+class ObjectCacheAspect(ParallelAspect):
+    """Around-advice memoisation with hit/miss statistics."""
+
+    concern = Concern.OPTIMISATION
+    precedence = LAYER["optimisation"] + 10  # outside other optimisations
+
+    cached_calls = abstract_pointcut("calls to memoise")
+
+    def __init__(
+        self,
+        cached_calls: str | None = None,
+        digest: Callable[[tuple, dict], Any] | None = None,
+        per_target: bool = False,
+        max_entries: int = 4096,
+    ):
+        if cached_calls is not None:
+            self.cached_calls = pointcut(cached_calls)
+        self.digest = digest if digest is not None else _default_digest
+        self.per_target = per_target
+        self.max_entries = max_entries
+        self._cache: dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @around("cached_calls")
+    def memoise(self, jp):
+        if self.passthrough(jp):
+            return jp.proceed()
+        key = (
+            jp.name,
+            id(jp.target) if self.per_target else None,
+            self.digest(jp.args, jp.kwargs),
+        )
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        result = jp.proceed()
+        if len(self._cache) < self.max_entries:
+            self._cache[key] = result
+        return result
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def on_undeploy(self) -> None:
+        self.clear()

@@ -1,0 +1,60 @@
+"""Communication-packing optimisation aspect.
+
+"Examples are: thread pools, cache objects, communication packing and
+replicated computation."  Packing coalesces every ``factor`` consecutive
+split pieces into one larger piece — fewer, bigger messages, trading
+pipeline/farm concurrency for per-message overhead.  It works by
+wrapping the partition module's splitter, so it composes with any
+partition strategy whose splitter provides ``merge_pieces``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import AdviceError
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.parallel.partition.base import CallPiece, PartitionAspect
+
+__all__ = ["CommunicationPackingAspect"]
+
+
+class CommunicationPackingAspect(ParallelAspect):
+    """Merge every ``factor`` consecutive pieces of the split."""
+
+    concern = Concern.OPTIMISATION
+    precedence = LAYER["optimisation"]
+
+    def __init__(self, partition: PartitionAspect, factor: int):
+        if factor < 1:
+            raise AdviceError("packing factor must be >= 1")
+        self.partition = partition
+        self.factor = factor
+        self._original_split = None
+        self.packed_messages = 0
+
+    def on_deploy(self) -> None:
+        splitter = self.partition.splitter
+        self._original_split = splitter.split
+        factor = self.factor
+        aspect = self
+
+        def packed_split(args: tuple, kwargs: dict) -> list[CallPiece]:
+            pieces = aspect._original_split(args, kwargs)
+            merged: list[CallPiece] = []
+            for start in range(0, len(pieces), factor):
+                group = pieces[start : start + factor]
+                if len(group) == 1:
+                    piece = group[0]
+                else:
+                    piece = splitter.merge_pieces(group)
+                merged.append(CallPiece(len(merged), piece.args, piece.kwargs))
+            aspect.packed_messages += len(merged)
+            return merged
+
+        splitter.split = packed_split  # type: ignore[method-assign]
+
+    def on_undeploy(self) -> None:
+        if self._original_split is not None:
+            self.partition.splitter.split = self._original_split  # type: ignore[method-assign]
+            self._original_split = None

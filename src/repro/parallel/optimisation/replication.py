@@ -1,0 +1,88 @@
+"""Replicated-computation optimisation aspect.
+
+The last optimisation class the paper names: issue the same call to
+``replicas`` targets and take the first answer (latency hiding against
+slow/overloaded nodes).  The replica targets come from a partition
+aspect's managed instances; the original call's target is always one of
+the replicas.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.aop import abstract_pointcut, around, pointcut
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.parallel.partition.base import PartitionAspect
+from repro.runtime.backend import current_backend
+from repro.runtime.futures import Future
+
+__all__ = ["ReplicationAspect"]
+
+
+class ReplicationAspect(ParallelAspect):
+    """First-of-N replicated execution."""
+
+    concern = Concern.OPTIMISATION
+    precedence = LAYER["optimisation"] + 5
+
+    replicated_calls = abstract_pointcut("calls to replicate")
+
+    def __init__(
+        self,
+        partition: PartitionAspect,
+        replicas: int = 2,
+        replicated_calls: str | None = None,
+    ):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if replicated_calls is not None:
+            self.replicated_calls = pointcut(replicated_calls)
+        self.partition = partition
+        self.replicas = replicas
+        self.replicated = 0
+        self._local = threading.local()
+
+    @around("replicated_calls")
+    def replicate(self, jp):
+        if self.passthrough(jp) or getattr(self._local, "racing", False):
+            return jp.proceed()
+        peers = [w for w in self.partition.instances if w is not jp.target]
+        if not peers or self.replicas < 2:
+            return jp.proceed()
+        backend = current_backend()
+        first = backend.make_event(name="replica.first")
+        continuation = jp.capture_proceed()
+        extra = peers[: self.replicas - 1]
+        self.replicated += 1
+
+        def run_primary() -> None:
+            try:
+                first.set(("ok", continuation()))
+            except Exception as exc:  # noqa: BLE001 - raced result
+                first.set(("error", exc))
+
+        method = jp.name
+        args, kwargs = jp.args, jp.kwargs
+
+        def run_replica(peer: Any) -> None:
+            # replica calls must not re-replicate (flag is per thread)
+            self._local.racing = True
+            try:
+                first.set(("ok", getattr(peer, method)(*args, **kwargs)))
+            except Exception as exc:  # noqa: BLE001 - raced result
+                first.set(("error", exc))
+            finally:
+                self._local.racing = False
+
+        backend.spawn(run_primary, name="replica.primary")
+        for peer in extra:
+            backend.spawn(lambda p=peer: run_replica(p), name="replica.peer")
+        first.wait()
+        outcome, payload = first.value
+        if outcome == "error":
+            raise payload
+        if isinstance(payload, Future):
+            payload = payload.result()
+        return payload

@@ -1,0 +1,44 @@
+"""Thread-pool optimisation aspect.
+
+Section 4.4 lists thread pools among modularisable optimisations: the
+spawn-per-call strategy of the concurrency aspect is replaced with a
+bounded pool of reusable workers.  Plugging this aspect swaps the
+spawner of an :class:`AsyncInvocationAspect`; unplugging restores
+spawn-per-call — nothing else in the stack changes.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.parallel.concurrency.asynchronous import (
+    AsyncInvocationAspect,
+    PooledSpawner,
+)
+
+__all__ = ["ThreadPoolAspect"]
+
+
+class ThreadPoolAspect(ParallelAspect):
+    """Swap spawn-per-call for a fixed worker pool."""
+
+    concern = Concern.OPTIMISATION
+    precedence = LAYER["optimisation"]
+
+    def __init__(self, async_aspect: AsyncInvocationAspect, size: int):
+        self.async_aspect = async_aspect
+        self.size = size
+        self.pool: PooledSpawner | None = None
+        self._previous_spawner = None
+
+    def on_deploy(self) -> None:
+        self.pool = PooledSpawner(self.size)
+        self._previous_spawner = self.async_aspect.spawner
+        self.async_aspect.spawner = self.pool
+
+    def on_undeploy(self) -> None:
+        if self.pool is not None:
+            self.pool.stop()
+        if self._previous_spawner is not None:
+            self.async_aspect.spawner = self._previous_spawner
+        self.pool = None
+        self._previous_spawner = None

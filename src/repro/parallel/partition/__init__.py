@@ -1,0 +1,42 @@
+"""Partition concern: pipeline, farm, dynamic farm and heartbeat
+strategies built from object duplication + method-call split."""
+
+from repro.parallel.partition.base import (
+    CallPiece,
+    PartitionAspect,
+    ResultCollector,
+    WorkSplitter,
+)
+from repro.parallel.partition.divide_conquer import (
+    DivideAndConquerAspect,
+    divide_and_conquer_module,
+)
+from repro.parallel.partition.dynamic_farm import (
+    DynamicFarmAspect,
+    dynamic_farm_module,
+)
+from repro.parallel.partition.farm import FarmAspect, farm_module
+from repro.parallel.partition.heartbeat import HeartbeatAspect, heartbeat_module
+from repro.parallel.partition.pipeline import (
+    PipelineForwardAspect,
+    PipelineSplitAspect,
+    pipeline_module,
+)
+
+__all__ = [
+    "CallPiece",
+    "WorkSplitter",
+    "ResultCollector",
+    "PartitionAspect",
+    "PipelineSplitAspect",
+    "PipelineForwardAspect",
+    "pipeline_module",
+    "FarmAspect",
+    "farm_module",
+    "DynamicFarmAspect",
+    "dynamic_farm_module",
+    "HeartbeatAspect",
+    "heartbeat_module",
+    "DivideAndConquerAspect",
+    "divide_and_conquer_module",
+]

@@ -1,0 +1,192 @@
+"""Partition mechanisms: object duplication and method-call split.
+
+Section 4.1: "Two base mechanisms work together to achieve these types
+of parallelism: object duplication and method call split."  This module
+provides the shared machinery:
+
+* :class:`WorkSplitter` — the app-supplied strategy describing how to
+  duplicate (per-stage constructor arguments), how to split a call's
+  arguments into pieces, how to forward results between stages, and how
+  to combine piece results;
+* :class:`ResultCollector` — backend-neutral gather point for split-call
+  results deposited by pipeline forwarding;
+* :class:`PartitionAspect` — base class holding the splitter and the
+  aspect-managed object bookkeeping every strategy shares.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.aop import abstract_pointcut, pointcut
+from repro.errors import AdviceError
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.runtime.backend import current_backend
+
+__all__ = ["CallPiece", "WorkSplitter", "ResultCollector", "PartitionAspect"]
+
+
+class CallPiece:
+    """One piece of a split call: ``(args, kwargs)`` plus its index."""
+
+    __slots__ = ("index", "args", "kwargs")
+
+    def __init__(self, index: int, args: tuple, kwargs: dict | None = None):
+        self.index = index
+        self.args = args
+        self.kwargs = kwargs or {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CallPiece #{self.index}>"
+
+
+class WorkSplitter:
+    """Application-supplied partition strategy.
+
+    Parameters
+    ----------
+    duplicates:
+        How many aspect-managed objects to create (pipeline stages or
+        farm workers).
+    ctor_args:
+        ``(args, kwargs, index, count) -> (args, kwargs)`` — constructor
+        arguments for the ``index``-th duplicate.  Default: broadcast the
+        original arguments (the farm's behaviour).
+    split:
+        ``(args, kwargs) -> [CallPiece...]`` — split one core call.
+        Default: a single piece (no data split).
+    combine:
+        ``[piece results in index order] -> result`` — aggregate.
+        Default: return the list itself.
+    forward_args:
+        ``(result, args, kwargs) -> (args, kwargs)`` — arguments for the
+        next pipeline stage, given this stage's result.  Default: pass
+        the result as the sole argument (the sieve forwards survivors).
+    merge_pieces:
+        ``(pieces) -> piece`` — used by the communication-packing
+        optimisation to coalesce consecutive pieces.  Optional.
+    """
+
+    def __init__(
+        self,
+        duplicates: int,
+        ctor_args: Callable[[tuple, dict, int, int], tuple[tuple, dict]] | None = None,
+        split: Callable[[tuple, dict], Sequence[CallPiece]] | None = None,
+        combine: Callable[[list], Any] | None = None,
+        forward_args: Callable[[Any, tuple, dict], tuple[tuple, dict]] | None = None,
+        merge_pieces: Callable[[Sequence[CallPiece]], CallPiece] | None = None,
+    ):
+        if duplicates < 1:
+            raise AdviceError("duplicates must be >= 1")
+        self.duplicates = duplicates
+        self._ctor_args = ctor_args
+        self._split = split
+        self._combine = combine
+        self._forward_args = forward_args
+        self._merge_pieces = merge_pieces
+
+    def ctor_args(self, args: tuple, kwargs: dict, index: int) -> tuple[tuple, dict]:
+        if self._ctor_args is None:
+            return args, kwargs
+        return self._ctor_args(args, kwargs, index, self.duplicates)
+
+    def split(self, args: tuple, kwargs: dict) -> list[CallPiece]:
+        if self._split is None:
+            return [CallPiece(0, args, kwargs)]
+        return list(self._split(args, kwargs))
+
+    def combine(self, results: list) -> Any:
+        if self._combine is None:
+            return results
+        return self._combine(results)
+
+    def forward_args(self, result: Any, args: tuple, kwargs: dict) -> tuple[tuple, dict]:
+        if self._forward_args is None:
+            return (result,), {}
+        return self._forward_args(result, args, kwargs)
+
+    def merge_pieces(self, pieces: Sequence[CallPiece]) -> CallPiece:
+        if self._merge_pieces is None:
+            raise AdviceError(
+                "this splitter does not support piece merging "
+                "(communication packing needs merge_pieces)"
+            )
+        return self._merge_pieces(pieces)
+
+
+class ResultCollector:
+    """Gather point for ``expected`` deposits, in deposit order."""
+
+    def __init__(self, expected: int, backend: Any = None):
+        backend = backend if backend is not None else current_backend()
+        self.expected = expected
+        self._items: list[Any] = []
+        self._lock = backend.make_lock(name="collector.lock")
+        self._done = backend.make_event(name="collector.done")
+        if expected == 0:
+            self._done.set()
+
+    def deposit(self, item: Any) -> None:
+        with self._lock:
+            self._items.append(item)
+            complete = len(self._items) >= self.expected
+        if complete:
+            self._done.set()
+
+    def wait(self, timeout: float | None = None) -> list[Any]:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"collector got {len(self._items)}/{self.expected} results"
+            )
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class PartitionAspect(ParallelAspect):
+    """Common state for partition strategies.
+
+    Abstract pointcuts every strategy binds (by constructor keyword or in
+    a subclass):
+
+    * ``creation`` — the core-functionality construction to duplicate,
+      e.g. ``initialization(PrimeFilter.new(..))``;
+    * ``work`` — the core call(s) to split, e.g.
+      ``call(PrimeFilter.filter(..))``.
+    """
+
+    concern = Concern.PARTITION
+    precedence = LAYER["partition"]
+
+    creation = abstract_pointcut("construction joinpoint to duplicate")
+    work = abstract_pointcut("method call(s) to split")
+
+    def __init__(
+        self,
+        splitter: WorkSplitter,
+        creation: str | None = None,
+        work: str | None = None,
+    ):
+        self.splitter = splitter
+        if creation is not None:
+            self.creation = pointcut(creation)
+        if work is not None:
+            self.work = pointcut(work)
+        #: id(object) -> index of the aspect-managed duplicates
+        self.managed: dict[int, int] = {}
+        #: duplicates in creation order (index order)
+        self.instances: list[Any] = []
+
+    # -- shared duplication bookkeeping ------------------------------------
+
+    def remember(self, obj: Any, index: int) -> None:
+        self.managed[id(obj)] = index
+        self.instances.append(obj)
+
+    def is_managed(self, obj: Any) -> bool:
+        return id(obj) in self.managed
+
+    def reset_instances(self) -> None:
+        self.managed.clear()
+        self.instances.clear()

@@ -1,0 +1,139 @@
+"""Divide-and-conquer partition.
+
+Section 4.1: "Object duplication is specified by intercepting the
+creation of objects and method split calls are specified by intercepting
+method calls, but it is also possible to perform object creations when
+intercepting method calls (e.g., in divide and conquer algorithms)."
+
+This strategy does exactly that: intercepting a *call*, it creates fresh
+aspect-managed workers for the sub-problems, recurses through the woven
+call (so division continues until :meth:`should_divide` says stop, and
+the concurrency/distribution layers see every sub-call), then merges.
+
+Hooks (constructor arguments):
+
+``should_divide(args, kwargs, depth)``
+    Predicate deciding whether to split further (e.g. size threshold).
+``divide(args, kwargs)``
+    Returns the sub-problem :class:`CallPiece` list.
+``merge(results)``
+    Combines sub-results into the call's result.
+``make_worker(prototype)``
+    Builds the worker for one branch; default: a state clone of the
+    receiver (an aspect-managed object, per Figure 4).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.aop import abstract_pointcut, around, pointcut
+from repro.errors import AdviceError
+from repro.middleware.serialize import Serializer
+from repro.parallel.composition import ParallelModule
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.parallel.partition.base import CallPiece
+from repro.runtime.futures import Future
+
+__all__ = ["DivideAndConquerAspect", "divide_and_conquer_module"]
+
+
+class DivideAndConquerAspect(ParallelAspect):
+    """Recursive call-split with per-branch worker creation."""
+
+    concern = Concern.PARTITION
+    precedence = LAYER["partition"]
+
+    work = abstract_pointcut("the recursive method call")
+
+    def __init__(
+        self,
+        should_divide: Callable[[tuple, dict, int], bool],
+        divide: Callable[[tuple, dict], Sequence[CallPiece]],
+        merge: Callable[[list], Any],
+        work: str | None = None,
+        make_worker: Callable[[Any], Any] | None = None,
+        max_depth: int = 32,
+    ):
+        if max_depth < 1:
+            raise AdviceError("max_depth must be >= 1")
+        if work is not None:
+            self.work = pointcut(work)
+        self.should_divide = should_divide
+        self.divide = divide
+        self.merge = merge
+        self.max_depth = max_depth
+        self._make_worker = make_worker
+        self._cloner = Serializer(copy=True)
+        self._depth = threading.local()
+        self.divisions = 0
+        self.workers_created = 0
+        self.leaves = 0
+        #: branch workers in creation order (observability; survives
+        #: undeploy so post-run inspection works)
+        self.branches: list[Any] = []
+
+    # -- worker creation at call interception --------------------------------
+
+    def make_worker(self, prototype: Any) -> Any:
+        self.workers_created += 1
+        if self._make_worker is not None:
+            return self._make_worker(prototype)
+        return self._cloner.clone(prototype)
+
+    # -- the advice -----------------------------------------------------------
+
+    @around("work")
+    def conquer(self, jp):
+        if self.passthrough(jp):
+            return jp.proceed()
+        depth = getattr(self._depth, "value", 0)
+        if depth >= self.max_depth or not self.should_divide(
+            jp.args, jp.kwargs, depth
+        ):
+            self.leaves += 1
+            return jp.proceed()
+        self.divisions += 1
+        pieces = self.divide(jp.args, jp.kwargs)
+        if len(pieces) <= 1:
+            self.leaves += 1
+            return jp.proceed()
+        outcomes = []
+        self._depth.value = depth + 1
+        try:
+            for piece in pieces:
+                worker = self.make_worker(jp.target)
+                self.remember_branch(worker)
+                outcomes.append(
+                    getattr(worker, jp.name)(*piece.args, **piece.kwargs)
+                )
+        finally:
+            self._depth.value = depth
+        results = [
+            outcome.result() if isinstance(outcome, Future) else outcome
+            for outcome in outcomes
+        ]
+        return self.merge(results)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def remember_branch(self, worker: Any) -> None:
+        self.branches.append(worker)
+
+
+def divide_and_conquer_module(
+    should_divide: Callable[[tuple, dict, int], bool],
+    divide: Callable[[tuple, dict], Sequence[CallPiece]],
+    merge: Callable[[list], Any],
+    work: str,
+    name: str = "divide-and-conquer",
+    **kwargs: Any,
+) -> ParallelModule:
+    """Build the pluggable divide-and-conquer partition module."""
+    aspect = DivideAndConquerAspect(
+        should_divide, divide, merge, work=work, **kwargs
+    )
+    module = ParallelModule(name, Concern.PARTITION, [aspect])
+    module.coordinator = aspect  # type: ignore[attr-defined]
+    return module

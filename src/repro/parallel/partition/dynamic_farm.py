@@ -1,0 +1,120 @@
+"""Dynamic (demand-driven) farm.
+
+Section 6: "We also present results using a dynamic farm parallelisation
+... The dynamic farm is an example where we were not able yet to separate
+partition from concurrency issues."  Faithfully, this module merges both
+concerns: it spawns one dispatcher activity per worker, and each
+dispatcher *pulls* the next piece only after finishing the previous one —
+demand-driven load balancing instead of the static round-robin
+allocation.
+
+Because the module owns its concurrency, it must NOT be combined with a
+separate asynchronous-invocation aspect (the synchronisation aspect is
+also unnecessary: one dispatcher per worker means no concurrent calls on
+a worker).  :func:`dynamic_farm_module` documents this by carrying the
+CONCURRENCY concern alongside PARTITION.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.aop import around
+from repro.parallel.composition import ParallelModule
+from repro.parallel.concern import Concern
+from repro.parallel.partition.base import PartitionAspect, WorkSplitter
+from repro.runtime.backend import current_backend
+
+__all__ = ["DynamicFarmAspect", "dynamic_farm_module"]
+
+
+class DynamicFarmAspect(PartitionAspect):
+    """Worker-pull farm: merged partition + concurrency."""
+
+    #: concerns covered by this single module (see module docstring)
+    concern = Concern.PARTITION
+
+    def __init__(self, splitter: WorkSplitter, creation=None, work=None):
+        super().__init__(splitter, creation, work)
+        self.workers: list[Any] = []
+        self.split_calls = 0
+        #: pieces served per worker index (load-balance observability)
+        self.served: dict[int, int] = {}
+        self._internal = threading.local()
+
+    # -- duplication: same broadcast as the static farm ---------------------
+
+    @around("creation")
+    def duplicate(self, jp):
+        if self.passthrough(jp) or jp.from_advice:
+            return jp.proceed()
+        self.reset_instances()
+        self.workers = []
+        for index in range(self.splitter.duplicates):
+            args, kwargs = self.splitter.ctor_args(jp.args, jp.kwargs, index)
+            worker = jp.proceed(*args, **kwargs)
+            self.workers.append(worker)
+            self.remember(worker, index)
+        self.served = {i: 0 for i in range(len(self.workers))}
+        return self.workers[0]
+
+    # -- demand-driven dispatch ---------------------------------------------
+
+    @around("work")
+    def dispatch(self, jp):
+        if self.passthrough(jp) or getattr(self._internal, "active", False):
+            return jp.proceed()
+        if jp.from_advice:
+            return jp.proceed()
+        if not self.workers:
+            return jp.proceed()
+        self.split_calls += 1
+        backend = current_backend()
+        pieces = self.splitter.split(jp.args, jp.kwargs)
+        queue = backend.make_queue(name="dynfarm.work")
+        for piece in pieces:
+            queue.put(piece)
+        results: list[Any] = [None] * len(pieces)
+        method_name = jp.name
+
+        def worker_loop(worker: Any, index: int) -> None:
+            # Calls from here must skip this advice but still traverse
+            # synchronisation/distribution — flagged per-thread.
+            self._internal.active = True
+            try:
+                while True:
+                    ok, piece = queue.try_get()
+                    if not ok:
+                        return
+                    results[piece.index] = getattr(worker, method_name)(
+                        *piece.args, **piece.kwargs
+                    )
+                    self.served[index] += 1
+            finally:
+                self._internal.active = False
+
+        handles = [
+            backend.spawn(
+                lambda w=worker, i=index: worker_loop(w, i),
+                name=f"dynfarm.worker{index}",
+            )
+            for index, worker in enumerate(self.workers)
+        ]
+        for handle in handles:
+            handle.join()
+        return self.splitter.combine(results)
+
+
+def dynamic_farm_module(
+    splitter: WorkSplitter,
+    creation: str,
+    work: str,
+    name: str = "dynamic-farm",
+) -> ParallelModule:
+    """Build the merged partition+concurrency dynamic-farm module."""
+    aspect = DynamicFarmAspect(splitter, creation=creation, work=work)
+    module = ParallelModule(name, Concern.PARTITION, [aspect])
+    module.coordinator = aspect  # type: ignore[attr-defined]
+    module.provides_concurrency = True  # type: ignore[attr-defined]
+    return module

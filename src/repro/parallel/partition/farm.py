@@ -1,0 +1,86 @@
+"""Farm partition (paper Figure 10).
+
+"In a simple farming parallelisation each filter has ALL the primes ...
+and each pack of numbers can be processed by ANY PrimeFilter."  Relative
+to the pipeline this changes two things (the paper's own diff):
+
+* duplication **broadcasts** the constructor parameters to every worker
+  (no ``next`` chain);
+* each split piece is **routed to exactly one worker** (static
+  round-robin allocation — the "static work allocation" the dynamic farm
+  later improves on) instead of being forwarded through every stage.
+
+One aspect suffices: there is no forwarding, so nothing needs to nest
+inside the concurrency layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop import around
+from repro.parallel.composition import ParallelModule
+from repro.parallel.concern import Concern
+from repro.parallel.partition.base import PartitionAspect, WorkSplitter
+from repro.runtime.futures import Future
+
+__all__ = ["FarmAspect", "farm_module"]
+
+
+class FarmAspect(PartitionAspect):
+    """Broadcast duplication + piece-per-worker routing."""
+
+    def __init__(self, splitter: WorkSplitter, creation=None, work=None):
+        super().__init__(splitter, creation, work)
+        self.workers: list[Any] = []
+        self.split_calls = 0
+
+    # -- duplication (constructor parameters broadcast to all workers) ------
+
+    @around("creation")
+    def duplicate(self, jp):
+        if self.passthrough(jp) or jp.from_advice:
+            return jp.proceed()
+        self.reset_instances()
+        self.workers = []
+        for index in range(self.splitter.duplicates):
+            args, kwargs = self.splitter.ctor_args(jp.args, jp.kwargs, index)
+            worker = jp.proceed(*args, **kwargs)
+            self.workers.append(worker)
+            self.remember(worker, index)
+        return self.workers[0]
+
+    # -- call split: each piece to a single worker --------------------------
+
+    @around("work")
+    def split(self, jp):
+        if self.passthrough(jp) or jp.from_advice:
+            return jp.proceed()
+        if not self.workers:
+            return jp.proceed()  # partition never saw a creation
+        self.split_calls += 1
+        pieces = self.splitter.split(jp.args, jp.kwargs)
+        outcomes: list[Any] = [None] * len(pieces)
+        for piece in pieces:
+            worker = self.workers[piece.index % len(self.workers)]
+            outcomes[piece.index] = getattr(worker, jp.name)(
+                *piece.args, **piece.kwargs
+            )  # re-enters the chain (concurrency / distribution)
+        results = [
+            outcome.result() if isinstance(outcome, Future) else outcome
+            for outcome in outcomes
+        ]
+        return self.splitter.combine(results)
+
+
+def farm_module(
+    splitter: WorkSplitter,
+    creation: str,
+    work: str,
+    name: str = "farm",
+) -> ParallelModule:
+    """Build the pluggable farm-partition module."""
+    aspect = FarmAspect(splitter, creation=creation, work=work)
+    module = ParallelModule(name, Concern.PARTITION, [aspect])
+    module.coordinator = aspect  # type: ignore[attr-defined]
+    return module

@@ -1,0 +1,145 @@
+"""Pipeline partition (paper Figures 7–9).
+
+Three cooperating pieces of advice, exactly the paper's three blocks:
+
+1. **object duplication** — ``around(creation)`` builds the stages in
+   reverse order, recording each stage's ``next`` pointer, and returns
+   the first stage to the oblivious client;
+2. **method-call split** — ``around(work)``, core calls only: splits the
+   client's single call into pieces and feeds each piece to the first
+   stage; waits for every piece to fall off the end of the pipeline and
+   combines the results;
+3. **call forwarding** — ``around(work)``, *all* calls: after a stage
+   processes a piece, forward the (transformed) piece to the next stage;
+   the last stage deposits into the collector.
+
+Blocks 1–2 live in :class:`PipelineSplitAspect` (partition layer,
+outermost); block 3 lives in :class:`PipelineForwardAspect`
+(partition-forward layer) so that the concurrency aspect's spawn wraps
+*between* them — Figure 11's interleaving, where forwarding happens
+inside the per-call thread.  :func:`pipeline_module` packages both as one
+pluggable module.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop import around, pointcut
+from repro.parallel.composition import ParallelModule
+from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.parallel.partition.base import PartitionAspect, ResultCollector, WorkSplitter
+from repro.runtime.backend import current_backend
+from repro.runtime.futures import Future
+
+__all__ = ["PipelineSplitAspect", "PipelineForwardAspect", "pipeline_module"]
+
+
+class PipelineSplitAspect(PartitionAspect):
+    """Blocks 1 (duplication) and 2 (call split) of Figure 8."""
+
+    def __init__(self, splitter: WorkSplitter, creation=None, work=None):
+        super().__init__(splitter, creation, work)
+        #: id(stage) -> next stage (None at the tail) — the paper's
+        #: ``next`` HashMap
+        self.next: dict[int, Any] = {}
+        self.first: Any = None
+        #: live collector for the current split call
+        self.collector: ResultCollector | None = None
+        self.split_calls = 0
+
+    # -- block 1: object duplication ----------------------------------------
+
+    @around("creation")
+    def duplicate(self, jp):
+        if self.passthrough(jp) or jp.from_advice:
+            return jp.proceed()
+        self.reset_instances()
+        self.next.clear()
+        # The paper's sketch creates filters in reverse order because each
+        # stage's ``next`` pointer must exist at construction time.  Our
+        # ``next`` HashMap is filled after the fact, so stages are created
+        # in pipeline order — this also keeps placement policies (which
+        # see creations in order) assigning stage i and the hand-coded
+        # baseline's stage i to the same node.
+        stages: list[Any] = []
+        for index in range(self.splitter.duplicates):
+            args, kwargs = self.splitter.ctor_args(jp.args, jp.kwargs, index)
+            stage = jp.proceed(*args, **kwargs)
+            stages.append(stage)
+        for index, stage in enumerate(stages):
+            self.next[id(stage)] = (
+                stages[index + 1] if index + 1 < len(stages) else None
+            )
+            self.remember(stage, index)
+        self.first = stages[0]
+        return self.first  # the first pipeline element goes back to the client
+
+    # -- block 2: method call split ----------------------------------------
+
+    @around("work")
+    def split(self, jp):
+        # Core-functionality calls only: forwarded (advice-made) calls
+        # and servant-side execution pass through untouched.
+        if self.passthrough(jp) or jp.from_advice:
+            return jp.proceed()
+        self.split_calls += 1
+        head = self.first if self.first is not None else jp.target
+        pieces = self.splitter.split(jp.args, jp.kwargs)
+        self.collector = ResultCollector(len(pieces), current_backend())
+        method = getattr(head, jp.name)
+        for piece in pieces:
+            method(*piece.args, **piece.kwargs)  # re-enters the chain
+        results = self.collector.wait()
+        self.collector = None
+        return self.splitter.combine(results)
+
+
+class PipelineForwardAspect(ParallelAspect):
+    """Block 3 of Figure 8: forward calls among pipeline elements.
+
+    "This code also applies recursively to the filter method" — it
+    advises every call, including the ones it makes itself.
+    """
+
+    concern = Concern.PARTITION
+    precedence = LAYER["partition-forward"]
+
+    def __init__(self, coordinator: PipelineSplitAspect, work=None):
+        self.coordinator = coordinator
+        self.work = work if work is not None else coordinator.work
+        if isinstance(self.work, str):
+            self.work = pointcut(self.work)
+        self.forwards = 0
+
+    @around("work")
+    def forward(self, jp):
+        if self.passthrough(jp):
+            return jp.proceed()
+        co = self.coordinator
+        key = id(jp.target)
+        if key not in co.next:
+            return jp.proceed()  # not an aspect-managed stage
+        result = jp.proceed()  # the stage's own processing
+        nxt = co.next[key]
+        if nxt is not None:
+            self.forwards += 1
+            args, kwargs = co.splitter.forward_args(result, jp.args, jp.kwargs)
+            return getattr(nxt, jp.name)(*args, **kwargs)  # re-intercepted
+        if co.collector is not None:
+            co.collector.deposit(result)
+        return result
+
+
+def pipeline_module(
+    splitter: WorkSplitter,
+    creation: str,
+    work: str,
+    name: str = "pipeline",
+) -> ParallelModule:
+    """Build the pluggable pipeline-partition module (both aspects)."""
+    split_aspect = PipelineSplitAspect(splitter, creation=creation, work=work)
+    forward_aspect = PipelineForwardAspect(split_aspect)
+    module = ParallelModule(name, Concern.PARTITION, [split_aspect, forward_aspect])
+    module.coordinator = split_aspect  # type: ignore[attr-defined]
+    return module

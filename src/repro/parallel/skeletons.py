@@ -1,0 +1,165 @@
+"""High-level facade: one call from sequential class to parallel stack.
+
+The paper's future work announces "a domain-specific aspect library for
+parallel computing, based on reusable aspects"; this module is that
+library's front door.  :func:`parallelise` assembles a complete
+composition — partition strategy, concurrency, optional distribution,
+optional cost instrumentation — from a strategy name and a
+:class:`~repro.parallel.partition.base.WorkSplitter`::
+
+    stack = parallelise(
+        PrimeFilter,
+        splitter=workload.farm_splitter(8),
+        creation="initialization(PrimeFilter.new(..))",
+        work="call(PrimeFilter.filter(..))",
+        strategy="farm",
+        middleware="rmi",
+        cluster=cluster,
+    )
+    with stack:
+        ...
+
+Everything remains individually pluggable afterwards through
+``stack.composition``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop.weaver import Weaver, default_weaver
+from repro.cluster.topology import Cluster
+from repro.errors import DeploymentError
+from repro.middleware.mpp import MppMiddleware
+from repro.middleware.placement import PlacementPolicy
+from repro.middleware.rmi import RmiMiddleware
+from repro.parallel.composition import Composition, ParallelModule
+from repro.parallel.concern import Concern
+from repro.parallel.concurrency import concurrency_module
+from repro.parallel.distribution import (
+    mpp_distribution_module,
+    rmi_distribution_module,
+)
+from repro.parallel.instrumentation import ComputeCostAspect
+from repro.parallel.partition import (
+    WorkSplitter,
+    dynamic_farm_module,
+    farm_module,
+    heartbeat_module,
+    pipeline_module,
+)
+
+__all__ = ["ParallelStack", "parallelise", "STRATEGIES", "MIDDLEWARES"]
+
+STRATEGIES = ("pipeline", "farm", "dynamic-farm", "heartbeat")
+MIDDLEWARES = ("none", "rmi", "mpp")
+
+
+class ParallelStack:
+    """A deployed-or-deployable composition with its handles."""
+
+    def __init__(
+        self,
+        target: type,
+        composition: Composition,
+        partition: Any,
+        middleware: Any = None,
+        weaver: Weaver | None = None,
+    ):
+        self.target = target
+        self.composition = composition
+        self.partition = partition
+        self.middleware = middleware
+        self.weaver = weaver if weaver is not None else default_weaver
+
+    def deploy(self) -> "ParallelStack":
+        self.composition.deploy(self.weaver, targets=[self.target])
+        return self
+
+    def undeploy(self) -> None:
+        self.composition.undeploy()
+
+    def shutdown(self) -> None:
+        if self.middleware is not None:
+            self.middleware.shutdown()
+
+    def __enter__(self) -> "ParallelStack":
+        return self.deploy()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.undeploy()
+        self.shutdown()
+
+    def describe(self) -> str:
+        return self.composition.describe()
+
+
+def parallelise(
+    target: type,
+    splitter: WorkSplitter,
+    creation: str,
+    work: str,
+    strategy: str = "farm",
+    concurrency: bool = True,
+    middleware: str = "none",
+    cluster: Cluster | None = None,
+    placement: PlacementPolicy | None = None,
+    cost: ComputeCostAspect | None = None,
+    weaver: Weaver | None = None,
+    **strategy_kwargs: Any,
+) -> ParallelStack:
+    """Assemble a full parallelisation stack for ``target``.
+
+    Parameters mirror the methodology's decision points: the *strategy*
+    (partition category), whether to add the concurrency module, which
+    *middleware* to distribute over (requires a ``cluster``), and an
+    optional cost-instrumentation aspect for simulated runs.
+    """
+    if strategy not in STRATEGIES:
+        raise DeploymentError(f"unknown strategy {strategy!r}; choose {STRATEGIES}")
+    if middleware not in MIDDLEWARES:
+        raise DeploymentError(
+            f"unknown middleware {middleware!r}; choose {MIDDLEWARES}"
+        )
+
+    composition = Composition(f"{strategy}+{middleware}")
+    if strategy == "pipeline":
+        module = pipeline_module(splitter, creation, work, **strategy_kwargs)
+    elif strategy == "farm":
+        module = farm_module(splitter, creation, work, **strategy_kwargs)
+    elif strategy == "dynamic-farm":
+        module = dynamic_farm_module(splitter, creation, work, **strategy_kwargs)
+    else:
+        module = heartbeat_module(splitter, creation, work, **strategy_kwargs)
+    composition.plug(module)
+    partition = module.coordinator  # type: ignore[attr-defined]
+
+    merged = getattr(module, "provides_concurrency", False)
+    if concurrency and not merged:
+        composition.plug(concurrency_module(work, work))
+
+    mw_instance = None
+    if middleware != "none":
+        if cluster is None:
+            raise DeploymentError(f"middleware {middleware!r} needs a cluster")
+        if middleware == "rmi":
+            mw_instance = RmiMiddleware(cluster)
+            composition.plug(
+                rmi_distribution_module(
+                    mw_instance, creation, work, placement=placement
+                )
+            )
+        else:
+            mw_instance = MppMiddleware(cluster)
+            composition.plug(
+                mpp_distribution_module(
+                    mw_instance, creation, work, placement=placement
+                )
+            )
+
+    if cost is not None:
+        composition.plug(
+            ParallelModule("cost-model", Concern.INSTRUMENTATION, [cost])
+        )
+
+    return ParallelStack(target, composition, partition, mw_instance, weaver)

@@ -1,0 +1,29 @@
+"""Concurrency substrate: execution backends (threads / simulation),
+futures with wait-by-necessity, and active objects."""
+
+from repro.runtime.active import ActiveObject
+from repro.runtime.backend import (
+    ExecutionBackend,
+    TaskHandle,
+    current_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.runtime.futures import Future, FutureGroup
+from repro.runtime.simbackend import SimBackend, SimTask
+from repro.runtime.threads import ThreadBackend, ThreadTask
+
+__all__ = [
+    "ExecutionBackend",
+    "TaskHandle",
+    "current_backend",
+    "use_backend",
+    "set_default_backend",
+    "ThreadBackend",
+    "ThreadTask",
+    "SimBackend",
+    "SimTask",
+    "Future",
+    "FutureGroup",
+    "ActiveObject",
+]

@@ -1,0 +1,104 @@
+"""Active objects (ABCL-style).
+
+An :class:`ActiveObject` owns a request mailbox and a server activity
+that executes one method at a time — the concurrency model the paper's
+related work traces back to ABCL.  Clients call methods through
+:meth:`proxy`; every call is asynchronous and returns a
+:class:`~repro.runtime.futures.Future`.
+
+The dynamic-farm partition uses this request-queue shape; it is also a
+useful comparison point in tests (active objects serialise per-object, so
+no synchronisation aspect is needed).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import BackendError
+from repro.runtime.backend import current_backend
+from repro.runtime.futures import Future
+
+__all__ = ["ActiveObject"]
+
+_STOP = object()
+
+
+class _MethodProxy:
+    __slots__ = ("_active", "_name")
+
+    def __init__(self, active: "ActiveObject", name: str):
+        self._active = active
+        self._name = name
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Future:
+        return self._active.send(self._name, *args, **kwargs)
+
+
+class _Proxy:
+    """Attribute access returns asynchronous method stubs."""
+
+    __slots__ = ("_active",)
+
+    def __init__(self, active: "ActiveObject"):
+        self._active = active
+
+    def __getattr__(self, name: str) -> _MethodProxy:
+        target = self._active.target
+        if not callable(getattr(type(target), name, None)):
+            raise AttributeError(
+                f"{type(target).__name__} has no method {name!r}"
+            )
+        return _MethodProxy(self._active, name)
+
+
+class ActiveObject:
+    """Wrap ``target`` with a mailbox + single server activity."""
+
+    def __init__(self, target: Any, name: str | None = None, backend: Any = None):
+        self.target = target
+        self.name = name or f"active:{type(target).__name__}"
+        self._backend = backend if backend is not None else current_backend()
+        self._mailbox = self._backend.make_queue(name=f"{self.name}.mailbox")
+        self._stopped = False
+        self.processed = 0
+        self._server = self._backend.spawn(self._serve, name=f"{self.name}.server")
+
+    # -- client side -------------------------------------------------------
+
+    def proxy(self) -> _Proxy:
+        return _Proxy(self)
+
+    def send(self, method: str, *args: Any, **kwargs: Any) -> Future:
+        """Asynchronously invoke ``method``; returns its future."""
+        if self._stopped:
+            raise BackendError(f"{self.name} is stopped")
+        future = Future(name=f"{self.name}.{method}", backend=self._backend)
+        self._mailbox.put((method, args, kwargs, future))
+        return future
+
+    def stop(self) -> None:
+        """Drain-and-stop: the server exits after pending requests."""
+        if not self._stopped:
+            self._stopped = True
+            self._mailbox.put(_STOP)
+
+    def join(self) -> None:
+        """Wait for the server activity to exit (call :meth:`stop` first)."""
+        self._server.join()
+
+    # -- server side -------------------------------------------------------
+
+    def _serve(self) -> None:
+        while True:
+            request = self._mailbox.get()
+            if request is _STOP:
+                return
+            method, args, kwargs, future = request
+            try:
+                result = getattr(self.target, method)(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - delivered via future
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+            self.processed += 1

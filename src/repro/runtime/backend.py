@@ -1,0 +1,117 @@
+"""Execution-backend abstraction.
+
+The paper's concurrency aspect spawns Java threads.  Ours spawns through
+an :class:`ExecutionBackend`, which is what lets the *same aspect code*
+run both functionally (real threads) and on the simulated cluster
+(simulated processes on virtual time).  This is itself an instance of the
+paper's argument: the platform choice is a pluggable concern.
+
+A backend provides:
+
+* ``spawn(fn)``  → a :class:`TaskHandle` with ``join()``;
+* lock / event / queue factories with uniform semantics;
+* an optional notion of *where* work runs (the sim backend can pin the
+  spawned activity's CPU charges to a node — used by the cost model).
+
+The *current* backend is tracked per thread (simulated processes are
+threads, so this is correct in both modes) with a global default of
+:class:`~repro.runtime.threads.ThreadBackend`.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.errors import BackendError
+
+__all__ = [
+    "TaskHandle",
+    "ExecutionBackend",
+    "current_backend",
+    "use_backend",
+    "set_default_backend",
+]
+
+
+class TaskHandle(abc.ABC):
+    """Handle on a spawned activity."""
+
+    @abc.abstractmethod
+    def join(self) -> Any:
+        """Wait for completion; return the activity's result or raise its
+        exception."""
+
+    @property
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """Has the activity finished (successfully or not)?"""
+
+
+class ExecutionBackend(abc.ABC):
+    """Factory for concurrency primitives in one execution mode."""
+
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def spawn(self, fn: Callable[[], Any], name: str | None = None) -> TaskHandle:
+        """Run ``fn`` concurrently; returns a joinable handle."""
+
+    @abc.abstractmethod
+    def make_lock(self, name: str = "lock") -> Any:
+        """A (non-reentrant) context-manager lock."""
+
+    @abc.abstractmethod
+    def make_event(self, name: str = "event") -> Any:
+        """An event with ``wait()`` / ``set(value=None)`` / ``is_set``."""
+
+    @abc.abstractmethod
+    def make_queue(self, name: str = "queue") -> Any:
+        """A FIFO with blocking ``get()`` and ``put(item)``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class _BackendState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[ExecutionBackend] = []
+
+
+_STATE = _BackendState()
+_DEFAULT: list[ExecutionBackend | None] = [None]
+
+
+def set_default_backend(backend: ExecutionBackend | None) -> None:
+    """Set the process-wide fallback backend (``None`` restores the
+    lazily created ThreadBackend)."""
+    _DEFAULT[0] = backend
+
+
+def current_backend() -> ExecutionBackend:
+    """The innermost active backend for this thread.
+
+    Falls back to the process-wide default; creating the default
+    ThreadBackend lazily avoids import cycles.
+    """
+    if _STATE.stack:
+        return _STATE.stack[-1]
+    if _DEFAULT[0] is None:
+        from repro.runtime.threads import ThreadBackend
+
+        _DEFAULT[0] = ThreadBackend()
+    return _DEFAULT[0]
+
+
+@contextmanager
+def use_backend(backend: ExecutionBackend) -> Iterator[ExecutionBackend]:
+    """Make ``backend`` current for this thread within the block."""
+    if not isinstance(backend, ExecutionBackend):
+        raise BackendError(f"not an ExecutionBackend: {backend!r}")
+    _STATE.stack.append(backend)
+    try:
+        yield backend
+    finally:
+        _STATE.stack.pop()

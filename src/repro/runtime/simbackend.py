@@ -1,0 +1,81 @@
+"""Simulation execution backend.
+
+Maps the backend API onto the discrete-event kernel: ``spawn`` creates a
+simulated process, locks/events/queues are the kernel's primitives.  The
+spawned activity inherits the *current backend* (itself), so nested
+spawns from aspect code land back in the simulation.
+
+Activities carry no CPU cost by themselves — computation is charged
+explicitly on node CPUs by the cost-model aspect and the middleware
+(serialisation), mirroring where time is actually spent on hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import BackendError
+from repro.runtime.backend import ExecutionBackend, TaskHandle, use_backend
+from repro.sim import SimEvent, SimLock, SimProcess, SimQueue, Simulator, current_process
+
+__all__ = ["SimBackend", "SimTask"]
+
+
+class SimTask(TaskHandle):
+    """Handle over a simulated process."""
+
+    def __init__(self, proc: SimProcess):
+        self._proc = proc
+
+    def join(self) -> Any:
+        return self._proc.join()
+
+    @property
+    def done(self) -> bool:
+        return self._proc.finished
+
+    @property
+    def process(self) -> SimProcess:
+        return self._proc
+
+
+class SimBackend(ExecutionBackend):
+    """Concurrency primitives on simulated time."""
+
+    name = "sim"
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.spawned = 0
+
+    def spawn(
+        self, fn: Callable[[], Any], name: str | None = None, daemon: bool = False
+    ) -> SimTask:
+        caller = current_process()
+        if caller is not None and caller.sim is not self.sim:
+            raise BackendError("SimBackend.spawn from a foreign simulator's process")
+        self.spawned += 1
+        # Spawned activities inherit the spawner's node placement: work a
+        # concurrency aspect forks off still burns CPU where the caller
+        # lives (FarmThreads runs everything on the head node).
+        from repro.middleware.context import current_node, use_node
+
+        node = current_node()
+
+        def body() -> Any:
+            with use_backend(self), use_node(node):
+                return fn()
+
+        proc = self.sim.spawn(
+            body, name=name or f"task-{self.spawned}", daemon=daemon
+        )
+        return SimTask(proc)
+
+    def make_lock(self, name: str = "lock") -> SimLock:
+        return SimLock(self.sim, name=name)
+
+    def make_event(self, name: str = "event") -> SimEvent:
+        return SimEvent(self.sim, name=name)
+
+    def make_queue(self, name: str = "queue") -> SimQueue:
+        return SimQueue(self.sim, name=name)

@@ -1,0 +1,126 @@
+"""Real-thread execution backend (functional mode).
+
+``spawn`` starts one daemon thread per activity — the literal translation
+of the paper's concurrency aspect (``new Thread() { run() { proceed; } }``).
+Because of the GIL this buys no CPU-bound speed-up in CPython; it gives
+the correct *semantics* (overlap, synchronisation, futures) for tests and
+examples, while the performance experiments run on the simulation
+backend (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from typing import Any, Callable
+
+from repro.runtime.backend import ExecutionBackend, TaskHandle
+
+__all__ = ["ThreadBackend", "ThreadTask"]
+
+
+class ThreadTask(TaskHandle):
+    """Handle wrapping one worker thread."""
+
+    def __init__(self, fn: Callable[[], Any], name: str | None):
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._finished = threading.Event()
+
+        def body() -> None:
+            try:
+                self._result = fn()
+            except BaseException as exc:  # noqa: BLE001 - re-raised in join
+                self._exception = exc
+            finally:
+                self._finished.set()
+
+        self._thread = threading.Thread(target=body, name=name, daemon=True)
+        self._thread.start()
+
+    def join(self) -> Any:
+        self._finished.wait()
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        return self._finished.is_set()
+
+
+class _ThreadEvent:
+    """threading.Event with a value slot, matching SimEvent's surface."""
+
+    def __init__(self, name: str = "event"):
+        self.name = name
+        self._event = threading.Event()
+        self.value: Any = None
+
+    @property
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def set(self, value: Any = None) -> None:
+        if not self._event.is_set():
+            self.value = value
+            self._event.set()
+
+    def clear(self) -> None:
+        self._event.clear()
+        self.value = None
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+
+class _ThreadQueue:
+    """queue.Queue adapter matching SimQueue's surface."""
+
+    def __init__(self, name: str = "queue"):
+        self.name = name
+        self._q: _queue.Queue = _queue.Queue()
+
+    def put(self, item: Any) -> None:
+        self._q.put(item)
+
+    def get(self, timeout: float | None = None) -> Any:
+        try:
+            return self._q.get(timeout=timeout)
+        except _queue.Empty:
+            raise TimeoutError(f"queue {self.name} get() timed out") from None
+
+    def try_get(self) -> tuple[bool, Any]:
+        try:
+            return True, self._q.get_nowait()
+        except _queue.Empty:
+            return False, None
+
+    def __len__(self) -> int:
+        return self._q.qsize()
+
+
+class ThreadBackend(ExecutionBackend):
+    """Spawn-per-call real threading."""
+
+    name = "threads"
+
+    def __init__(self) -> None:
+        self.spawned = 0
+
+    def spawn(
+        self, fn: Callable[[], Any], name: str | None = None, daemon: bool = True
+    ) -> ThreadTask:
+        # all worker threads are OS daemons already; the flag only
+        # matters for the simulation backend's deadlock detection
+        self.spawned += 1
+        return ThreadTask(fn, name or f"task-{self.spawned}")
+
+    def make_lock(self, name: str = "lock") -> threading.Lock:
+        return threading.Lock()
+
+    def make_event(self, name: str = "event") -> _ThreadEvent:
+        return _ThreadEvent(name)
+
+    def make_queue(self, name: str = "queue") -> _ThreadQueue:
+        return _ThreadQueue(name)

@@ -1,0 +1,67 @@
+"""Structured event tracing and counters for simulations.
+
+Optional: the kernel never depends on tracing; components *emit* into a
+:class:`Trace` when one is attached.  Benchmarks use counters to report
+message counts and the examples use the event log to show interleavings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+class TraceEvent:
+    """One recorded simulation event."""
+
+    __slots__ = ("time", "category", "label", "data")
+
+    def __init__(self, time: float, category: str, label: str, data: dict | None):
+        self.time = time
+        self.category = category
+        self.label = label
+        self.data = data or {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.time:10.6f} [{self.category}] {self.label}>"
+
+
+class Trace:
+    """Append-only event log + named counters."""
+
+    def __init__(self, capacity: int | None = None):
+        self.events: list[TraceEvent] = []
+        self.counters: Counter[str] = Counter()
+        self.capacity = capacity
+
+    def emit(
+        self, time: float, category: str, label: str, **data: Any
+    ) -> None:
+        """Record an event (dropped once ``capacity`` is reached)."""
+        if self.capacity is None or len(self.events) < self.capacity:
+            self.events.append(TraceEvent(time, category, label, data))
+        self.counters[category] += 1
+
+    def count(self, category: str) -> int:
+        return self.counters.get(category, 0)
+
+    def of(self, category: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        return [e for e in self.events if start <= e.time <= end]
+
+    def format(self, events: Iterable[TraceEvent] | None = None) -> str:
+        """Human-readable rendering of (a slice of) the log."""
+        lines = []
+        for event in events if events is not None else self.events:
+            extra = " ".join(f"{k}={v}" for k, v in event.data.items())
+            lines.append(
+                f"{event.time:12.6f}  {event.category:<12} {event.label} {extra}".rstrip()
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,409 @@
+"""Pointcut language: parsing, matching, combinators, dynamic residues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop import (
+    Aspect,
+    around,
+    before,
+    deploy,
+    parse_pointcut,
+    weave,
+)
+from repro.aop.joinpoint import JoinPointKind
+from repro.aop.pointcut import (
+    NO,
+    YES,
+    AdviceExecution,
+    And,
+    Call,
+    FalsePointcut,
+    Initialization,
+    Not,
+    Or,
+    TruePointcut,
+)
+from repro.aop.signature import (
+    NamePattern,
+    ParamsPattern,
+    SignaturePattern,
+    TypePattern,
+    is_subtype,
+    register_virtual_base,
+    unregister_virtual_base,
+)
+from repro.errors import PointcutSyntaxError
+
+
+class Alpha:
+    def run(self, x):
+        return ("alpha", x)
+
+    def walk(self):
+        return "walking"
+
+
+class Beta(Alpha):
+    def run(self, x):
+        return ("beta", x)
+
+
+class TestTypePattern:
+    def test_exact_name(self):
+        assert TypePattern("Alpha").matches_class(Alpha)
+        assert not TypePattern("Alpha").matches_class(Beta)
+
+    def test_wildcard(self):
+        assert TypePattern("Al*").matches_class(Alpha)
+        assert TypePattern("*a").matches_class(Beta)
+        assert not TypePattern("Gamma*").matches_class(Alpha)
+
+    def test_universal(self):
+        pat = TypePattern("*")
+        assert pat.is_wildcard_any
+        assert pat.matches_class(Alpha)
+        assert pat.matches_class(int)
+
+    def test_subtypes_plus(self):
+        pat = TypePattern("Alpha+")
+        assert pat.matches_class(Alpha)
+        assert pat.matches_class(Beta)
+        assert not pat.matches_class(int)
+
+    def test_qualified_pattern(self):
+        pat = TypePattern(f"{__name__}.Alpha")
+        assert pat.matches_class(Alpha)
+        pat2 = TypePattern("other.module.Alpha")
+        assert not pat2.matches_class(Alpha)
+
+    def test_from_class_identity(self):
+        pat = TypePattern.from_class(Alpha)
+        assert pat.matches_class(Alpha)
+        assert not pat.matches_class(Beta)
+        assert TypePattern.from_class(Alpha, subtypes=True).matches_class(Beta)
+
+    def test_virtual_subtype_via_registry(self):
+        class Marker:
+            pass
+
+        try:
+            register_virtual_base(Alpha, Marker)
+            assert is_subtype(Alpha, Marker)
+            assert is_subtype(Beta, Marker)  # inherited through MRO
+            assert TypePattern("Marker+").matches_class(Alpha)
+            assert TypePattern("Marker+").matches_class(Beta)
+        finally:
+            unregister_virtual_base(Alpha, Marker)
+        assert not is_subtype(Alpha, Marker)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PointcutSyntaxError):
+            TypePattern("")
+        with pytest.raises(PointcutSyntaxError):
+            TypePattern("+")
+
+
+class TestParamsPattern:
+    def test_any(self):
+        pat = ParamsPattern.any()
+        assert pat.matches(())
+        assert pat.matches((1, "a", None))
+
+    def test_empty_matches_no_args(self):
+        pat = ParamsPattern([])
+        assert pat.matches(())
+        assert not pat.matches((1,))
+
+    def test_single_star(self):
+        pat = ParamsPattern(["*"])
+        assert pat.matches((object(),))
+        assert not pat.matches(())
+        assert not pat.matches((1, 2))
+
+    def test_typed_params(self):
+        pat = ParamsPattern(["int", "str"])
+        assert pat.matches((1, "a"))
+        assert not pat.matches(("a", 1))
+
+    def test_ellipsis_prefix_suffix(self):
+        pat = ParamsPattern(["int", ".."])
+        assert pat.matches((1,))
+        assert pat.matches((1, "x", "y"))
+        assert not pat.matches(("x",))
+        pat2 = ParamsPattern(["..", "str"])
+        assert pat2.matches(("end",))
+        assert pat2.matches((1, 2, "end"))
+        assert not pat2.matches((1, 2))
+
+    def test_numpy_int_arrays_match_by_dtype_kind(self):
+        np = pytest.importorskip("numpy")
+        pat = ParamsPattern(["int"])
+        assert pat.matches((np.int64(3),))
+        assert pat.matches((np.array([1, 2, 3]),))
+        assert not pat.matches((np.array([1.5]),))
+
+    def test_user_class_param(self):
+        pat = ParamsPattern(["Alpha+"])
+        assert pat.matches((Beta(),))
+        assert not pat.matches((3,))
+
+
+class TestSignatureParsing:
+    def test_basic(self):
+        sig = SignaturePattern.parse("PrimeFilter.filter(..)")
+        assert str(sig.type_pattern) == "PrimeFilter"
+        assert str(sig.name_pattern) == "filter"
+        assert sig.params.is_any
+
+    def test_no_params_section_means_any(self):
+        sig = SignaturePattern.parse("PrimeFilter.filter")
+        assert sig.params.is_any
+
+    def test_empty_params_means_zero_args(self):
+        sig = SignaturePattern.parse("PrimeFilter.stop()")
+        assert not sig.params.is_any
+        assert sig.params.matches(())
+        assert not sig.params.matches((1,))
+
+    def test_constructor_detection(self):
+        assert SignaturePattern.parse("PrimeFilter.new(..)").is_constructor
+        assert not SignaturePattern.parse("PrimeFilter.filter(..)").is_constructor
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(PointcutSyntaxError):
+            SignaturePattern.parse("filter(..)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(PointcutSyntaxError):
+            SignaturePattern.parse("A.f(..")
+
+
+class TestParser:
+    def test_parse_call(self):
+        node = parse_pointcut("call(Alpha.run(..))")
+        assert isinstance(node, Call)
+        assert node.matches_shadow(Alpha, "run", JoinPointKind.CALL) is YES
+
+    def test_call_with_new_normalises_to_initialization(self):
+        node = parse_pointcut("call(Alpha.new(..))")
+        assert isinstance(node, Initialization)
+
+    def test_parse_initialization(self):
+        node = parse_pointcut("initialization(Alpha.new(..))")
+        assert isinstance(node, Initialization)
+        assert (
+            node.matches_shadow(Alpha, "__init__", JoinPointKind.INITIALIZATION)
+            is YES
+        )
+        assert node.matches_shadow(Alpha, "run", JoinPointKind.CALL) is NO
+
+    def test_boolean_operators_and_parens(self):
+        node = parse_pointcut(
+            "call(Alpha.run(..)) || (call(Alpha.walk(..)) && !adviceexecution())"
+        )
+        assert isinstance(node, Or)
+        assert node.matches_shadow(Alpha, "run", JoinPointKind.CALL) is YES
+
+    def test_not_operator(self):
+        node = parse_pointcut("!call(Alpha.run(..))")
+        assert isinstance(node, Not)
+        assert node.matches_shadow(Alpha, "run", JoinPointKind.CALL) is NO
+        assert node.matches_shadow(Alpha, "walk", JoinPointKind.CALL) is YES
+
+    def test_true_false(self):
+        assert isinstance(parse_pointcut("true()"), TruePointcut)
+        assert isinstance(parse_pointcut("false()"), FalsePointcut)
+
+    def test_adviceexecution(self):
+        assert isinstance(parse_pointcut("adviceexecution()"), AdviceExecution)
+
+    def test_whitespace_tolerated(self):
+        node = parse_pointcut("  call( Alpha.run(..) )   &&   true() ")
+        assert isinstance(node, And)
+
+    def test_errors(self):
+        for bad in [
+            "",
+            "call()",
+            "bogus(A.f(..))",
+            "call(A.f(..)",
+            "call(A.f(..)) &&",
+            "call(A.f(..)) extra",
+            "adviceexecution(stuff)",
+            "within()",
+        ]:
+            with pytest.raises(PointcutSyntaxError):
+                parse_pointcut(bad)
+
+    def test_parse_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            parse_pointcut(42)
+
+
+class TestDynamicMatching:
+    def test_args_residue_filters_calls(self):
+        hits = []
+
+        class OnlyInts(Aspect):
+            @before("call(Alpha.run(int))")
+            def hit(self, jp):
+                hits.append(jp.args)
+
+        weave(Alpha, methods=["run", "walk"])
+        deploy(OnlyInts())
+        a = Alpha.__new__(Alpha)
+        a.run(5)
+        a.run("five")
+        assert hits == [(5,)]
+
+    def test_target_pointcut_matches_subclass_receiver(self):
+        hits = []
+
+        class OnBeta(Aspect):
+            # Alpha+ is required to match the override, as in AspectJ
+            @before("call(Alpha+.run(..)) && target(Beta)")
+            def hit(self, jp):
+                hits.append(type(jp.target).__name__)
+
+        # Beta overrides run; weave both classes.
+        weave(Alpha, methods=["run"])
+        weave(Beta, methods=["run"])
+        deploy(OnBeta())
+        Alpha.__new__(Alpha).run(1)
+        Beta.__new__(Beta).run(1)
+        assert hits == ["Beta"]
+
+    def test_wildcard_method_pattern(self):
+        hits = []
+
+        class All(Aspect):
+            @before("call(Alpha.*(..))")
+            def hit(self, jp):
+                hits.append(jp.name)
+
+        weave(Alpha, methods=["run", "walk"])
+        deploy(All())
+        a = Alpha.__new__(Alpha)
+        a.run(1)
+        a.walk()
+        assert hits == ["run", "walk"]
+
+    def test_cflow_pointcut(self):
+        class Outer:
+            def entry(self, inner):
+                return inner.leaf()
+
+        class Inner:
+            def leaf(self):
+                return "leaf"
+
+        hits = []
+
+        class OnlyUnderEntry(Aspect):
+            @before("call(Inner.leaf(..)) && cflow(call(Outer.entry(..)))")
+            def hit(self, jp):
+                hits.append("under-entry")
+
+        weave(Outer)
+        weave(Inner)
+        deploy(OnlyUnderEntry())
+        inner = Inner()
+        inner.leaf()  # not under entry
+        Outer().entry(inner)  # under entry
+        assert hits == ["under-entry"]
+
+    def test_cflowbelow_excludes_current_joinpoint(self):
+        class Rec:
+            def f(self, n):
+                if n > 0:
+                    return self.f(n - 1)
+                return 0
+
+        hits = []
+
+        class BelowOnly(Aspect):
+            @before("call(Rec.f(..)) && cflowbelow(call(Rec.f(..)))")
+            def hit(self, jp):
+                hits.append(jp.args)
+
+        weave(Rec)
+        deploy(BelowOnly())
+        Rec().f(2)
+        # top-level f(2) is not below itself; f(1) and f(0) are
+        assert hits == [(1,), (0,)]
+
+    def test_adviceexecution_guard(self):
+        class Svc:
+            def ping(self):
+                return "pong"
+
+        core_hits = []
+
+        class Fwd(Aspect):
+            @around("call(Svc.ping(..)) && !adviceexecution()")
+            def fwd(self, jp):
+                core_hits.append("advised")
+                jp.target.ping()  # from advice: must NOT re-match
+                return jp.proceed()
+
+        weave(Svc)
+        deploy(Fwd())
+        assert Svc().ping() == "pong"
+        assert core_hits == ["advised"]
+
+    def test_within_restricts_to_calling_module(self):
+        class Svc:
+            def ping(self):
+                return "pong"
+
+        hits = []
+
+        class OnlyFromHere(Aspect):
+            @before(f"call(Svc.ping(..)) && within({__name__}.*)")
+            def hit(self, jp):
+                hits.append(jp.caller.module)
+
+        weave(Svc)
+        deploy(OnlyFromHere())
+        Svc().ping()
+        assert hits == [__name__]
+
+    def test_within_rejects_other_modules(self):
+        class Svc:
+            def ping(self):
+                return "pong"
+
+        hits = []
+
+        class OnlyElsewhere(Aspect):
+            @before("call(Svc.ping(..)) && within(nonexistent.module.*)")
+            def hit(self, jp):
+                hits.append(1)
+
+        weave(Svc)
+        deploy(OnlyElsewhere())
+        Svc().ping()
+        assert hits == []
+
+
+class TestCombinatorAlgebra:
+    def test_operator_overloads(self):
+        a = parse_pointcut("call(Alpha.run(..))")
+        b = parse_pointcut("call(Alpha.walk(..))")
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+    def test_and_with_string_coercion(self):
+        a = parse_pointcut("call(Alpha.run(..))")
+        combined = a & "true()"
+        assert combined.matches_shadow(Alpha, "run", JoinPointKind.CALL) is YES
+
+    def test_shadow_three_valued_logic(self):
+        yes = TruePointcut()
+        no = FalsePointcut()
+        assert And(yes, no).matches_shadow(Alpha, "run", JoinPointKind.CALL) is NO
+        assert Or(yes, no).matches_shadow(Alpha, "run", JoinPointKind.CALL) is YES
+        assert Not(no).matches_shadow(Alpha, "run", JoinPointKind.CALL) is YES

@@ -1,0 +1,131 @@
+"""Introspection tools: explain, weaving_report, trace_advice."""
+
+from __future__ import annotations
+
+from repro.aop import Aspect, around, before, deploy, weave
+from repro.aop.tools import explain, trace_advice, weaving_report
+
+
+def make_machine():
+    class Machine:
+        def __init__(self):
+            self.state = 0
+
+        def start(self):
+            self.state = 1
+            return "started"
+
+        def stop(self):
+            self.state = 0
+
+    return Machine
+
+
+class TestExplain:
+    def test_inert_method(self):
+        Machine = make_machine()
+        weave(Machine)
+        text = explain(Machine, "start")
+        assert "no advice applies" in text
+
+    def test_chain_listing_order_and_residues(self):
+        Machine = make_machine()
+
+        class Outer(Aspect):
+            precedence = 10
+
+            @around("call(Machine.start(..))")
+            def wrap(self, jp):
+                return jp.proceed()
+
+        class Inner(Aspect):
+            precedence = 1
+
+            @before("call(Machine.start(..)) && !adviceexecution()")
+            def note(self, jp):
+                pass
+
+        weave(Machine)
+        deploy(Outer())
+        deploy(Inner())
+        text = explain(Machine, "start")
+        assert text.index("Outer.wrap") < text.index("Inner.note")
+        assert "dynamic residue" in text  # the adviceexecution residue
+        assert "around" in text and "before" in text
+
+    def test_initialization_chain_shown(self):
+        Machine = make_machine()
+
+        class Ctor(Aspect):
+            @around("initialization(Machine.new(..))")
+            def make(self, jp):
+                return jp.proceed()
+
+        weave(Machine)
+        deploy(Ctor())
+        text = explain(Machine, "start")
+        assert "[initialization]" in text
+
+
+class TestWeavingReport:
+    def test_lists_classes_and_aspects(self):
+        Machine = make_machine()
+
+        class A(Aspect):
+            @before("call(Machine.start(..))")
+            def note(self, jp):
+                pass
+
+        weave(Machine)
+        deploy(A())
+        report = weaving_report()
+        assert "Machine" in report
+        assert "start" in report and "stop" in report
+        assert "A (precedence 0, 1 advice)" in report
+
+
+class TestTraceAdvice:
+    def test_records_executions_in_order(self):
+        Machine = make_machine()
+
+        class First(Aspect):
+            precedence = 2
+
+            @before("call(Machine.start(..))")
+            def one(self, jp):
+                pass
+
+        class Second(Aspect):
+            precedence = 1
+
+            @before("call(Machine.start(..))")
+            def two(self, jp):
+                pass
+
+        weave(Machine)
+        deploy(First())
+        deploy(Second())
+        machine = Machine()
+        with trace_advice() as trace:
+            machine.start()
+            machine.stop()  # no advice -> nothing recorded
+        assert len(trace) == 2
+        assert [row[0] for row in trace.rows] == ["First", "Second"]
+        assert trace.of_aspect("First")[0][2] == "Machine.start"
+        assert "First" in trace.format()
+
+    def test_tracing_stops_after_block(self):
+        Machine = make_machine()
+
+        class A(Aspect):
+            @before("call(Machine.start(..))")
+            def note(self, jp):
+                pass
+
+        weave(Machine)
+        deploy(A())
+        machine = Machine()
+        with trace_advice() as trace:
+            machine.start()
+        machine.start()
+        assert len(trace) == 1

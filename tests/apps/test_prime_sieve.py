@@ -1,0 +1,230 @@
+"""End-to-end prime sieve: core correctness, every Table 1 combination
+on the simulated testbed, thread-mode runs, and plug/unplug semantics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aop import weave
+from repro.aop.weaver import default_weaver
+from repro.apps.primes import (
+    PrimeFilter,
+    SieveWorkload,
+    base_primes,
+    build_sieve_stack,
+    expected_sieve_output,
+    primes_up_to,
+)
+from repro.bench.harness import run_handcoded, run_sieve
+from repro.runtime import Future, ThreadBackend, use_backend
+
+MAX = 20_000
+PACKS = 5
+
+
+class TestCoreFunctionality:
+    def test_base_primes_small(self):
+        assert base_primes(20).tolist() == [2, 3, 5, 7, 11, 13, 17, 19]
+        assert base_primes(1).tolist() == []
+
+    def test_reference_sieve(self):
+        assert primes_up_to(30).tolist() == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_sequential_core_equals_reference(self):
+        workload = SieveWorkload(MAX, PACKS)
+        pf = PrimeFilter(2, workload.sqrt)
+        survivors = pf.filter(workload.candidates)
+        assert survivors.tolist() == expected_sieve_output(MAX).tolist()
+
+    def test_ops_counters_track_work(self):
+        pf = PrimeFilter(2, 100)
+        pf.filter(np.arange(101, 1001, 2))
+        assert pf.ops_last > 0
+        assert pf.ops_total == pf.ops_last
+        pf.filter(np.arange(1001, 2001, 2))
+        assert pf.ops_total > pf.ops_last
+
+    def test_empty_prime_range_passes_everything_through(self):
+        # more pipeline stages than base primes produce empty-range
+        # filters; they must be benign identity stages
+        empty = PrimeFilter(10, 5)
+        assert len(empty.primes) == 0
+        candidates = np.arange(11, 31, 2)
+        assert np.array_equal(empty.filter(candidates), candidates)
+        assert empty.ops_last == 0
+
+    def test_filter_empty_candidates(self):
+        pf = PrimeFilter(2, 100)
+        assert pf.filter(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestWorkload:
+    def test_pack_structure(self):
+        workload = SieveWorkload(MAX, PACKS)
+        packs = workload.pack_list()
+        assert len(packs) == PACKS
+        joined = np.concatenate(packs)
+        assert np.array_equal(joined, workload.candidates)
+        # only odd numbers above sqrt(max)
+        assert int(joined.min()) > math.isqrt(MAX)
+        assert all(int(v) % 2 == 1 for v in joined[:10])
+
+    def test_stage_ranges_cover_base_primes(self):
+        workload = SieveWorkload(MAX, PACKS)
+        ranges = workload.stage_ranges(4)
+        assert len(ranges) == 4
+        covered = []
+        for lo, hi in ranges:
+            covered.extend(
+                int(p) for p in workload.base if lo <= int(p) <= hi
+            )
+        assert covered == [int(p) for p in workload.base]
+
+    def test_more_stages_than_primes_yields_empty_ranges(self):
+        workload = SieveWorkload(150, 2)  # base primes up to 12: 2,3,5,7,11
+        ranges = workload.stage_ranges(8)
+        assert len(ranges) == 8
+
+    def test_split_call_covers_candidates(self):
+        workload = SieveWorkload(MAX, PACKS)
+        pieces = workload.split_call((workload.candidates,), {})
+        joined = np.concatenate([p.args[0] for p in pieces])
+        assert np.array_equal(joined, workload.candidates)
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            SieveWorkload(4)
+        with pytest.raises(ValueError):
+            SieveWorkload(1000, 0)
+
+
+def run_thread_mode(combo: str, n_filters: int) -> np.ndarray:
+    """Functional-mode run: real threads, no cluster, no cost model."""
+    workload = SieveWorkload(MAX, PACKS)
+    stack = build_sieve_stack(combo, workload, n_filters)
+    weave(PrimeFilter)
+    with use_backend(ThreadBackend()):
+        with stack.composition.deployed(default_weaver, targets=[PrimeFilter]):
+            pf = PrimeFilter(2, workload.sqrt)
+            result = pf.filter(workload.candidates)
+            if isinstance(result, Future):
+                result = result.result()
+    return np.sort(np.asarray(result))
+
+
+class TestThreadModeCombinations:
+    """Functional (real threading) runs — semantics, not performance."""
+
+    @pytest.mark.parametrize("combo", ["FarmThreads", "PipeThreads"])
+    @pytest.mark.parametrize("n_filters", [1, 3])
+    def test_combination_produces_reference_primes(self, combo, n_filters):
+        survivors = run_thread_mode(combo, n_filters)
+        assert survivors.tolist() == expected_sieve_output(MAX).tolist()
+
+    def test_partition_only_no_concurrency_is_still_valid(self):
+        """Paper: 'the program must be valid without concurrency'."""
+        workload = SieveWorkload(MAX, PACKS)
+        stack = build_sieve_stack("FarmThreads", workload, 3)
+        stack.composition.unplug("concurrency")
+        weave(PrimeFilter)
+        with use_backend(ThreadBackend()):
+            with stack.composition.deployed(default_weaver, targets=[PrimeFilter]):
+                pf = PrimeFilter(2, workload.sqrt)
+                survivors = pf.filter(workload.candidates)
+        assert np.sort(survivors).tolist() == expected_sieve_output(MAX).tolist()
+
+    def test_unplugged_composition_restores_sequential_semantics(self):
+        workload = SieveWorkload(MAX, PACKS)
+        stack = build_sieve_stack("FarmThreads", workload, 3)
+        weave(PrimeFilter)
+        with use_backend(ThreadBackend()):
+            with stack.composition.deployed(default_weaver, targets=[PrimeFilter]):
+                pass  # deploy then undeploy
+            pf = PrimeFilter(2, workload.sqrt)
+            assert pf.packs_filtered == 0
+            survivors = pf.filter(workload.candidates)
+            # one call, one filter: sequential again
+            assert pf.packs_filtered == 1
+        assert survivors.tolist() == expected_sieve_output(MAX).tolist()
+
+    def test_farm_duplicates_workers(self):
+        workload = SieveWorkload(MAX, PACKS)
+        stack = build_sieve_stack("FarmThreads", workload, 4)
+        weave(PrimeFilter)
+        with use_backend(ThreadBackend()):
+            with stack.composition.deployed(default_weaver, targets=[PrimeFilter]):
+                PrimeFilter(2, workload.sqrt)
+                assert len(stack.partition.workers) == 4
+                # broadcast: every worker holds ALL the base primes
+                for worker in stack.partition.workers:
+                    assert len(worker.primes) == len(workload.base)
+
+    def test_pipeline_stages_partition_the_primes(self):
+        workload = SieveWorkload(MAX, PACKS)
+        stack = build_sieve_stack("PipeThreads", workload, 3)
+        weave(PrimeFilter)
+        with use_backend(ThreadBackend()):
+            with stack.composition.deployed(default_weaver, targets=[PrimeFilter]):
+                PrimeFilter(2, workload.sqrt)
+                stages = stack.partition.instances
+                assert len(stages) == 3
+                total = sum(len(s.primes) for s in stages)
+                assert total == len(workload.base)
+
+
+class TestSimulatedCombinations:
+    """Every Table 1 row runs correctly on the simulated testbed."""
+
+    @pytest.mark.parametrize(
+        "combo", ["FarmThreads", "PipeRMI", "FarmRMI", "FarmDRMI", "FarmMPP"]
+    )
+    def test_combination_correct_and_timed(self, combo):
+        result = run_sieve(combo, n_filters=3, maximum=MAX, packs=PACKS)
+        assert result.correct, f"{combo} produced wrong primes"
+        assert result.sim_time > 0
+        assert result.survivors == len(expected_sieve_output(MAX))
+
+    def test_extra_combinations(self):
+        for combo in ["PipeMPP", "FarmHybrid", "Sequential"]:
+            result = run_sieve(combo, n_filters=2, maximum=MAX, packs=PACKS)
+            assert result.correct, combo
+
+    def test_distributed_run_sends_remote_messages(self):
+        result = run_sieve("FarmRMI", n_filters=3, maximum=MAX, packs=PACKS)
+        assert result.remote_messages > 0
+        assert result.middleware_calls >= PACKS
+
+    def test_pipeline_sends_more_messages_than_farm(self):
+        pipe = run_sieve("PipeRMI", n_filters=4, maximum=MAX, packs=PACKS)
+        farm = run_sieve("FarmRMI", n_filters=4, maximum=MAX, packs=PACKS)
+        # each message crosses all pipeline elements (paper Section 6)
+        assert pipe.middleware_calls > farm.middleware_calls
+
+    def test_dynamic_farm_balances_load(self):
+        workload = SieveWorkload(MAX, PACKS)
+        assert workload.packs == PACKS
+        result = run_sieve("FarmDRMI", n_filters=2, maximum=MAX, packs=PACKS)
+        assert result.correct
+
+
+class TestHandCodedBaselines:
+    @pytest.mark.parametrize("kind", ["pipeline", "farm"])
+    def test_handcoded_correct(self, kind):
+        result = run_handcoded(kind, n_filters=3, maximum=MAX, packs=PACKS)
+        assert result.correct
+        assert result.sim_time > 0
+
+    def test_handcoded_vs_woven_overhead_is_small(self):
+        hand = run_handcoded("pipeline", n_filters=3, maximum=MAX, packs=PACKS)
+        woven = run_sieve("PipeRMI", n_filters=3, maximum=MAX, packs=PACKS)
+        # identical communication structure ...
+        assert woven.messages == hand.messages
+        assert woven.middleware_calls == hand.middleware_calls
+        # ... and a bounded time overhead.  At this toy scale the run is
+        # latency-bound, so the band is loose; the Figure 16 benchmark
+        # checks the paper's <5 % claim at full (compute-bound) scale.
+        assert woven.sim_time >= hand.sim_time * 0.99
+        assert woven.sim_time <= hand.sim_time * 1.25

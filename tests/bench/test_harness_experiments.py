@@ -1,0 +1,146 @@
+"""Bench harness + experiment generators (at reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    HANDCODED_COST_MODEL,
+    PAPER_COST_MODEL,
+    CostModel,
+    fig16,
+    fig17,
+    run_handcoded,
+    run_sieve,
+    table1,
+)
+from repro.bench.report import render_checks, render_series, render_table1
+
+MAX = 50_000
+PACKS = 6
+
+
+class TestCostModel:
+    def test_paper_model_constants(self):
+        assert PAPER_COST_MODEL.aop_factor > 1.0
+        assert PAPER_COST_MODEL.dispatch_cost > 0
+        assert HANDCODED_COST_MODEL.aop_factor == 1.0
+        assert HANDCODED_COST_MODEL.dispatch_cost == 0.0
+        assert PAPER_COST_MODEL.ns_per_op == HANDCODED_COST_MODEL.ns_per_op
+
+    def test_cost_model_immutable(self):
+        with pytest.raises(Exception):
+            PAPER_COST_MODEL.ns_per_op = 1.0  # frozen dataclass
+
+
+class TestRunners:
+    def test_run_result_observability_fields(self):
+        result = run_sieve("FarmRMI", 3, maximum=MAX, packs=PACKS)
+        assert result.correct
+        assert result.combo == "FarmRMI"
+        assert result.filters == 3
+        assert result.survivors > 0
+        assert result.messages >= result.remote_messages > 0
+        assert result.bytes > 0
+        assert 0 < result.mean_utilisation < 1
+        assert result.detail["cost_charged"] > 0
+        assert result.row()[0] == "FarmRMI"
+
+    def test_sequential_has_no_messages(self):
+        result = run_sieve("Sequential", 1, maximum=MAX, packs=PACKS)
+        assert result.correct
+        assert result.messages == 0
+
+    def test_scaling_cost_model_scales_time(self):
+        cheap = run_sieve(
+            "Sequential", 1, maximum=MAX, packs=PACKS,
+            cost_model=CostModel(ns_per_op=1e-9),
+        )
+        expensive = run_sieve(
+            "Sequential", 1, maximum=MAX, packs=PACKS,
+            cost_model=CostModel(ns_per_op=10e-9),
+        )
+        assert expensive.sim_time == pytest.approx(cheap.sim_time * 10, rel=0.01)
+
+    def test_handcoded_farm_and_pipeline(self):
+        farm = run_handcoded("farm", 3, maximum=MAX, packs=PACKS)
+        pipe = run_handcoded("pipeline", 3, maximum=MAX, packs=PACKS)
+        assert farm.correct and pipe.correct
+        assert farm.combo == "handcoded-farm"
+
+    def test_unknown_combo_rejected(self):
+        from repro.errors import DeploymentError
+
+        with pytest.raises(DeploymentError, match="unknown combination"):
+            run_sieve("FarmCarrierPigeon", 2, maximum=MAX, packs=PACKS)
+
+    def test_runs_are_deterministic(self):
+        a = run_sieve("FarmMPP", 3, maximum=MAX, packs=PACKS)
+        b = run_sieve("FarmMPP", 3, maximum=MAX, packs=PACKS)
+        assert a.sim_time == b.sim_time
+        assert a.messages == b.messages
+
+
+class TestExperimentGenerators:
+    def test_table1_rows_match_paper(self):
+        result = table1()
+        assert result.passed
+        assert [row["name"] for row in result.rows] == [
+            "FarmThreads",
+            "PipeRMI",
+            "FarmRMI",
+            "FarmDRMI",
+            "FarmMPP",
+        ]
+
+    def test_fig16_reduced_scale_structure(self):
+        result = fig16(filters=(1, 3), maximum=MAX, packs=PACKS)
+        assert set(result.series) == {"AspectJ", "Java"}
+        assert len(result.series["AspectJ"]) == 2
+        assert "Figure 16" in result.report
+        # at toy scale only the structural checks are meaningful
+        assert result.runs
+
+    def test_fig17_reduced_scale_series(self):
+        result = fig17(
+            filters=(1, 4),
+            maximum=MAX,
+            packs=PACKS,
+            combos=("FarmThreads", "FarmRMI", "FarmMPP"),
+        )
+        assert set(result.series) == {"FarmThreads", "FarmRMI", "FarmMPP"}
+        for series in result.series.values():
+            assert series[1] < series[0]  # 4 filters beat 1 everywhere
+        assert "Figure 17" in result.report
+
+
+class TestReportRendering:
+    def test_render_series_layout(self):
+        text = render_series(
+            "My Figure",
+            "filters",
+            [1, 2],
+            {"A": [1.0, 0.5], "B": [2.0, 1.0]},
+            bar_for="A",
+        )
+        assert "My Figure" in text
+        assert "filters" in text
+        assert "#" in text
+        assert "1.000s" in text
+
+    def test_render_table1(self):
+        text = render_table1(
+            [
+                {
+                    "name": "X",
+                    "partition": "farm",
+                    "concurrency": "yes",
+                    "distribution": "RMI",
+                }
+            ]
+        )
+        assert "Table 1" in text and "farm" in text
+
+    def test_render_checks(self):
+        text = render_checks("checks", [("good", True), ("bad", False)])
+        assert "[PASS] good" in text and "[FAIL] bad" in text

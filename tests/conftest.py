@@ -1,0 +1,19 @@
+"""Shared fixtures.
+
+The default weaver patches classes globally; ``clean_weaver`` guarantees
+every test leaves no aspects deployed and no classes woven behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop.weaver import default_weaver
+
+
+@pytest.fixture(autouse=True)
+def clean_weaver():
+    """Reset the global weaver before and after every test."""
+    default_weaver.reset()
+    yield default_weaver
+    default_weaver.reset()

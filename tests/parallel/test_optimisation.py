@@ -1,0 +1,260 @@
+"""Optimisation aspects: thread pool, packing, caching, replication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aop import weave
+from repro.aop.weaver import default_weaver
+from repro.errors import AdviceError
+from repro.parallel import (
+    AsyncInvocationAspect,
+    CommunicationPackingAspect,
+    Composition,
+    Concern,
+    ObjectCacheAspect,
+    ParallelModule,
+    PooledSpawner,
+    ReplicationAspect,
+    SpawnPerCall,
+    ThreadPoolAspect,
+    farm_module,
+)
+from repro.parallel.partition import CallPiece, WorkSplitter
+from repro.runtime import Future, SimBackend, ThreadBackend, use_backend
+from repro.sim import Simulator
+
+
+class TestThreadPoolAspect:
+    def test_swaps_and_restores_spawner(self):
+        async_aspect = AsyncInvocationAspect(async_calls="call(X.f(..))")
+        assert isinstance(async_aspect.spawner, SpawnPerCall)
+        pool_aspect = ThreadPoolAspect(async_aspect, size=4)
+        default_weaver.deploy(pool_aspect)
+        assert isinstance(async_aspect.spawner, PooledSpawner)
+        assert async_aspect.spawner.size == 4
+        default_weaver.undeploy(pool_aspect)
+        assert isinstance(async_aspect.spawner, SpawnPerCall)
+
+    def test_pool_bounds_concurrency_in_sim(self):
+        class Job:
+            def run(self, duration):
+                from repro.sim import current_simulator
+
+                current_simulator().hold(duration)
+                return duration
+
+        weave(Job)
+        async_aspect = AsyncInvocationAspect(async_calls="call(Job.run(..))")
+        pool_aspect = ThreadPoolAspect(async_aspect, size=2)
+        sim = Simulator()
+        backend = SimBackend(sim)
+        out = {}
+
+        def main():
+            with use_backend(backend):
+                default_weaver.deploy(async_aspect)
+                default_weaver.deploy(pool_aspect)
+                job = Job()
+                futures = [job.run(1.0) for _ in range(4)]
+                for f in futures:
+                    f.result()
+                out["t"] = sim.now
+
+        sim.spawn(main)
+        sim.run()
+        default_weaver.undeploy(pool_aspect)
+        sim.shutdown()
+        # 4 one-second jobs through 2 workers -> 2 simulated seconds
+        assert out["t"] == pytest.approx(2.0)
+        assert pool_aspect.pool is None  # stopped on undeploy
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            PooledSpawner(0)
+
+
+class TestCommunicationPacking:
+    def make_farm(self, factor):
+        class Adder:
+            def __init__(self):
+                self.calls = 0
+
+            def add(self, values):
+                self.calls += 1
+                return [v + 1 for v in values]
+
+        weave(Adder)
+
+        def split(args, kwargs):
+            (values,) = args
+            return [CallPiece(i, ([v],)) for i, v in enumerate(values)]
+
+        def combine(results):
+            return [v for r in results for v in r]
+
+        def merge(pieces):
+            merged = [v for p in pieces for v in p.args[0]]
+            return CallPiece(pieces[0].index, (merged,))
+
+        splitter = WorkSplitter(
+            duplicates=2, split=split, combine=combine, merge_pieces=merge
+        )
+        module = farm_module(
+            splitter, "initialization(Adder.new(..))", "call(Adder.add(..))"
+        )
+        comp = Composition("farm", [module])
+        packing = CommunicationPackingAspect(module.coordinator, factor)
+        comp.plug(ParallelModule("packing", Concern.OPTIMISATION, [packing]))
+        return Adder, comp, module.coordinator, packing
+
+    def test_packing_reduces_messages(self):
+        Adder, comp, farm, packing = self.make_farm(factor=3)
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Adder]):
+                adder = Adder()
+                result = adder.add(list(range(6)))
+        assert result == [v + 1 for v in range(6)]
+        # 6 single-element pieces coalesced by 3 -> 2 calls
+        assert sum(w.calls for w in farm.workers) == 2
+        assert packing.packed_messages == 2
+
+    def test_unplug_restores_split(self):
+        Adder, comp, farm, packing = self.make_farm(factor=3)
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Adder]):
+                pass
+            # after undeploy the splitter is back to per-element pieces
+            pieces = farm.splitter.split(([1, 2, 3],), {})
+            assert len(pieces) == 3
+
+    def test_invalid_factor(self):
+        with pytest.raises(AdviceError):
+            CommunicationPackingAspect(object(), 0)
+
+
+class TestObjectCache:
+    def make_service(self):
+        class Service:
+            def __init__(self):
+                self.calls = 0
+
+            def compute(self, x):
+                self.calls += 1
+                return x * 2
+
+        weave(Service)
+        return Service
+
+    def test_cache_hits_skip_target(self):
+        Service = self.make_service()
+        cache = ObjectCacheAspect(cached_calls="call(Service.compute(..))")
+        default_weaver.deploy(cache)
+        service = Service.__new__(Service)
+        service.calls = 0
+        assert service.compute(3) == 6
+        assert service.compute(3) == 6
+        assert service.compute(4) == 8
+        assert service.calls == 2
+        assert cache.hits == 1 and cache.misses == 2
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_per_target_mode(self):
+        Service = self.make_service()
+        cache = ObjectCacheAspect(
+            cached_calls="call(Service.compute(..))", per_target=True
+        )
+        default_weaver.deploy(cache)
+        a, b = Service(), Service()
+        a.compute(3)
+        b.compute(3)  # different target -> miss
+        assert cache.misses == 2
+
+    def test_capacity_limit(self):
+        Service = self.make_service()
+        cache = ObjectCacheAspect(
+            cached_calls="call(Service.compute(..))", max_entries=1
+        )
+        default_weaver.deploy(cache)
+        service = Service()
+        service.compute(1)
+        service.compute(2)  # not cached (capacity)
+        service.compute(2)
+        assert service.calls == 3
+
+    def test_clear_and_undeploy(self):
+        Service = self.make_service()
+        cache = ObjectCacheAspect(cached_calls="call(Service.compute(..))")
+        default_weaver.deploy(cache)
+        service = Service()
+        service.compute(1)
+        cache.clear()
+        service.compute(1)
+        assert cache.misses == 2
+
+
+class TestReplication:
+    def test_first_result_wins_in_sim(self):
+        class Node:
+            def __init__(self, delay):
+                self.delay = delay
+
+            def query(self, key):
+                from repro.sim import current_simulator
+
+                current_simulator().hold(self.delay)
+                return (self.delay, key)
+
+        weave(Node)
+
+        # a fake partition exposing worker instances
+        class FakePartition:
+            pass
+
+        partition = FakePartition()
+        sim = Simulator()
+        backend = SimBackend(sim)
+        slow, fast = None, None
+        out = {}
+
+        def main():
+            nonlocal slow, fast
+            with use_backend(backend):
+                slow = Node(5.0)
+                fast = Node(1.0)
+                partition.instances = [slow, fast]
+                replication = ReplicationAspect(
+                    partition, replicas=2, replicated_calls="call(Node.query(..))"
+                )
+                default_weaver.deploy(replication)
+                out["result"] = slow.query("k")  # replica on fast node wins
+                out["t"] = sim.now
+                out["count"] = replication.replicated
+
+        sim.spawn(main)
+        sim.run()
+        sim.shutdown()
+        assert out["result"] == (1.0, "k")
+        assert out["t"] == pytest.approx(1.0)
+        assert out["count"] == 1
+
+    def test_no_peers_proceeds_normally(self):
+        class Node:
+            def query(self, key):
+                return key
+
+        weave(Node)
+
+        class FakePartition:
+            instances = []
+
+        replication = ReplicationAspect(
+            FakePartition(), replicas=2, replicated_calls="call(Node.query(..))"
+        )
+        default_weaver.deploy(replication)
+        assert Node().query("x") == "x"
+
+    def test_invalid_replicas(self):
+        with pytest.raises(ValueError):
+            ReplicationAspect(object(), replicas=0)

@@ -1,0 +1,200 @@
+"""Partition machinery units: splitters, collectors, strategy aspects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aop import weave
+from repro.aop.weaver import default_weaver
+from repro.errors import AdviceError
+from repro.parallel import Composition
+from repro.parallel.partition import (
+    CallPiece,
+    ResultCollector,
+    WorkSplitter,
+    dynamic_farm_module,
+    farm_module,
+    pipeline_module,
+)
+from repro.runtime import ThreadBackend, use_backend
+
+
+class TestWorkSplitter:
+    def test_defaults_broadcast_and_identity(self):
+        splitter = WorkSplitter(duplicates=3)
+        assert splitter.ctor_args((1, 2), {"k": 3}, 1) == ((1, 2), {"k": 3})
+        pieces = splitter.split((5,), {})
+        assert len(pieces) == 1 and pieces[0].args == (5,)
+        assert splitter.combine([1, 2]) == [1, 2]
+        assert splitter.forward_args("res", (5,), {}) == (("res",), {})
+
+    def test_custom_hooks(self):
+        splitter = WorkSplitter(
+            duplicates=2,
+            ctor_args=lambda a, k, i, n: ((a[0] + i,), {}),
+            split=lambda a, k: [CallPiece(i, (v,)) for i, v in enumerate(a[0])],
+            combine=sum,
+        )
+        assert splitter.ctor_args((10,), {}, 1) == ((11,), {})
+        pieces = splitter.split(([1, 2, 3],), {})
+        assert [p.args for p in pieces] == [(1,), (2,), (3,)]
+        assert splitter.combine([1, 2, 3]) == 6
+
+    def test_invalid_duplicates(self):
+        with pytest.raises(AdviceError):
+            WorkSplitter(duplicates=0)
+
+    def test_merge_pieces_requires_hook(self):
+        splitter = WorkSplitter(duplicates=1)
+        with pytest.raises(AdviceError):
+            splitter.merge_pieces([CallPiece(0, (1,))])
+
+
+class TestResultCollector:
+    def test_collects_in_deposit_order(self):
+        with use_backend(ThreadBackend()):
+            collector = ResultCollector(3)
+            for v in "abc":
+                collector.deposit(v)
+            assert collector.wait(timeout=1) == ["a", "b", "c"]
+
+    def test_zero_expected_completes_immediately(self):
+        with use_backend(ThreadBackend()):
+            assert ResultCollector(0).wait(timeout=1) == []
+
+    def test_timeout_reports_progress(self):
+        with use_backend(ThreadBackend()):
+            collector = ResultCollector(2)
+            collector.deposit("only-one")
+            with pytest.raises(TimeoutError, match="1/2"):
+                collector.wait(timeout=0.01)
+
+
+def weave_counter():
+    class Counter:
+        def __init__(self, base):
+            self.base = base
+            self.calls = 0
+
+        def bump(self, values):
+            self.calls += 1
+            return [v + self.base for v in values]
+
+    weave(Counter)
+    return Counter
+
+
+def list_splitter(duplicates, chunks):
+    def split(args, kwargs):
+        (values,) = args
+        size = max(1, (len(values) + chunks - 1) // chunks)
+        return [
+            CallPiece(i, (values[start : start + size],))
+            for i, start in enumerate(range(0, len(values), size))
+        ]
+
+    def combine(results):
+        out = []
+        for r in results:
+            out.extend(r)
+        return sorted(out)
+
+    return WorkSplitter(duplicates=duplicates, split=split, combine=combine)
+
+
+class TestFarmAspect:
+    def test_pieces_route_round_robin(self):
+        Counter = weave_counter()
+        module = farm_module(
+            list_splitter(2, 4),
+            "initialization(Counter.new(..))",
+            "call(Counter.bump(..))",
+        )
+        comp = Composition("farm", [module])
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Counter]):
+                counter = Counter(10)
+                result = counter.bump(list(range(8)))
+        aspect = module.coordinator
+        assert result == [v + 10 for v in range(8)]
+        assert len(aspect.workers) == 2
+        # 4 pieces over 2 workers round-robin: 2 calls each
+        assert [w.calls for w in aspect.workers] == [2, 2]
+
+    def test_no_creation_seen_means_plain_call(self):
+        Counter = weave_counter()
+        module = farm_module(
+            list_splitter(2, 4),
+            "initialization(Widget.new(..))",  # never matches Counter
+            "call(Counter.bump(..))",
+        )
+        comp = Composition("farm", [module])
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Counter]):
+                counter = Counter(1)
+                result = counter.bump([1, 2])
+        assert result == [2, 3]
+        assert counter.calls == 1
+
+
+class TestPipelineAspect:
+    def test_forwarding_counts_and_stage_traversal(self):
+        Counter = weave_counter()
+        splitter = list_splitter(3, 2)
+        module = pipeline_module(
+            splitter,
+            "initialization(Counter.new(..))",
+            "call(Counter.bump(..))",
+        )
+        comp = Composition("pipe", [module])
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Counter]):
+                counter = Counter(1)
+                result = counter.bump([0, 0, 0, 0])
+        split_aspect = module.aspects[0]
+        forward_aspect = module.aspects[1]
+        # each of 3 stages adds base=1: every element gains 3
+        assert result == [3, 3, 3, 3]
+        # 2 pieces × (3-1) forwards
+        assert forward_aspect.forwards == 4
+        assert split_aspect.split_calls == 1
+        # every stage saw every piece
+        assert [s.calls for s in split_aspect.instances] == [2, 2, 2]
+
+    def test_first_stage_returned_to_client(self):
+        Counter = weave_counter()
+        module = pipeline_module(
+            list_splitter(3, 2),
+            "initialization(Counter.new(..))",
+            "call(Counter.bump(..))",
+        )
+        comp = Composition("pipe", [module])
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Counter]):
+                counter = Counter(1)
+                aspect = module.coordinator
+                assert counter is aspect.first
+                assert aspect.next[id(aspect.instances[-1])] is None
+
+
+class TestDynamicFarmAspect:
+    def test_demand_driven_serves_all_pieces(self):
+        Counter = weave_counter()
+        module = dynamic_farm_module(
+            list_splitter(3, 9),
+            "initialization(Counter.new(..))",
+            "call(Counter.bump(..))",
+        )
+        comp = Composition("dyn", [module])
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Counter]):
+                counter = Counter(5)
+                result = counter.bump(list(range(9)))
+        aspect = module.coordinator
+        assert result == [v + 5 for v in range(9)]
+        assert sum(aspect.served.values()) == 9
+        # demand-driven: whichever workers were hungry took the work —
+        # with real threads a fast worker may drain the queue alone, so
+        # only the ledger total is deterministic.
+        assert set(aspect.served) == {0, 1, 2}

@@ -1,0 +1,133 @@
+"""The parallelise() facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aop.weaver import default_weaver
+from repro.apps.primes import PrimeFilter, SieveWorkload, expected_sieve_output
+from repro.cluster import paper_testbed
+from repro.errors import DeploymentError
+from repro.middleware.context import use_node
+from repro.parallel.skeletons import MIDDLEWARES, STRATEGIES, parallelise
+from repro.runtime import Future, SimBackend, ThreadBackend, use_backend
+from repro.sim import Simulator
+
+MAX = 10_000
+PACKS = 4
+
+
+class TestParalleliseValidation:
+    def test_strategy_and_middleware_catalogues(self):
+        assert "farm" in STRATEGIES and "pipeline" in STRATEGIES
+        assert "rmi" in MIDDLEWARES
+
+    def test_unknown_strategy_rejected(self):
+        workload = SieveWorkload(MAX, PACKS)
+        with pytest.raises(DeploymentError):
+            parallelise(
+                PrimeFilter,
+                workload.farm_splitter(2),
+                "initialization(PrimeFilter.new(..))",
+                "call(PrimeFilter.filter(..))",
+                strategy="fractal",
+            )
+
+    def test_middleware_needs_cluster(self):
+        workload = SieveWorkload(MAX, PACKS)
+        with pytest.raises(DeploymentError):
+            parallelise(
+                PrimeFilter,
+                workload.farm_splitter(2),
+                "initialization(PrimeFilter.new(..))",
+                "call(PrimeFilter.filter(..))",
+                middleware="rmi",
+            )
+
+
+class TestParalleliseThreads:
+    @pytest.mark.parametrize("strategy", ["farm", "pipeline", "dynamic-farm"])
+    def test_strategies_produce_correct_primes(self, strategy):
+        workload = SieveWorkload(MAX, PACKS)
+        splitter = (
+            workload.pipeline_splitter(3)
+            if strategy == "pipeline"
+            else workload.farm_splitter(3)
+        )
+        stack = parallelise(
+            PrimeFilter,
+            splitter,
+            "initialization(PrimeFilter.new(..))",
+            "call(PrimeFilter.filter(..))",
+            strategy=strategy,
+        )
+        with use_backend(ThreadBackend()):
+            with stack:
+                pf = PrimeFilter(2, workload.sqrt)
+                result = pf.filter(workload.candidates)
+                if isinstance(result, Future):
+                    result = result.result()
+        assert np.array_equal(
+            np.sort(np.asarray(result)), expected_sieve_output(MAX)
+        )
+
+    def test_describe_mentions_concerns(self):
+        workload = SieveWorkload(MAX, PACKS)
+        stack = parallelise(
+            PrimeFilter,
+            workload.farm_splitter(2),
+            "initialization(PrimeFilter.new(..))",
+            "call(PrimeFilter.filter(..))",
+        )
+        text = stack.describe()
+        assert "partition" in text and "concurrency" in text
+
+    def test_dynamic_farm_does_not_add_concurrency_module(self):
+        workload = SieveWorkload(MAX, PACKS)
+        stack = parallelise(
+            PrimeFilter,
+            workload.farm_splitter(2),
+            "initialization(PrimeFilter.new(..))",
+            "call(PrimeFilter.filter(..))",
+            strategy="dynamic-farm",
+        )
+        names = [m.name for m in stack.composition.modules]
+        assert "concurrency" not in names
+
+
+class TestParalleliseSim:
+    @pytest.mark.parametrize("middleware", ["rmi", "mpp"])
+    def test_distributed_facade_on_simulator(self, middleware):
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        workload = SieveWorkload(MAX, PACKS)
+        stack = parallelise(
+            PrimeFilter,
+            workload.farm_splitter(3),
+            "initialization(PrimeFilter.new(..))",
+            "call(PrimeFilter.filter(..))",
+            middleware=middleware,
+            cluster=cluster,
+        )
+        backend = SimBackend(sim)
+        out = {}
+
+        def main():
+            with use_backend(backend), use_node(cluster.head):
+                pf = PrimeFilter(2, workload.sqrt)
+                result = pf.filter(workload.candidates)
+                if isinstance(result, Future):
+                    result = result.result()
+                out["primes"] = np.sort(np.asarray(result))
+
+        stack.deploy()
+        try:
+            sim.spawn(main)
+            sim.run()
+        finally:
+            stack.undeploy()
+            stack.shutdown()
+            sim.shutdown()
+        assert np.array_equal(out["primes"], expected_sieve_output(MAX))
+        assert stack.middleware.calls >= PACKS

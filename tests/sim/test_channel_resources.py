@@ -1,0 +1,212 @@
+"""Channels (delayed delivery) and the processor-sharing CPU model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Channel, ProcessorSharingCPU, Simulator, total_rate
+
+
+class TestChannel:
+    def test_send_recv_with_delay(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        got = []
+
+        def receiver():
+            msg = ch.recv()
+            got.append((msg.payload, sim.now, msg.transit_time))
+
+        def sender():
+            sim.hold(1.0)
+            ch.send("hello", delay=0.25, size_bytes=100, tag="greeting")
+
+        sim.spawn(receiver)
+        sim.spawn(sender)
+        sim.run()
+        assert got == [("hello", 1.25, 0.25)]
+        assert ch.sent_count == 1
+        assert ch.sent_bytes == 100
+
+    def test_zero_delay_delivery_same_time(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        got = []
+
+        def receiver():
+            got.append((ch.recv().payload, sim.now))
+
+        sim.spawn(receiver)
+        sim.spawn(lambda: ch.send("now"))
+        sim.run()
+        assert got == [("now", 0.0)]
+
+    def test_messages_arrive_in_arrival_time_order(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        got = []
+
+        def receiver():
+            for _ in range(2):
+                got.append(ch.recv().payload)
+
+        def sender():
+            ch.send("slow", delay=5.0)
+            ch.send("fast", delay=1.0)
+
+        sim.spawn(receiver)
+        sim.spawn(sender)
+        sim.run()
+        assert got == ["fast", "slow"]
+
+    def test_try_recv_and_pending(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        out = []
+
+        def proc():
+            out.append(ch.try_recv())
+            ch.send("x")
+            sim.hold(0.0)
+            out.append(ch.pending)
+            msg = ch.try_recv()
+            out.append(msg.payload)
+
+        sim.spawn(proc)
+        sim.run()
+        assert out == [None, 1, "x"]
+
+
+class TestTotalRate:
+    """The HT throughput curve documented in resources.py."""
+
+    def test_subscription_below_cores_is_linear(self):
+        assert total_rate(1, 2, 1.3) == 1.0
+        assert total_rate(2, 2, 1.3) == 2.0
+
+    def test_ht_ramp_and_saturation(self):
+        assert total_rate(3, 2, 1.3) == pytest.approx(2.3)
+        assert total_rate(4, 2, 1.3) == pytest.approx(2.6)
+        assert total_rate(5, 2, 1.3) == pytest.approx(2.6)
+        assert total_rate(16, 2, 1.3) == pytest.approx(2.6)
+
+    def test_no_ht_saturates_at_cores(self):
+        assert total_rate(4, 2, 1.0) == pytest.approx(2.0)
+
+    def test_zero_jobs(self):
+        assert total_rate(0, 2, 1.3) == 0.0
+
+
+class TestProcessorSharingCPU:
+    def test_single_job_runs_at_full_speed(self):
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=2)
+        done = []
+
+        def job():
+            cpu.execute(3.0)
+            done.append(sim.now)
+
+        sim.spawn(job)
+        sim.run()
+        assert done == [pytest.approx(3.0)]
+
+    def test_two_jobs_on_two_cores_run_in_parallel(self):
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=2)
+        done = []
+
+        for _ in range(2):
+            sim.spawn(lambda: (cpu.execute(3.0), done.append(sim.now)))
+        sim.run()
+        assert done == [pytest.approx(3.0), pytest.approx(3.0)]
+
+    def test_four_jobs_share_with_ht_bonus(self):
+        # 4 jobs, 2 cores, ht=1.3 -> total rate 2.6; 4*3.0 work units
+        # finish together at 12/2.6
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=2, ht_factor=1.3)
+        done = []
+        for _ in range(4):
+            sim.spawn(lambda: (cpu.execute(3.0), done.append(sim.now)))
+        sim.run()
+        expected = 4 * 3.0 / 2.6
+        assert done == [pytest.approx(expected)] * 4
+
+    def test_speed_scales_execution(self):
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=1, speed=2.0)
+        done = []
+        sim.spawn(lambda: (cpu.execute(3.0), done.append(sim.now)))
+        sim.run()
+        assert done == [pytest.approx(1.5)]
+
+    def test_staggered_arrivals_ps_math(self):
+        # Job A (work 2) starts at 0 on 1 core; job B (work 1) arrives at 1.
+        # A runs alone [0,1] completing 1 unit. Then PS at rate 1/2 each.
+        # A needs 1 more -> 2 shared seconds -> done at 3.
+        # B needs 1 -> done at 3 as well.
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=1, ht_factor=1.0)
+        done = {}
+
+        def job(name, work, delay):
+            sim.hold(delay)
+            cpu.execute(work)
+            done[name] = sim.now
+
+        sim.spawn(lambda: job("a", 2.0, 0.0))
+        sim.spawn(lambda: job("b", 1.0, 1.0))
+        sim.run()
+        assert done["a"] == pytest.approx(3.0)
+        assert done["b"] == pytest.approx(3.0)
+
+    def test_zero_work_returns_instantly(self):
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=1)
+        done = []
+        sim.spawn(lambda: (cpu.execute(0.0), done.append(sim.now)))
+        sim.run()
+        assert done == [0.0]
+
+    def test_execute_outside_process_rejected(self):
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=1)
+        with pytest.raises(SimulationError):
+            cpu.execute(1.0)
+
+    def test_utilisation_accounting(self):
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=2)
+        sim.spawn(lambda: cpu.execute(4.0))
+        sim.run()
+        # one job on a 2-core complex: busy 4s of 8 core-seconds
+        assert cpu.utilisation() == pytest.approx(0.5)
+        assert cpu.jobs_completed == 1
+
+    def test_invalid_configs_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            ProcessorSharingCPU(sim, cores=0)
+        with pytest.raises(SimulationError):
+            ProcessorSharingCPU(sim, cores=1, ht_factor=0.5)
+        with pytest.raises(SimulationError):
+            ProcessorSharingCPU(sim, cores=1, speed=0)
+
+    def test_many_jobs_complete_and_accounting_consistent(self):
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=2, ht_factor=1.3)
+        done = []
+
+        def job(wid):
+            sim.hold(wid * 0.1)
+            cpu.execute(1.0 + 0.01 * wid)
+            done.append(wid)
+
+        for wid in range(10):
+            sim.spawn(lambda wid=wid: job(wid))
+        sim.run()
+        assert sorted(done) == list(range(10))
+        assert cpu.jobs_completed == 10
+        assert cpu.active_jobs == 0

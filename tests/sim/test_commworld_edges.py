@@ -1,0 +1,108 @@
+"""CommWorld edge cases: tag stashing, custom rank placement, join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.errors import MiddlewareError
+from repro.middleware import CommWorld
+from repro.sim import Simulator
+
+
+class TestTagMatching:
+    def test_out_of_order_tags_are_stashed(self):
+        sim = Simulator()
+        world = CommWorld(paper_testbed(sim), n_ranks=2)
+        out = {}
+
+        def program(comm, rank):
+            if rank == 0:
+                comm.send(1, "first", tag="a")
+                comm.send(1, "second", tag="b")
+            else:
+                # receive in reverse tag order: 'b' must be matched even
+                # though 'a' arrives first
+                out["b"] = comm.recv(rank, tag="b")
+                out["a"] = comm.recv(rank, tag="a")
+
+        world.spawn_all(program)
+        sim.run()
+        assert out == {"a": "first", "b": "second"}
+
+    def test_untagged_recv_takes_stash_first(self):
+        sim = Simulator()
+        world = CommWorld(paper_testbed(sim), n_ranks=2)
+        out = {}
+
+        def program(comm, rank):
+            if rank == 0:
+                comm.send(1, "x", tag="odd")
+                comm.send(1, "y", tag="wanted")
+            else:
+                out["wanted"] = comm.recv(rank, tag="wanted")  # stashes "x"
+                out["any"] = comm.recv(rank)  # drains the stash
+        world.spawn_all(program)
+        sim.run()
+        assert out == {"wanted": "y", "any": "x"}
+
+
+class TestTopology:
+    def test_custom_rank_to_node_mapping(self):
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        world = CommWorld(cluster, n_ranks=3, node_of_rank=lambda r: 6 - r)
+        assert world.node(0).node_id == 6
+        assert world.node(2).node_id == 4
+
+    def test_join_all_returns_rank_results(self):
+        sim = Simulator()
+        world = CommWorld(paper_testbed(sim), n_ranks=3)
+        world.spawn_all(lambda comm, rank: rank * 10)
+        sim.run()
+        assert world.join_all() == [0, 10, 20]
+
+    def test_spawn_invalid_rank(self):
+        sim = Simulator()
+        world = CommWorld(paper_testbed(sim), n_ranks=2)
+        with pytest.raises(MiddlewareError):
+            world.spawn_rank(9, lambda comm, rank: None)
+
+    def test_send_to_invalid_rank(self):
+        sim = Simulator()
+        world = CommWorld(paper_testbed(sim), n_ranks=2)
+        caught = {}
+
+        def program(comm, rank):
+            if rank == 0:
+                try:
+                    comm.send(5, "x")
+                except MiddlewareError:
+                    caught["yes"] = True
+                comm.send(1, "done")
+            else:
+                comm.recv(rank)
+
+        world.spawn_all(program)
+        sim.run()
+        assert caught.get("yes")
+
+    def test_scatter_needs_chunk_per_rank(self):
+        sim = Simulator()
+        world = CommWorld(paper_testbed(sim), n_ranks=3)
+        failed = {}
+
+        def program(comm, rank):
+            if rank == 0:
+                try:
+                    comm.scatter(0, rank, chunks=[1, 2])  # wrong length
+                except MiddlewareError:
+                    failed["yes"] = True
+                comm.scatter(0, rank, chunks=[1, 2, 3])
+                return 1
+            return comm.recv(rank, tag="scatter")
+
+        world.spawn_all(program)
+        sim.run()
+        assert failed.get("yes")
+        assert world.join_all()[1:] == [2, 3]

@@ -1,0 +1,271 @@
+"""Simulation kernel: clock, scheduling, determinism, failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimDeadlockError, SimTimeError, SimulationError
+from repro.sim import SimEvent, Simulator, current_process, current_simulator
+
+
+class TestClockAndHold:
+    def test_time_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_hold_advances_time(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            sim.hold(1.5)
+            seen.append(sim.now)
+            sim.hold(0.5)
+            seen.append(sim.now)
+
+        sim.spawn(proc)
+        end = sim.run()
+        assert seen == [1.5, 2.0]
+        assert end == 2.0
+
+    def test_hold_zero_is_allowed(self):
+        sim = Simulator()
+
+        def proc():
+            sim.hold(0.0)
+
+        sim.spawn(proc)
+        assert sim.run() == 0.0
+
+    def test_negative_hold_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def proc():
+            try:
+                sim.hold(-1)
+            except SimTimeError:
+                errors.append("caught")
+
+        sim.spawn(proc)
+        sim.run()
+        assert errors == ["caught"]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            for _ in range(10):
+                sim.hold(1.0)
+                seen.append(sim.now)
+
+        sim.spawn(proc)
+        end = sim.run(until=3.0)
+        assert end == 3.0
+        assert seen == [1.0, 2.0, 3.0]
+        sim.shutdown()
+
+
+class TestSpawnAndJoin:
+    def test_spawn_with_delay(self):
+        sim = Simulator()
+        seen = []
+        sim.spawn(lambda: seen.append(("a", sim.now)), delay=2.0)
+        sim.spawn(lambda: seen.append(("b", sim.now)), delay=1.0)
+        sim.run()
+        assert seen == [("b", 1.0), ("a", 2.0)]
+
+    def test_join_returns_result(self):
+        sim = Simulator()
+        out = []
+
+        def child():
+            sim.hold(3.0)
+            return 42
+
+        def parent():
+            handle = sim.spawn(child)
+            out.append(handle.join())
+            out.append(sim.now)
+
+        sim.spawn(parent)
+        sim.run()
+        assert out == [42, 3.0]
+
+    def test_join_finished_process_returns_immediately(self):
+        sim = Simulator()
+        out = []
+
+        def child():
+            return "done"
+
+        def parent():
+            handle = sim.spawn(child)
+            sim.hold(5.0)
+            out.append(handle.join())
+
+        sim.spawn(parent)
+        sim.run()
+        assert out == ["done"]
+
+    def test_join_propagates_child_exception(self):
+        sim = Simulator()
+
+        def child():
+            raise ValueError("child failed")
+
+        def parent():
+            handle = sim.spawn(child)
+            handle.join()
+
+        sim.spawn(parent)
+        with pytest.raises(ValueError, match="child failed"):
+            sim.run()
+        sim.shutdown()
+
+    def test_join_outside_process_rejected(self):
+        sim = Simulator()
+        handle = sim.spawn(lambda: None)
+        with pytest.raises(SimulationError):
+            handle.join()
+        sim.run()
+
+    def test_self_join_rejected(self):
+        sim = Simulator()
+        failures = []
+
+        def proc():
+            me = current_process()
+            try:
+                me.join()
+            except SimulationError:
+                failures.append("rejected")
+
+        sim.spawn(proc)
+        sim.run()
+        assert failures == ["rejected"]
+
+    def test_current_simulator_inside_process(self):
+        sim = Simulator()
+        seen = []
+        sim.spawn(lambda: seen.append(current_simulator() is sim))
+        sim.run()
+        assert seen == [True]
+        assert current_simulator() is None
+
+
+class TestDeterminism:
+    def test_fifo_tie_break_at_same_time(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.spawn(lambda i=i: order.append(i), delay=1.0)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_repeated_runs_identical(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+
+            def worker(wid, period):
+                for _ in range(4):
+                    sim.hold(period)
+                    log.append((round(sim.now, 6), wid))
+
+            for wid, period in [(0, 0.3), (1, 0.7), (2, 0.5)]:
+                sim.spawn(lambda wid=wid, period=period: worker(wid, period))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+
+class TestFailureModes:
+    def test_process_exception_aborts_run(self):
+        sim = Simulator()
+
+        def bad():
+            sim.hold(1.0)
+            raise RuntimeError("boom")
+
+        sim.spawn(bad)
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        sim.shutdown()
+
+    def test_deadlock_detected_and_named(self):
+        sim = Simulator()
+
+        def stuck():
+            evt = SimEvent(sim, name="never")
+            evt.wait()
+
+        sim.spawn(stuck, name="victim")
+        with pytest.raises(SimDeadlockError, match="victim"):
+            sim.run()
+        sim.shutdown()
+
+    def test_hold_outside_process_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.hold(1.0)
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        failures = []
+
+        def proc():
+            try:
+                sim.run()
+            except SimulationError:
+                failures.append("rejected")
+
+        sim.spawn(proc)
+        sim.run()
+        assert failures == ["rejected"]
+
+    def test_shutdown_kills_blocked_processes(self):
+        sim = Simulator()
+
+        def stuck():
+            SimEvent(sim, name="never").wait()
+
+        proc = sim.spawn(stuck)
+        with pytest.raises(SimDeadlockError):
+            sim.run()
+        sim.shutdown()
+        assert proc.finished
+
+    def test_context_manager_shuts_down(self):
+        with Simulator() as sim:
+            proc = sim.spawn(lambda: SimEvent(sim, name="never").wait())
+            with pytest.raises(SimDeadlockError):
+                sim.run()
+        assert proc.finished
+
+
+class TestTimers:
+    def test_call_later_runs_in_kernel_context(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(2.0, lambda: fired.append(sim.now))
+        sim.spawn(lambda: sim.hold(5.0))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_call_at_past_rejected(self):
+        sim = Simulator()
+        sim.spawn(lambda: sim.hold(1.0))
+        sim.run()
+        with pytest.raises(SimTimeError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_finished_hook_invoked(self):
+        sim = Simulator()
+        finished = []
+        sim.add_finished_hook(lambda p: finished.append(p.name))
+        sim.spawn(lambda: None, name="alpha")
+        sim.run()
+        assert finished == ["alpha"]

@@ -1,0 +1,38 @@
+"""Trace/counter utilities."""
+
+from __future__ import annotations
+
+from repro.sim import Trace
+
+
+class TestTrace:
+    def test_emit_and_counters(self):
+        trace = Trace()
+        trace.emit(0.0, "send", "pack0", size=100)
+        trace.emit(1.5, "send", "pack1", size=200)
+        trace.emit(2.0, "recv", "pack0")
+        assert len(trace) == 3
+        assert trace.count("send") == 2
+        assert trace.count("recv") == 1
+        assert trace.count("missing") == 0
+
+    def test_category_and_window_filters(self):
+        trace = Trace()
+        for t in range(5):
+            trace.emit(float(t), "tick", f"t{t}")
+        assert [e.label for e in trace.of("tick")] == [f"t{t}" for t in range(5)]
+        window = trace.between(1.0, 3.0)
+        assert [e.time for e in window] == [1.0, 2.0, 3.0]
+
+    def test_capacity_caps_events_not_counters(self):
+        trace = Trace(capacity=2)
+        for t in range(5):
+            trace.emit(float(t), "tick", f"t{t}")
+        assert len(trace) == 2
+        assert trace.count("tick") == 5
+
+    def test_format_renders_data(self):
+        trace = Trace()
+        trace.emit(0.25, "net", "hop", src=0, dst=1)
+        text = trace.format()
+        assert "net" in text and "hop" in text and "src=0" in text
