@@ -1,0 +1,30 @@
+# Developer entry points. Everything runs against the src/ layout via
+# PYTHONPATH so no install step is required (pip install -e . also works
+# now that setup.py declares package_dir).
+
+PY ?= python
+PYPATH := PYTHONPATH=src
+
+.PHONY: test bench-smoke bench-dispatch lint
+
+## tier-1 test suite (the driver's acceptance gate)
+test:
+	$(PYPATH) $(PY) -m pytest -x -q
+
+## quick benchmark pass: dispatch overhead only, small workload knobs.
+## Appends machine-readable stats to benchmarks/BENCH_dispatch.json.
+bench-smoke:
+	REPRO_BENCH_MAXIMUM=200000 REPRO_BENCH_PACKS=8 \
+		$(PYPATH) $(PY) -m pytest benchmarks/bench_aop_dispatch.py -q
+
+## full E4 dispatch benchmark with the default (paper-scale) knobs
+bench-dispatch:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_aop_dispatch.py -q \
+		--benchmark-sort=name
+
+## syntax-level lint: the container ships no third-party linter, so this
+## byte-compiles every tree (catches syntax errors, tabs/space mixes).
+## Swap in ruff/flake8 here when the toolchain gains one.
+lint:
+	$(PY) -m compileall -q src tests benchmarks examples
+	@echo "lint ok (compileall)"

@@ -5,16 +5,31 @@ constants; this bench *measures* our own engine's interception costs
 with pytest-benchmark, grounding the model:
 
 * plain method call (unwoven class);
-* woven-inert call (class instrumented, no advice deployed);
-* one around advice;
-* a five-aspect stack (partition-like depth).
+* woven-inert call (class instrumented, no advice deployed) — with
+  compiled dispatch plans this must stay within 1.5× of the plain call;
+* one around advice (the single-around fast path);
+* a five-aspect stack (partition-like depth);
+* re-plug churn: deploy/undeploy against many woven bystander classes,
+  which exercises the targeted plan invalidation (only matching shadows
+  recompile).
+
+Results are also appended to ``benchmarks/BENCH_dispatch.json`` by the
+conftest hook so the trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.aop import Aspect, around, deploy, undeploy_all, unweave_all, weave
+from repro.aop import (
+    Aspect,
+    around,
+    deploy,
+    undeploy,
+    undeploy_all,
+    unweave_all,
+    weave,
+)
 
 # bound calibration so the whole suite stays fast; dispatch costs are
 # microseconds, 0.5 s of samples is plenty
@@ -92,6 +107,30 @@ def test_five_aspect_stack(benchmark):
         deploy(make_aspect(level))
     obj = Target()
     assert benchmark(lambda: run_loop(obj)) == N * (N - 1) // 2 + N
+
+
+def test_replug_with_woven_bystanders(benchmark):
+    """Deploy+undeploy one narrowly-scoped aspect while 20 other woven
+    classes stand by: the static match index must keep re-plug cost
+    independent of how much unrelated code is woven."""
+    Target = make_target()
+    weave(Target)
+    bystanders = []
+    for i in range(20):
+        cls = type(f"Bystander{i}", (), {"run": lambda self, x: x})
+        weave(cls)
+        bystanders.append(cls)
+
+    class Pass(Aspect):
+        @around("call(Target.work(..))")
+        def passthrough(self, jp):
+            return jp.proceed()
+
+    def replug():
+        aspect = deploy(Pass())
+        undeploy(aspect)
+
+    benchmark(replug)
 
 
 def test_initialization_interception(benchmark):

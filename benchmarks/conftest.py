@@ -5,17 +5,32 @@ figures).  pytest captures stdout, so benches register their reports
 here and a terminal-summary hook prints them after the run — they appear
 in ``bench_output.txt`` alongside pytest-benchmark's own tables.
 
+Machine-readable trajectory: after every run that collected
+pytest-benchmark stats, the session hook appends a run record to
+``benchmarks/BENCH_dispatch.json`` (per-bench mean/min/stddev plus
+ratios against the plain-call baseline), so the dispatch-overhead
+numbers can be compared across PRs instead of being re-eyeballed from
+terminal tables.
+
 Environment knobs:
 
 * ``REPRO_BENCH_MAXIMUM`` — sieve scale (default 10_000_000, the paper's);
-* ``REPRO_BENCH_PACKS``   — number of messages (default 50, the paper's).
+* ``REPRO_BENCH_PACKS``   — number of messages (default 50, the paper's);
+* ``REPRO_BENCH_JSON``    — override the results-file path.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 _REPORTS: list[str] = []
+
+#: how many historical runs to keep in the JSON trajectory
+_KEEP_RUNS = 50
 
 
 def register_report(text: str) -> None:
@@ -30,7 +45,80 @@ def bench_packs() -> int:
     return int(os.environ.get("REPRO_BENCH_PACKS", 50))
 
 
+def _results_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).parent / "BENCH_dispatch.json"
+
+
+def _collect_benchmarks(config) -> dict[str, dict[str, float]]:
+    session = getattr(config, "_benchmarksession", None)
+    benchmarks = getattr(session, "benchmarks", None) or []
+    collected: dict[str, dict[str, float]] = {}
+    for bench in benchmarks:
+        # only the dispatch bench belongs in the dispatch trajectory —
+        # figure/sim benches collected in the same run are not comparable
+        if "bench_aop_dispatch" not in getattr(bench, "fullname", ""):
+            continue
+        stats = getattr(bench, "stats", None)
+        # pytest-benchmark >= 4 nests Stats inside Metadata.stats
+        stats = getattr(stats, "stats", stats)
+        if stats is None or not getattr(stats, "rounds", 0):
+            continue
+        collected[bench.name] = {
+            "mean": stats.mean,
+            "min": stats.min,
+            "median": stats.median,
+            "stddev": stats.stddev,
+            "rounds": stats.rounds,
+        }
+    return collected
+
+
+def _ratios_vs_plain(benches: dict[str, dict[str, float]]) -> dict[str, float]:
+    plain = benches.get("test_plain_call")
+    if not plain or not plain["mean"]:
+        return {}
+    return {
+        name: round(stats["mean"] / plain["mean"], 3)
+        for name, stats in benches.items()
+        if name != "test_plain_call"
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    benches = _collect_benchmarks(session.config)
+    if not benches:
+        return
+    path = _results_path()
+    try:
+        history = json.loads(path.read_text()) if path.exists() else {}
+    except (OSError, ValueError):
+        history = {}
+    runs = history.get("runs", [])
+    runs.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "benchmarks": benches,
+            "ratios_vs_plain_call": _ratios_vs_plain(benches),
+        }
+    )
+    history["runs"] = runs[-_KEEP_RUNS:]
+    try:
+        path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    except OSError:  # read-only checkout: benches still report to terminal
+        pass
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _collect_benchmarks(config):
+        terminalreporter.write_sep("-", "dispatch trajectory")
+        terminalreporter.write_line(
+            f"benchmark stats appended to {_results_path()}"
+        )
     if not _REPORTS:
         return
     terminalreporter.write_sep("=", "paper reproduction reports")

@@ -64,6 +64,12 @@ from repro.aop.pointcut import (
     target,
     within,
 )
+from repro.aop.plan import (
+    MethodTable,
+    PlanStats,
+    Shadow,
+    bound_entry,
+)
 from repro.aop.signature import (
     NamePattern,
     ParamsPattern,
@@ -143,4 +149,9 @@ __all__ = [
     "deployed_aspects",
     "raw_construct",
     "is_woven",
+    # compiled dispatch plans
+    "Shadow",
+    "PlanStats",
+    "MethodTable",
+    "bound_entry",
 ]

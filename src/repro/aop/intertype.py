@@ -58,6 +58,13 @@ class IntertypeApplier:
         register_virtual_base(cls, base)
         self._parents.append((cls, base))
 
+    @property
+    def declared_parents(self) -> list[tuple[type, type]]:
+        """Currently-applied parent declarations.  The weaver checks this
+        to decide whether a deploy/undeploy changed the subtype relation
+        (which invalidates every deployment's static match index)."""
+        return list(self._parents)
+
     # -- revert ----------------------------------------------------------------
 
     def revert(self) -> None:

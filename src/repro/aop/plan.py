@@ -1,0 +1,478 @@
+"""Compiled dispatch plans.
+
+The weaver used to install one *generic* dispatcher per woven method:
+every call re-fetched the advice chain from an epoch-checked cache, then
+interpreted it.  This module replaces interpretation with **compilation**
+— per (shadow, deployment-state) the weaver asks :func:`compile_call_impl`
+for a closure specialised to exactly the advice that applies there:
+
+* **inert** shadows (no advice, no flow-sensitive pointcuts live) get a
+  *clone* of the original function — same code object, so a woven-inert
+  call costs the same as a plain call (the clone is a distinct object so
+  weaving stays observable and unweave can restore the true original);
+* inert shadows under an active ``cflow`` get a minimal stack-maintaining
+  trampoline (no chain lookup, no advice scan);
+* a **single around advice with no dynamic residue** gets a dedicated
+  fast path that arms ``proceed`` directly instead of running the
+  recursive chain interpreter;
+* everything else gets a closure with the chain, the ``needs_caller``
+  flag and the class/name baked in, calling the generic interpreter.
+
+Plans are recompiled only when the deployment state *at that shadow*
+changes — the weaver keeps a static shadow→deployment match index (built
+from :meth:`Pointcut.matches_shadow`) so deploying an aspect whose
+pointcuts can never match a shadow leaves that shadow's plan untouched.
+:class:`PlanStats` counts compilations per shadow and exposes a hook list
+so tests (and benchmarks) can assert exactly that.
+
+The same Plan abstraction is what the other layers consume:
+
+* :class:`MethodTable` — the middlewares' per-servant-class dispatch
+  table.  Entries are the compiled class attributes, refreshed only when
+  the weaver's version moves, so the server side stops resolving methods
+  per request;
+* :func:`bound_entry` — the partition skeletons' way to obtain a woven
+  entry point once per worker instead of re-walking attribute lookup and
+  the advice chain per work item.  Because the compiled plan *is* the
+  class attribute, the bound attribute is the whole artifact.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import types
+from threading import get_ident
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.aop.advice import AdviceKind, BoundAdvice
+from repro.aop.advice import run_chain as _baseline_run_chain
+from repro.aop.cflow import _STATE as _FLOW  # per-thread flow state
+from repro.aop.joinpoint import CallerInfo, JoinPoint, JoinPointKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.aop.weaver import Weaver
+
+__all__ = [
+    "Shadow",
+    "PlanStats",
+    "MethodTable",
+    "compile_call_impl",
+    "bound_entry",
+    "resolve_caller",
+]
+
+#: Chain interpreter used by compiled plans.  A module-level *name* (not a
+#: baked-in reference) so :func:`repro.aop.tools.trace_advice` can patch it;
+#: the single-around fast path checks it against the baseline and falls back
+#: to the interpreter whenever tracing (or any other wrapper) is installed.
+run_chain = _baseline_run_chain
+
+_CALL = JoinPointKind.CALL
+_MISS = object()
+
+
+def resolve_caller() -> CallerInfo | None:
+    """Find the first stack frame outside the AOP machinery."""
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - no caller frames
+        return None
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if not module.startswith("repro.aop"):
+            code = frame.f_code
+            qualname = getattr(code, "co_qualname", code.co_name)
+            return CallerInfo(module, qualname, code.co_name)
+        frame = frame.f_back
+    return None
+
+
+class Shadow:
+    """One compiled joinpoint shadow: ``(cls, name, kind)`` plus its
+    current plan (advice chain + specialised impl)."""
+
+    __slots__ = ("cls", "name", "kind", "original", "impl", "entries",
+                 "needs_caller", "compiles")
+
+    def __init__(self, cls: type, name: str, kind: JoinPointKind,
+                 original: Callable | None):
+        self.cls = cls
+        self.name = name
+        self.kind = kind
+        self.original = original
+        #: the installed callable (class attribute) for CALL shadows
+        self.impl: Callable | None = None
+        #: advice chain applicable here, outermost first
+        self.entries: tuple[BoundAdvice, ...] = ()
+        self.needs_caller = False
+        #: number of times this shadow's plan was compiled
+        self.compiles = 0
+
+    @property
+    def key(self) -> tuple[type, str, JoinPointKind]:
+        return (self.cls, self.name, self.kind)
+
+    @property
+    def inert(self) -> bool:
+        return not self.entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "inert" if self.inert else f"{len(self.entries)} advice"
+        return f"<Shadow {self.cls.__name__}.{self.name} [{self.kind}] {state}>"
+
+
+class PlanStats:
+    """Compilation counters + hooks for the plan compiler.
+
+    ``hooks`` are called with the :class:`Shadow` on every compilation —
+    the regression tests use this to prove that deploying an aspect only
+    recompiles the shadows its pointcuts can match.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.by_shadow: dict[tuple[type, str, JoinPointKind], int] = {}
+        self.hooks: list[Callable[[Shadow], None]] = []
+
+    def record(self, shadow: Shadow) -> None:
+        self.total += 1
+        key = shadow.key
+        self.by_shadow[key] = self.by_shadow.get(key, 0) + 1
+        for hook in self.hooks:
+            hook(shadow)
+
+    def count(self, cls: type, name: str,
+              kind: JoinPointKind = JoinPointKind.CALL) -> int:
+        return self.by_shadow.get((cls, name, kind), 0)
+
+    def snapshot(self) -> dict[tuple[type, str, JoinPointKind], int]:
+        return dict(self.by_shadow)
+
+    def prune_class(self, cls: type) -> None:
+        """Drop counters for an unwoven class so long-lived processes
+        weaving ephemeral classes don't pin them (and grow) forever."""
+        for key in [k for k in self.by_shadow if k[0] is cls]:
+            del self.by_shadow[key]
+
+    def clear(self) -> None:
+        self.total = 0
+        self.by_shadow.clear()
+
+
+# ---------------------------------------------------------------------------
+# Impl compilation
+# ---------------------------------------------------------------------------
+
+
+def _mark(impl: Callable, original: Callable, *, inert: bool = False) -> Callable:
+    impl.__aop_dispatcher__ = True  # type: ignore[attr-defined]
+    impl.__wrapped__ = original  # type: ignore[attr-defined]
+    if inert:
+        impl.__aop_inert__ = True  # type: ignore[attr-defined]
+    return impl
+
+
+def _inert_impl(original: Callable) -> Callable:
+    """The woven-inert plan: behaviourally *is* the original.
+
+    For plain functions we clone the function object (same code, globals,
+    defaults and closure), so calling it costs exactly a plain call; the
+    clone is a distinct object so ``weave`` remains observable and
+    ``unweave`` can still restore the genuine original.  Non-function
+    callables get a thin trampoline preserving the dispatcher calling
+    convention.
+    """
+    if isinstance(original, types.FunctionType):
+        clone = types.FunctionType(
+            original.__code__,
+            original.__globals__,
+            original.__name__,
+            original.__defaults__,
+            original.__closure__,
+        )
+        clone.__kwdefaults__ = original.__kwdefaults__
+        functools.update_wrapper(clone, original)
+        return _mark(clone, original, inert=True)
+
+    @functools.wraps(original)
+    def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+        return original(self_obj, *args, **kwargs)
+
+    return _mark(impl, original, inert=True)
+
+
+def _tracking_impl(cls: type, name: str, original: Callable) -> Callable:
+    """Inert shadow while a flow-sensitive pointcut is live: maintain the
+    joinpoint stack (for ``cflow`` matching below) but nothing else."""
+
+    @functools.wraps(original)
+    def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+        stack = _FLOW.stack
+        stack.append(JoinPoint(_CALL, cls, name, self_obj, args, kwargs))
+        try:
+            return original(self_obj, *args, **kwargs)
+        finally:
+            stack.pop()
+
+    return _mark(impl, original)
+
+
+def _single_around_impl(
+    cls: type, name: str, original: Callable, entry: BoundAdvice
+) -> Callable:
+    """Fast path: exactly one around advice, statically matched, no
+    dynamic residue and no caller capture.  Arms ``proceed`` directly
+    instead of running the recursive chain interpreter."""
+    advice = entry.func
+    entries = (entry,)
+
+    @functools.wraps(original)
+    def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+        jp = JoinPoint(_CALL, cls, name, self_obj, args, kwargs)
+        flow = _FLOW
+        jp.from_advice = flow.advice_depth > 0
+        interpreter = run_chain
+        stack = flow.stack
+        stack.append(jp)
+        try:
+            if interpreter is not _baseline_run_chain:  # tracing installed
+                return interpreter(
+                    entries, jp, lambda *a, **k: original(self_obj, *a, **k)
+                )
+            pm = jp._proceed_map
+
+            def proceed(*new_args: Any, **new_kwargs: Any) -> Any:
+                use_args = new_args if new_args else args
+                use_kwargs = new_kwargs if new_kwargs else kwargs
+                jp.args, jp.kwargs = use_args, use_kwargs
+                result = original(self_obj, *use_args, **use_kwargs)
+                jp.args, jp.kwargs = args, kwargs
+                pm[get_ident()] = proceed
+                return result
+
+            tid = get_ident()
+            saved = pm.get(tid)
+            pm[tid] = proceed
+            flow.advice_depth += 1
+            try:
+                return advice(jp)
+            finally:
+                flow.advice_depth -= 1
+                tid = get_ident()
+                if saved is None:
+                    pm.pop(tid, None)
+                else:
+                    pm[tid] = saved
+        finally:
+            stack.pop()
+
+    return _mark(impl, original)
+
+
+def _all_around_impl(
+    cls: type,
+    name: str,
+    original: Callable,
+    entries: tuple[BoundAdvice, ...],
+) -> Callable:
+    """Compiled plan for a pure-around chain with no dynamic residues —
+    the shape every partition/concurrency/distribution stack has.  Same
+    recursion as the interpreter minus the per-level kind dispatch,
+    residue checks and generator-based context managers."""
+    funcs = tuple(entry.func for entry in entries)
+    n = len(funcs)
+
+    @functools.wraps(original)
+    def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+        jp = JoinPoint(_CALL, cls, name, self_obj, args, kwargs)
+        flow = _FLOW
+        jp.from_advice = flow.advice_depth > 0
+        interpreter = run_chain
+        stack = flow.stack
+        stack.append(jp)
+        try:
+            if interpreter is not _baseline_run_chain:  # tracing installed
+                return interpreter(
+                    entries, jp, lambda *a, **k: original(self_obj, *a, **k)
+                )
+            pm = jp._proceed_map
+
+            def invoke(i: int, args: tuple, kwargs: dict) -> Any:
+                jp.args, jp.kwargs = args, kwargs
+                if i == n:
+                    return original(self_obj, *args, **kwargs)
+
+                def proceed(*new_args: Any, **new_kwargs: Any) -> Any:
+                    use_args = new_args if new_args else args
+                    use_kwargs = new_kwargs if new_kwargs else kwargs
+                    result = invoke(i + 1, use_args, use_kwargs)
+                    jp.args, jp.kwargs = args, kwargs
+                    pm[get_ident()] = proceed
+                    return result
+
+                tid = get_ident()
+                saved = pm.get(tid)
+                pm[tid] = proceed
+                flow.advice_depth += 1
+                try:
+                    return funcs[i](jp)
+                finally:
+                    flow.advice_depth -= 1
+                    tid = get_ident()
+                    if saved is None:
+                        pm.pop(tid, None)
+                    else:
+                        pm[tid] = saved
+
+            return invoke(0, args, kwargs)
+        finally:
+            stack.pop()
+
+    return _mark(impl, original)
+
+
+def _chain_impl(
+    cls: type,
+    name: str,
+    original: Callable,
+    entries: tuple[BoundAdvice, ...],
+    needs_caller: bool,
+) -> Callable:
+    """General advised plan: chain and flags baked in, interpreted by
+    :func:`run_chain` (looked up through the patchable module global)."""
+
+    @functools.wraps(original)
+    def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+        jp = JoinPoint(_CALL, cls, name, self_obj, args, kwargs)
+        flow = _FLOW
+        jp.from_advice = flow.advice_depth > 0
+        if needs_caller:
+            jp._caller = resolve_caller()
+        stack = flow.stack
+        stack.append(jp)
+        try:
+            return run_chain(
+                entries, jp, lambda *a, **k: original(self_obj, *a, **k)
+            )
+        finally:
+            stack.pop()
+
+    return _mark(impl, original)
+
+
+def compile_call_impl(weaver: "Weaver", shadow: Shadow) -> Callable:
+    """Compile the specialised dispatcher for a CALL shadow's current
+    chain (``shadow.entries`` / ``shadow.needs_caller`` must be fresh)."""
+    original = shadow.original
+    entries = shadow.entries
+    if not entries:
+        if weaver._cflow_active:
+            return _tracking_impl(shadow.cls, shadow.name, original)
+        return _inert_impl(original)
+    if not shadow.needs_caller and all(
+        entry.kind is AdviceKind.AROUND and not entry.needs_eval
+        for entry in entries
+    ):
+        if len(entries) == 1:
+            return _single_around_impl(
+                shadow.cls, shadow.name, original, entries[0]
+            )
+        return _all_around_impl(shadow.cls, shadow.name, original, entries)
+    return _chain_impl(
+        shadow.cls, shadow.name, original, entries, shadow.needs_caller
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan consumers for the other layers
+# ---------------------------------------------------------------------------
+
+
+def bound_entry(obj: Any, name: str) -> Callable[..., Any]:
+    """The compiled entry point for ``obj.name``.
+
+    The plan compiler installs the specialised dispatcher *as the class
+    attribute*, so the bound attribute already is the complete per-shadow
+    artifact — skeletons fetch it once per worker/stage and then invoke
+    pieces through it without re-walking lookup or the advice chain.
+    """
+    return getattr(obj, name)
+
+
+class MethodTable:
+    """Per-servant-class dispatch table backed by compiled plans.
+
+    The middlewares used to resolve ``getattr(servant, method)`` on every
+    request.  A :class:`MethodTable` caches the class-level entry (which,
+    for woven classes, is the compiled plan impl) and invalidates only
+    when the weaver's version moves — i.e. when weave/unweave/deploy/
+    undeploy may have changed class attributes.
+
+    Entries that are not plain functions (properties, descriptors,
+    instance attributes) fall back to per-call ``getattr`` so dispatch
+    semantics are unchanged.
+
+    Known trade-off: the table observes only *weaver* mutations.  Class
+    attributes changed behind the weaver's back — direct monkeypatching
+    of a servant class, or weaving it through a non-default
+    :class:`~repro.aop.weaver.Weaver` while the table watches another —
+    keep serving the cached entry until the watched weaver's version
+    moves.  Servants are expected to be (re)woven via the weaver the
+    table was built with (the middlewares use the default weaver).
+    """
+
+    __slots__ = ("cls", "weaver", "_version", "_cache")
+
+    def __init__(self, cls: type, weaver: "Weaver | None" = None):
+        if weaver is None:
+            from repro.aop.weaver import default_weaver
+
+            weaver = default_weaver
+        self.cls = cls
+        self.weaver = weaver
+        self._version = weaver.version
+        self._cache: dict[tuple[int, str], Callable | None] = {}
+
+    def lookup(self, name: str) -> Callable | None:
+        """The cached unbound entry for ``name``; ``None`` means "resolve
+        dynamically" (non-function attribute or absent).
+
+        Entries are keyed by the weaver version observed *before*
+        resolving, so a thread preempted across a deploy can never plant
+        a stale pre-deploy entry under the new version (the weaver bumps
+        its version only after the recompiled plans are installed).  A
+        racing write under an outdated version key is harmless garbage,
+        cleared at the next version move.
+        """
+        version = self.weaver.version
+        if version != self._version:
+            self._cache.clear()
+            self._version = version
+        key = (version, name)
+        entry = self._cache.get(key, _MISS)
+        if entry is _MISS:
+            entry = self._resolve(name)
+            self._cache[key] = entry
+        return entry
+
+    def _resolve(self, name: str) -> Callable | None:
+        for klass in self.cls.__mro__:
+            attr = vars(klass).get(name, _MISS)
+            if attr is not _MISS:
+                if isinstance(attr, types.FunctionType):
+                    return attr
+                return None  # descriptor/odd attribute: dynamic dispatch
+        return None
+
+    def invoke(self, obj: Any, name: str, args: tuple = (),
+               kwargs: dict | None = None) -> Any:
+        """Dispatch ``obj.name(*args, **kwargs)`` through the table."""
+        kwargs = kwargs or {}
+        instance_dict = getattr(obj, "__dict__", None)
+        if instance_dict is not None and name in instance_dict:
+            return instance_dict[name](*args, **kwargs)
+        func = self.lookup(name)
+        if func is None:
+            return getattr(obj, name)(*args, **kwargs)
+        return func(obj, *args, **kwargs)

@@ -110,6 +110,7 @@ def trace_advice() -> Iterator[AdviceTrace]:
     per-deployment bookkeeping, works for any weaver.
     """
     import repro.aop.advice as advice_module
+    import repro.aop.plan as plan_module
     import repro.aop.weaver as weaver_module
 
     trace = AdviceTrace()
@@ -120,10 +121,16 @@ def trace_advice() -> Iterator[AdviceTrace]:
             trace.record(entry.aspect, entry.kind, jp.signature)
         return original_run_chain(entries, jp, original)
 
+    # Compiled plans consult their module's ``run_chain`` global per call
+    # (the single-around fast path checks it against the baseline and
+    # falls back to the interpreter while a wrapper is installed), so
+    # patching the three modules covers every dispatch path.
     advice_module.run_chain = traced_run_chain
     weaver_module.run_chain = traced_run_chain
+    plan_module.run_chain = traced_run_chain
     try:
         yield trace
     finally:
         advice_module.run_chain = original_run_chain
         weaver_module.run_chain = original_run_chain
+        plan_module.run_chain = original_run_chain

@@ -1,12 +1,16 @@
 """The weaver: class instrumentation and the deployment registry.
 
 ``weave(cls)`` rewrites a class in place — each plain method is replaced
-by a *dispatcher* and construction is intercepted through ``__new__`` /
-``__init__`` patches.  This is the runtime analogue of AspectJ's
-compile-time weaving: woven classes stay inert (one dict lookup of
-overhead) until aspects are *deployed*, and deployment/undeployment never
-rewrites classes again — dispatchers consult an epoch-cached advice-chain
-table, which is what makes the paper's "(un)plug on the fly" cheap.
+by a *compiled dispatch plan* (see :mod:`repro.aop.plan`) and
+construction is intercepted through ``__new__`` / ``__init__`` patches.
+This is the runtime analogue of AspectJ's compile-time weaving, with one
+twist: instead of generic dispatchers interpreting an epoch-cached
+advice-chain table per call, each shadow's dispatcher is a closure
+*specialised* to the advice that applies there, recompiled only when a
+deploy/undeploy actually changes that shadow's chain.  A static
+shadow→deployment match index (built from ``Pointcut.matches_shadow``)
+keeps "(un)plug on the fly" cheap under load: deploying an aspect whose
+pointcuts match ``Jacobi.*`` leaves every ``Primes.*`` plan untouched.
 
 Construction semantics (matching paper Section 4.1):
 
@@ -39,7 +43,13 @@ from repro.aop.cflow import (
     in_advice,
 )
 from repro.aop.intertype import IntertypeApplier
-from repro.aop.joinpoint import CallerInfo, JoinPoint, JoinPointKind
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+from repro.aop.plan import (
+    PlanStats,
+    Shadow,
+    compile_call_impl,
+    resolve_caller,
+)
 from repro.aop.pointcut import MAYBE, NO, Pointcut, contains_cflow
 from repro.errors import DeploymentError, WeaveError
 
@@ -112,26 +122,10 @@ def _init_requires_args(init: Callable) -> bool:
     return required > 0
 
 
-def _resolve_caller() -> CallerInfo | None:
-    """Find the first stack frame outside the AOP machinery."""
-    try:
-        frame = sys._getframe(2)
-    except ValueError:  # pragma: no cover - no caller frames
-        return None
-    while frame is not None:
-        module = frame.f_globals.get("__name__", "")
-        if not module.startswith("repro.aop"):
-            code = frame.f_code
-            qualname = getattr(code, "co_qualname", code.co_name)
-            return CallerInfo(module, qualname, code.co_name)
-        frame = frame.f_back
-    return None
-
-
 class _Deployment:
     """Book-keeping for one deployed aspect instance."""
 
-    __slots__ = ("aspect", "seq", "resolved", "intertype")
+    __slots__ = ("aspect", "seq", "resolved", "intertype", "matched")
 
     def __init__(self, aspect: Aspect, seq: int):
         self.aspect = aspect
@@ -139,6 +133,8 @@ class _Deployment:
         # list of (kind, pointcut, bound_func, decl_index)
         self.resolved: list[tuple[AdviceKind, Pointcut, Callable, int]] = []
         self.intertype = IntertypeApplier()
+        #: shadows whose chains this deployment can affect (static index)
+        self.matched: set[Shadow] = set()
 
 
 class Weaver:
@@ -157,9 +153,19 @@ class Weaver:
         self._chain_cache: dict[tuple[type, str, JoinPointKind], tuple[int, list[BoundAdvice], bool]] = {}
         self._ctor_state = _ConstructionState()
         self._lock = threading.RLock()
-        # True while any deployed pointcut is flow-sensitive; dispatchers
-        # then maintain the joinpoint stack even on the no-advice path.
+        # True while any deployed pointcut is flow-sensitive; compiled
+        # plans then maintain the joinpoint stack even on inert shadows.
         self._cflow_active = False
+        #: live shadows per woven class, keyed (name, kind)
+        self._shadows: dict[type, dict[tuple[str, JoinPointKind], Shadow]] = {}
+        #: plan-compiler counters + hooks (targeted-invalidation tests)
+        self.plan_stats = PlanStats()
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation generation: bumped by weave/unweave/deploy/
+        undeploy.  Plan consumers (method tables) cache against it."""
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Weaving
@@ -184,6 +190,7 @@ class Weaver:
                 if not name.startswith("__")
                 and isinstance(attr, type(lambda: None))
             ]
+            shadows: dict[tuple[str, JoinPointKind], Shadow] = {}
             for name in names:
                 attr = vars(cls).get(name, _MISSING)
                 if attr is _MISSING:
@@ -191,12 +198,27 @@ class Weaver:
                 if not callable(attr):
                     raise WeaveError(f"{cls.__name__}.{name} is not callable")
                 originals[name] = attr
-                setattr(cls, name, self._make_method_dispatcher(cls, name, attr))
-            self._weave_construction(cls, originals)
+                shadows[(name, JoinPointKind.CALL)] = Shadow(
+                    cls, name, JoinPointKind.CALL, attr
+                )
+            ctor_shadow = Shadow(
+                cls, "__init__", JoinPointKind.INITIALIZATION, None
+            )
+            shadows[("__init__", JoinPointKind.INITIALIZATION)] = ctor_shadow
+            self._weave_construction(cls, originals, ctor_shadow)
             self._woven[cls] = originals
+            self._shadows[cls] = shadows
             setattr(cls, _WOVEN_FLAG, True)
             setattr(cls, _ORIGINALS_ATTR, originals)
-            self._bump_epoch()
+            for shadow in shadows.values():
+                self._recompile_shadow(shadow)
+            self._bump_epoch()  # after installs; see _apply_deployment_change
+            # extend the static match index of live deployments so a later
+            # undeploy knows these shadows may need recompiling
+            for deployment in self._deployments:
+                for shadow in shadows.values():
+                    if self._deployment_matches(deployment, shadow):
+                        deployment.matched.add(shadow)
             return cls
 
     def unweave(self, cls: type) -> None:
@@ -205,6 +227,16 @@ class Weaver:
             originals = self._woven.pop(cls, None)
             if originals is None:
                 raise WeaveError(f"{cls.__name__} is not woven")
+            dead = self._shadows.pop(cls, None)
+            if dead:
+                # prune the static match index: a long-lived deployment
+                # must not pin dead shadows (and their classes) forever
+                dead_set = set(dead.values())
+                for deployment in self._deployments:
+                    deployment.matched -= dead_set
+            self.plan_stats.prune_class(cls)
+            for key in [k for k in self._chain_cache if k[0] is cls]:
+                del self._chain_cache[key]
             for name, attr in originals.items():
                 if attr is _MISSING:
                     if name == "__new__":
@@ -276,7 +308,16 @@ class Weaver:
                 deployment.intertype.revert()
                 raise
             self._deployments.append(deployment)
-            self._bump_epoch()
+            deployment.matched = {
+                shadow
+                for shadows in self._shadows.values()
+                for shadow in shadows.values()
+                if self._deployment_matches(deployment, shadow)
+            }
+            self._apply_deployment_change(
+                deployment.matched,
+                force_global=bool(deployment.intertype.declared_parents),
+            )
             aspect.on_deploy()
             return aspect
 
@@ -287,8 +328,12 @@ class Weaver:
             for i, deployment in enumerate(self._deployments):
                 if deployment.aspect is aspect:
                     del self._deployments[i]
+                    had_parents = bool(deployment.intertype.declared_parents)
                     deployment.intertype.revert()
-                    self._bump_epoch()
+                    self._apply_deployment_change(
+                        {s for s in deployment.matched if self._is_live(s)},
+                        force_global=had_parents,
+                    )
                     aspect.on_undeploy()
                     return
             raise DeploymentError(f"{aspect!r} is not deployed")
@@ -305,89 +350,140 @@ class Weaver:
         return any(d.aspect is aspect for d in self._deployments)
 
     # ------------------------------------------------------------------
-    # Chain computation
+    # Chain computation + plan compilation
     # ------------------------------------------------------------------
 
     def _bump_epoch(self) -> None:
         self._epoch += 1
+
+    def _recompute_cflow(self) -> None:
         self._cflow_active = any(
             contains_cflow(resolved)
             for deployment in self._deployments
             for _, resolved, _, _ in deployment.resolved
         )
 
+    def _is_live(self, shadow: Shadow) -> bool:
+        """Is ``shadow`` still the current shadow at its site?  (A class
+        may have been unwoven — and even rewoven with fresh shadows —
+        since a deployment indexed it.)"""
+        return self._shadows.get(shadow.cls, {}).get(
+            (shadow.name, shadow.kind)
+        ) is shadow
+
+    @staticmethod
+    def _deployment_matches(deployment: _Deployment, shadow: Shadow) -> bool:
+        """Static index test: can any advice of ``deployment`` apply at
+        ``shadow``?  NO means never (skip recompiling it); YES/MAYBE both
+        count — MAYBE residues are evaluated per call by the plan."""
+        return any(
+            resolved.matches_shadow(shadow.cls, shadow.name, shadow.kind)
+            is not NO
+            for _, resolved, _, _ in deployment.resolved
+        )
+
+    def _apply_deployment_change(
+        self, matched: set[Shadow], force_global: bool = False
+    ) -> None:
+        """Recompile after a deploy/undeploy: only the statically matched
+        shadows — unless the change invalidates the index itself.
+
+        Two changes are global by nature: flipping flow-sensitivity
+        (alters the inert plan shape everywhere — stack maintenance
+        on/off), and intertype ``declare_parents`` (alters the subtype
+        relation that *other* deployments' ``Base+`` pointcuts match
+        against, so their cached match sets must be rebuilt too).
+        """
+        was_cflow = self._cflow_active
+        self._recompute_cflow()
+        if force_global or was_cflow != self._cflow_active:
+            all_shadows = [
+                shadow
+                for shadows in self._shadows.values()
+                for shadow in shadows.values()
+            ]
+            if force_global:
+                for deployment in self._deployments:
+                    deployment.matched = {
+                        shadow
+                        for shadow in all_shadows
+                        if self._deployment_matches(deployment, shadow)
+                    }
+            to_recompile: Iterable[Shadow] = all_shadows
+        else:
+            to_recompile = matched
+        for shadow in to_recompile:
+            self._recompile_shadow(shadow)
+        # bump only after the recompiled plans are installed: a version
+        # must never be observable while class attributes still predate
+        # it (MethodTable keys its cache entries by observed version)
+        self._bump_epoch()
+
+    def _recompile_shadow(self, shadow: Shadow) -> None:
+        """Recompute a shadow's chain and install its specialised impl."""
+        entries, needs_caller = self._compute_chain(
+            shadow.cls, shadow.name, shadow.kind
+        )
+        shadow.entries = tuple(entries)
+        shadow.needs_caller = needs_caller
+        shadow.compiles += 1
+        if shadow.kind is JoinPointKind.CALL:
+            impl = compile_call_impl(self, shadow)
+            shadow.impl = impl
+            setattr(shadow.cls, shadow.name, impl)
+        self.plan_stats.record(shadow)
+
+    def _compute_chain(
+        self, cls: type, name: str, kind: JoinPointKind
+    ) -> tuple[list[BoundAdvice], bool]:
+        entries: list[BoundAdvice] = []
+        needs_caller = False
+        for deployment in self._deployments:
+            precedence = deployment.aspect.precedence
+            for advice_kind, resolved, bound, index in deployment.resolved:
+                shadow = resolved.matches_shadow(cls, name, kind)
+                if shadow is NO:
+                    continue
+                needs_eval = shadow is MAYBE or resolved.needs_caller
+                needs_caller = needs_caller or resolved.needs_caller
+                entries.append(
+                    BoundAdvice(
+                        advice_kind,
+                        resolved,
+                        bound,
+                        needs_eval,
+                        deployment.aspect,
+                        (-precedence, deployment.seq, index),
+                    )
+                )
+        entries.sort(key=lambda e: e.sort_key)
+        return entries, needs_caller
+
     def chain(
         self, cls: type, name: str, kind: JoinPointKind
     ) -> tuple[list[BoundAdvice], bool]:
-        """Advice chain for a shadow, outermost-first, epoch-cached.
+        """Advice chain for a shadow, outermost-first, version-cached.
 
-        Returns ``(entries, needs_caller)``.
+        Returns ``(entries, needs_caller)``.  Introspection-facing (see
+        :func:`repro.aop.tools.explain`); the hot path reads compiled
+        plans instead.
         """
         key = (cls, name, kind)
         cached = self._chain_cache.get(key)
         if cached is not None and cached[0] == self._epoch:
             return cached[1], cached[2]
         with self._lock:
-            entries: list[BoundAdvice] = []
-            needs_caller = False
-            for deployment in self._deployments:
-                precedence = deployment.aspect.precedence
-                for advice_kind, resolved, bound, index in deployment.resolved:
-                    shadow = resolved.matches_shadow(cls, name, kind)
-                    if shadow is NO:
-                        continue
-                    needs_eval = shadow is MAYBE or resolved.needs_caller
-                    needs_caller = needs_caller or resolved.needs_caller
-                    entries.append(
-                        BoundAdvice(
-                            advice_kind,
-                            resolved,
-                            bound,
-                            needs_eval,
-                            deployment.aspect,
-                            (-precedence, deployment.seq, index),
-                        )
-                    )
-            entries.sort(key=lambda e: e.sort_key)
+            entries, needs_caller = self._compute_chain(cls, name, kind)
             self._chain_cache[key] = (self._epoch, entries, needs_caller)
             return entries, needs_caller
 
     # ------------------------------------------------------------------
-    # Dispatchers
+    # Construction weaving
     # ------------------------------------------------------------------
 
-    def _make_method_dispatcher(
-        self, cls: type, name: str, original: Callable
-    ) -> Callable:
-        weaver = self
-
-        @functools.wraps(original)
-        def dispatcher(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
-            entries, needs_caller = weaver.chain(cls, name, JoinPointKind.CALL)
-            if not entries:
-                if weaver._cflow_active:
-                    jp = JoinPoint(
-                        JoinPointKind.CALL, cls, name, self_obj, args, kwargs
-                    )
-                    with entered_joinpoint(jp):
-                        return original(self_obj, *args, **kwargs)
-                return original(self_obj, *args, **kwargs)
-            jp = JoinPoint(JoinPointKind.CALL, cls, name, self_obj, args, kwargs)
-            jp.from_advice = in_advice()
-            if needs_caller:
-                jp._caller = _resolve_caller()
-            with entered_joinpoint(jp):
-                return run_chain(
-                    entries,
-                    jp,
-                    lambda *a, **k: original(self_obj, *a, **k),
-                )
-
-        dispatcher.__aop_dispatcher__ = True  # type: ignore[attr-defined]
-        dispatcher.__wrapped__ = original
-        return dispatcher
-
-    def _weave_construction(self, cls: type, originals: dict[str, Any]) -> None:
+    def _weave_construction(
+        self, cls: type, originals: dict[str, Any], ctor_shadow: Shadow
+    ) -> None:
         weaver = self
         orig_new = vars(cls).get("__new__", _MISSING)
         orig_init = vars(cls).get("__init__", _MISSING)
@@ -417,23 +513,23 @@ class Weaver:
                 or in_advice()
             ):
                 return raw_new(kls, args, kwargs)
+            # inert plan: no initialization advice applies here, so skip
+            # the reconstruction frame-walk entirely
+            entries = ctor_shadow.entries
+            if not entries:
+                return raw_new(kls, args, kwargs)
             if not args and not kwargs and (
                 init_needs_args or _called_from_reconstruction()
             ):
                 # bare __new__(cls): object reconstruction, not a client
                 # construction — never an initialization joinpoint
                 return raw_new(kls, args, kwargs)
-            entries, needs_caller = weaver.chain(
-                cls, "__init__", JoinPointKind.INITIALIZATION
-            )
-            if not entries:
-                return raw_new(kls, args, kwargs)
             jp = JoinPoint(
                 JoinPointKind.INITIALIZATION, cls, "__init__", None, args, kwargs
             )
             jp.from_advice = in_advice()
-            if needs_caller:
-                jp._caller = _resolve_caller()
+            if ctor_shadow.needs_caller:
+                jp._caller = resolve_caller()
 
             def construct(*a: Any, **k: Any) -> Any:
                 with bypassing_construction():
@@ -480,6 +576,7 @@ class Weaver:
         self.undeploy_all()
         self.unweave_all()
         self._chain_cache.clear()
+        self.plan_stats.clear()
 
 
 def _wants_self(func: Callable) -> bool:

@@ -10,7 +10,11 @@ to them.  Both concrete middlewares (RMI and MPP) share:
 * the server-side dispatch pattern: requests arrive on a channel owned by
   the servant's node; each request is served by a fresh activity (RMI
   semantics — concurrent calls overlap unless a synchronisation aspect
-  serialises them).
+  serialises them).  Method resolution goes through a per-servant-class
+  :class:`~repro.aop.plan.MethodTable` built at export time: the table's
+  entries are the weaver's compiled dispatch plans, refreshed only when
+  the weaver's version moves, so the skeleton stops resolving methods
+  per request.
 
 Cost charging uses the *caller's* CPU for marshalling and the *servant's*
 CPU for unmarshalling + dispatch, with wire time from the cluster network
@@ -24,6 +28,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any
 
+from repro.aop.plan import MethodTable
 from repro.cluster.machine import Node
 from repro.cluster.topology import Cluster
 from repro.errors import MiddlewareError, RemoteError
@@ -108,13 +113,15 @@ class Middleware(abc.ABC):
 class _Servant:
     """Server-side record for one exported object."""
 
-    __slots__ = ("obj", "node", "channel", "ref")
+    __slots__ = ("obj", "node", "channel", "ref", "table")
 
     def __init__(self, obj: Any, node: Node, channel: Channel, ref: RemoteRef):
         self.obj = obj
         self.node = node
         self.channel = channel
         self.ref = ref
+        #: plan-backed dispatch table for the servant's class
+        self.table = MethodTable(type(obj))
 
 
 class _Request:
@@ -264,8 +271,8 @@ class SimMiddleware(Middleware):
             servant.node.execute(self.costs.unmarshal_time(request.size))
             try:
                 with server_dispatch():
-                    result = getattr(servant.obj, request.method)(
-                        *request.args, **request.kwargs
+                    result = servant.table.invoke(
+                        servant.obj, request.method, request.args, request.kwargs
                     )
                 outcome: tuple[str, Any] = ("ok", result)
             except Exception as exc:  # noqa: BLE001 - shipped to the client

@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Any
 
+from repro.aop.plan import MethodTable
 from repro.cluster.machine import Node
 from repro.errors import MiddlewareError, RemoteError
 from repro.middleware.base import Middleware, RemoteRef
@@ -28,13 +29,13 @@ class LocalMiddleware(Middleware):
     name = "local"
 
     def __init__(self) -> None:
-        self._objects: dict[int, Any] = {}
+        self._objects: dict[int, tuple[Any, MethodTable]] = {}
         self.calls = 0
 
     def export(self, obj: Any, node: Node | None = None) -> RemoteRef:
         ref = RemoteRef(node.node_id if node is not None else -1, self.name,
                         type(obj).__name__)
-        self._objects[ref.object_id] = obj
+        self._objects[ref.object_id] = (obj, MethodTable(type(obj)))
         if node is not None:
             node.place(obj)
         return ref
@@ -47,13 +48,14 @@ class LocalMiddleware(Middleware):
         kwargs: dict | None = None,
         oneway: bool = False,
     ) -> Any:
-        obj = self._objects.get(ref.object_id)
-        if obj is None:
+        entry = self._objects.get(ref.object_id)
+        if entry is None:
             raise MiddlewareError(f"unknown ref {ref!r}")
+        obj, table = entry
         self.calls += 1
         try:
             with server_dispatch():
-                return getattr(obj, method)(*args, **(kwargs or {}))
+                return table.invoke(obj, method, args, kwargs or {})
         except Exception as exc:  # noqa: BLE001 - uniform error surface
             raise RemoteError(
                 f"local invocation {ref.type_name}.{method} failed: {exc}",
@@ -61,10 +63,10 @@ class LocalMiddleware(Middleware):
             ) from exc
 
     def servant_of(self, ref: RemoteRef) -> Any:
-        obj = self._objects.get(ref.object_id)
-        if obj is None:
+        entry = self._objects.get(ref.object_id)
+        if entry is None:
             raise MiddlewareError(f"unknown ref {ref!r}")
-        return obj
+        return entry[0]
 
     def shutdown(self) -> None:
         self._objects.clear()

@@ -11,6 +11,11 @@ beats FarmRMI in Figure 17.  Two layers here:
 * :class:`CommWorld` — an MPI-flavoured rank API (send/recv/bcast/
   scatter/gather/barrier) for code written against message passing
   directly, exercised by tests and the hybrid distribution aspect.
+
+Like RMI, the servant-side dispatch loop inherited from
+:class:`~repro.middleware.base.SimMiddleware` routes through the
+per-servant-class :class:`~repro.aop.plan.MethodTable` of compiled
+dispatch plans instead of resolving methods per request.
 """
 
 from __future__ import annotations

@@ -16,6 +16,12 @@ The four source-code modifications RMI imposes (Section 5.3) map to:
 3. client lookup           → :meth:`lookup`;
 4. try/catch RemoteException → :class:`~repro.errors.RemoteError` raised
                              from :meth:`invoke`, handled in the aspect.
+
+Server-side skeleton dispatch is plan-backed (inherited from
+:class:`~repro.middleware.base.SimMiddleware`): each exported servant
+carries a :class:`~repro.aop.plan.MethodTable` whose entries are the
+weaver's compiled dispatch plans, so per-request work is one table hit
+rather than attribute resolution plus an advice-chain walk.
 """
 
 from __future__ import annotations

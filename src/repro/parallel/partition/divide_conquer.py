@@ -29,6 +29,7 @@ import threading
 from typing import Any, Callable, Sequence
 
 from repro.aop import abstract_pointcut, around, pointcut
+from repro.aop.plan import bound_entry
 from repro.errors import AdviceError
 from repro.middleware.serialize import Serializer
 from repro.parallel.composition import ParallelModule
@@ -105,8 +106,9 @@ class DivideAndConquerAspect(ParallelAspect):
             for piece in pieces:
                 worker = self.make_worker(jp.target)
                 self.remember_branch(worker)
+                # recurse through the branch worker's compiled plan entry
                 outcomes.append(
-                    getattr(worker, jp.name)(*piece.args, **piece.kwargs)
+                    bound_entry(worker, jp.name)(*piece.args, **piece.kwargs)
                 )
         finally:
             self._depth.value = depth

@@ -80,7 +80,13 @@ class DynamicFarmAspect(PartitionAspect):
 
         def worker_loop(worker: Any, index: int) -> None:
             # Calls from here must skip this advice but still traverse
-            # synchronisation/distribution — flagged per-thread.
+            # synchronisation/distribution — flagged per-thread.  Each
+            # pulled piece re-enters the (remaining) chain through the
+            # worker's compiled plan entry (the class attribute *is* the
+            # plan — see repro.aop.plan.bound_entry), re-fetched per
+            # piece so an aspect (un)plugged mid-run applies to the
+            # remaining work; direct getattr keeps the inner loop free
+            # of an extra call frame.
             self._internal.active = True
             try:
                 while True:

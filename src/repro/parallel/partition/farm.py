@@ -61,11 +61,16 @@ class FarmAspect(PartitionAspect):
         self.split_calls += 1
         pieces = self.splitter.split(jp.args, jp.kwargs)
         outcomes: list[Any] = [None] * len(pieces)
+        workers = self.workers
         for piece in pieces:
-            worker = self.workers[piece.index % len(self.workers)]
+            worker = workers[piece.index % len(workers)]
+            # re-enters the chain (concurrency / distribution) through
+            # the worker's compiled plan entry — the class attribute *is*
+            # the plan (repro.aop.plan), fetched per piece so an aspect
+            # (un)plugged mid-split applies to the remaining pieces
             outcomes[piece.index] = getattr(worker, jp.name)(
                 *piece.args, **piece.kwargs
-            )  # re-enters the chain (concurrency / distribution)
+            )
         results = [
             outcome.result() if isinstance(outcome, Future) else outcome
             for outcome in outcomes

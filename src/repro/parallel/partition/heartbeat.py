@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.aop import around
+from repro.aop.plan import bound_entry
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
 from repro.parallel.partition.base import PartitionAspect, WorkSplitter
@@ -77,31 +78,45 @@ class HeartbeatAspect(PartitionAspect):
         if not self.workers:
             return jp.proceed()
         (iterations,) = jp.args or (1,)
-        method_name = jp.name
         last_combined: Any = None
         for _ in range(iterations):
             self.iterations += 1
+            # compiled plan entries re-fetched per iteration (one step
+            # entry per worker, one accessor tuple per pair): keeps the
+            # per-work-item chain walk gone while preserving the old
+            # per-iteration granularity of "(un)plug on the fly"
+            steps = [bound_entry(worker, jp.name) for worker in self.workers]
             # 1. compute phase: one step on every block (possibly async)
-            outcomes = [
-                getattr(worker, method_name)(1) for worker in self.workers
-            ]
+            outcomes = [step(1) for step in steps]
             results = [
                 o.result() if isinstance(o, Future) else o for o in outcomes
             ]
             last_combined = self.splitter.combine(results)
             # 2. exchange phase: neighbouring blocks swap boundaries
-            self._exchange()
+            self._exchange(self._exchange_plan())
         return last_combined
 
-    def _exchange(self) -> None:
+    def _exchange_plan(self) -> list[tuple[Any, Any, Any, Any]]:
+        """Per-pair plan entries ``(left_out, right_out, right_in,
+        left_in)`` for the 1-D neighbour chain."""
+        pairs = []
+        for i in range(len(self.workers) - 1):
+            left, right = self.workers[i], self.workers[i + 1]
+            pairs.append((
+                bound_entry(left, self.exchange_out),
+                bound_entry(right, self.exchange_out),
+                bound_entry(right, self.exchange_in),
+                bound_entry(left, self.exchange_in),
+            ))
+        return pairs
+
+    def _exchange(self, plan: list[tuple[Any, Any, Any, Any]]) -> None:
         """Swap boundary data between adjacent workers (1-D chain)."""
-        workers = self.workers
-        for i in range(len(workers) - 1):
-            left, right = workers[i], workers[i + 1]
-            down = self._value(getattr(left, self.exchange_out)("bottom"))
-            up = self._value(getattr(right, self.exchange_out)("top"))
-            getattr(right, self.exchange_in)("top", down)
-            getattr(left, self.exchange_in)("bottom", up)
+        for left_out, right_out, right_in, left_in in plan:
+            down = self._value(left_out("bottom"))
+            up = self._value(right_out("top"))
+            right_in("top", down)
+            left_in("bottom", up)
             self.exchanges += 2
 
     @staticmethod

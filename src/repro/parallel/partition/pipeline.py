@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.aop import around, pointcut
+from repro.aop.plan import bound_entry
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.parallel.partition.base import PartitionAspect, ResultCollector, WorkSplitter
@@ -87,7 +88,9 @@ class PipelineSplitAspect(PartitionAspect):
         head = self.first if self.first is not None else jp.target
         pieces = self.splitter.split(jp.args, jp.kwargs)
         self.collector = ResultCollector(len(pieces), current_backend())
-        method = getattr(head, jp.name)
+        # one compiled plan entry for the head stage; every piece enters
+        # the pipeline through it
+        method = bound_entry(head, jp.name)
         for piece in pieces:
             method(*piece.args, **piece.kwargs)  # re-enters the chain
         results = self.collector.wait()
@@ -125,7 +128,9 @@ class PipelineForwardAspect(ParallelAspect):
         if nxt is not None:
             self.forwards += 1
             args, kwargs = co.splitter.forward_args(result, jp.args, jp.kwargs)
-            return getattr(nxt, jp.name)(*args, **kwargs)  # re-intercepted
+            # re-intercepted: the attribute is the next stage's compiled
+            # plan (repro.aop.plan) — direct getattr, once per forward
+            return getattr(nxt, jp.name)(*args, **kwargs)
         if co.collector is not None:
             co.collector.deposit(result)
         return result
