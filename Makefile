@@ -12,7 +12,9 @@ test:
 	$(PYPATH) $(PY) -m pytest -x -q
 
 ## quick benchmark pass: dispatch overhead only, small workload knobs.
-## Appends machine-readable stats to benchmarks/BENCH_dispatch.json.
+## Covers the full decision tree: inert, single-/all-around, the
+## mixed-chain compiled-vs-interpreted pair and the batched pack-8
+## dispatch pair.  Appends stats to benchmarks/BENCH_dispatch.json.
 bench-smoke:
 	REPRO_BENCH_MAXIMUM=200000 REPRO_BENCH_PACKS=8 \
 		$(PYPATH) $(PY) -m pytest benchmarks/bench_aop_dispatch.py -q
@@ -22,9 +24,12 @@ bench-dispatch:
 	$(PYPATH) $(PY) -m pytest benchmarks/bench_aop_dispatch.py -q \
 		--benchmark-sort=name
 
-## syntax-level lint: the container ships no third-party linter, so this
-## byte-compiles every tree (catches syntax errors, tabs/space mixes).
-## Swap in ruff/flake8 here when the toolchain gains one.
+## syntax + docs lint: the container ships no third-party linter, so
+## this byte-compiles every tree (catches syntax errors, tabs/space
+## mixes) and enforces that every public module in src/repro has a
+## module docstring.  Swap in ruff/flake8 here when the toolchain gains
+## one.
 lint:
-	$(PY) -m compileall -q src tests benchmarks examples
+	$(PY) -m compileall -q src tests benchmarks examples tools
 	@echo "lint ok (compileall)"
+	$(PY) tools/lint_docstrings.py

@@ -9,6 +9,13 @@ with pytest-benchmark, grounding the model:
   compiled dispatch plans this must stay within 1.5× of the plain call;
 * one around advice (the single-around fast path);
 * a five-aspect stack (partition-like depth);
+* a mixed-kind five-advice chain (before/after/after_returning alongside
+  arounds) — compiled vs the generic interpreter the seed used, which
+  must be ≥ 1.5× slower than the compiled mixed plan;
+* batched dispatch: an 8-piece pack through the compiled batched entry
+  (one BatchJoinPoint per pack) vs 8 per-item calls — plus an invariant
+  check that a farm with packing factor 8 allocates exactly one
+  joinpoint per pack;
 * re-plug churn: deploy/undeploy against many woven bystander classes,
   which exercises the targeted plan invalidation (only matching shadows
   recompile).
@@ -21,15 +28,22 @@ from __future__ import annotations
 
 import pytest
 
+import repro.aop.plan as plan_mod
 from repro.aop import (
     Aspect,
+    after,
+    after_returning,
     around,
+    batched_entry,
+    before,
     deploy,
     undeploy,
     undeploy_all,
     unweave_all,
     weave,
 )
+from repro.aop.joinpoint import JoinPointKind
+from repro.aop.weaver import default_weaver
 
 # bound calibration so the whole suite stays fast; dispatch costs are
 # microseconds, 0.5 s of samples is plenty
@@ -107,6 +121,156 @@ def test_five_aspect_stack(benchmark):
         deploy(make_aspect(level))
     obj = Target()
     assert benchmark(lambda: run_loop(obj)) == N * (N - 1) // 2 + N
+
+
+def deploy_mixed_five(Target):
+    """Five advice of mixed kinds, separable (befores/afters outermost):
+    the shape the compiled mixed plan covers."""
+
+    class Pre(Aspect):
+        precedence = 500
+
+        @before("call(Target.work(..))")
+        def pre(self, jp):
+            pass
+
+    class Post(Aspect):
+        precedence = 400
+
+        @after("call(Target.work(..))")
+        def post(self, jp):
+            pass
+
+    class Ret(Aspect):
+        precedence = 300
+
+        @after_returning("call(Target.work(..))")
+        def ret(self, jp):
+            pass
+
+    def make_around(level):
+        class Wrap(Aspect):
+            precedence = level
+
+            @around("call(Target.work(..))")
+            def wrap(self, jp):
+                return jp.proceed()
+
+        return Wrap()
+
+    for aspect in (Pre(), Post(), Ret(), make_around(200), make_around(100)):
+        deploy(aspect)
+
+
+def test_mixed_five_advice_stack(benchmark):
+    """The compiled mixed-chain plan (PR 2): befores/afters folded at
+    compile time around the all-around recursion."""
+    Target = make_target()
+    weave(Target)
+    deploy_mixed_five(Target)
+    obj = Target()
+    impl = vars(Target)["work"]
+    assert "runner" in impl.__code__.co_freevars, "mixed plan not compiled"
+    assert benchmark(lambda: run_loop(obj)) == N * (N - 1) // 2 + N
+
+
+def test_mixed_five_advice_interpreted(benchmark):
+    """The same five-advice mixed chain through the generic interpreter —
+    the only path the seed had for mixed chains.  The compiled plan above
+    must beat this by ≥ 1.5×."""
+    Target = make_target()
+    weave(Target)
+    deploy_mixed_five(Target)
+    shadow = default_weaver._shadows[Target][("work", JoinPointKind.CALL)]
+    impl = plan_mod._chain_impl(
+        Target, "work", shadow.original, shadow.entries, False
+    )
+    obj = Target()
+
+    def loop():
+        total = 0
+        for i in range(N):
+            total += impl(obj, i)
+        return total
+
+    assert benchmark(loop) == N * (N - 1) // 2 + N
+
+
+PACK = 8
+
+
+def test_batched_pack8_dispatch(benchmark):
+    """One 8-piece pack through the compiled batched entry: the advice
+    chain runs once per pack (one BatchJoinPoint)."""
+    Target = make_target()
+
+    class Pass(Aspect):
+        @around("call(Target.work(..))")
+        def passthrough(self, jp):
+            return jp.proceed()
+
+    weave(Target)
+    deploy(Pass())
+    obj = Target()
+    pieces = [((i,), {}) for i in range(PACK)]
+    expected = [i + 1 for i in range(PACK)]
+
+    # invariant: one joinpoint per pack (recorded alongside the timing)
+    counts = {"batch": 0, "jp": 0}
+
+    class CountingBatchJP(plan_mod.BatchJoinPoint):
+        __slots__ = ()
+
+        def __init__(self, *args, **kwargs):
+            counts["batch"] += 1
+            super().__init__(*args, **kwargs)
+
+    class CountingJP(plan_mod.JoinPoint):
+        __slots__ = ()
+
+        def __init__(self, *args, **kwargs):
+            counts["jp"] += 1
+            super().__init__(*args, **kwargs)
+
+    saved = plan_mod.JoinPoint, plan_mod.BatchJoinPoint
+    plan_mod.JoinPoint, plan_mod.BatchJoinPoint = CountingJP, CountingBatchJP
+    try:
+        assert batched_entry(obj, "work")(pieces) == expected
+    finally:
+        plan_mod.JoinPoint, plan_mod.BatchJoinPoint = saved
+    assert counts == {"batch": 1, "jp": 0}
+
+    def loop():
+        out = None
+        for _ in range(N // PACK):
+            out = batched_entry(obj, "work")(pieces)
+        return out
+
+    assert benchmark(loop) == expected
+
+
+def test_unbatched_pack8_dispatch(benchmark):
+    """The same 8 pieces as 8 per-item calls — what every skeleton paid
+    before batched entry points (one JoinPoint and one advice pass per
+    item)."""
+    Target = make_target()
+
+    class Pass(Aspect):
+        @around("call(Target.work(..))")
+        def passthrough(self, jp):
+            return jp.proceed()
+
+    weave(Target)
+    deploy(Pass())
+    obj = Target()
+
+    def loop():
+        out = None
+        for _ in range(N // PACK):
+            out = [obj.work(i) for i in range(PACK)]
+        return out
+
+    assert benchmark(loop) == [i + 1 for i in range(PACK)]
 
 
 def test_replug_with_woven_bystanders(benchmark):

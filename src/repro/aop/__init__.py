@@ -65,10 +65,13 @@ from repro.aop.pointcut import (
     within,
 )
 from repro.aop.plan import (
+    BatchJoinPoint,
     MethodTable,
     PlanStats,
     Shadow,
+    batched_entry,
     bound_entry,
+    piece_view,
 )
 from repro.aop.signature import (
     NamePattern,
@@ -153,5 +156,8 @@ __all__ = [
     "Shadow",
     "PlanStats",
     "MethodTable",
+    "BatchJoinPoint",
     "bound_entry",
+    "batched_entry",
+    "piece_view",
 ]

@@ -4,37 +4,69 @@ The weaver used to install one *generic* dispatcher per woven method:
 every call re-fetched the advice chain from an epoch-checked cache, then
 interpreted it.  This module replaces interpretation with **compilation**
 — per (shadow, deployment-state) the weaver asks :func:`compile_call_impl`
-for a closure specialised to exactly the advice that applies there:
+for a closure specialised to exactly the advice that applies there.
 
-* **inert** shadows (no advice, no flow-sensitive pointcuts live) get a
-  *clone* of the original function — same code object, so a woven-inert
-  call costs the same as a plain call (the clone is a distinct object so
-  weaving stays observable and unweave can restore the true original);
-* inert shadows under an active ``cflow`` get a minimal stack-maintaining
-  trampoline (no chain lookup, no advice scan);
-* a **single around advice with no dynamic residue** gets a dedicated
-  fast path that arms ``proceed`` directly instead of running the
-  recursive chain interpreter;
-* everything else gets a closure with the chain, the ``needs_caller``
-  flag and the class/name baked in, calling the generic interpreter.
+Decision tree (applied top-down by :func:`compile_call_impl`; the first
+matching shape wins):
 
-Plans are recompiled only when the deployment state *at that shadow*
-changes — the weaver keeps a static shadow→deployment match index (built
-from :meth:`Pointcut.matches_shadow`) so deploying an aspect whose
-pointcuts can never match a shadow leaves that shadow's plan untouched.
-:class:`PlanStats` counts compilations per shadow and exposes a hook list
-so tests (and benchmarks) can assert exactly that.
+1. **inert** — no advice matches and no flow-sensitive pointcut is live:
+   install a *clone* of the original function — same code object, so a
+   woven-inert call costs the same as a plain call (the clone is a
+   distinct object so weaving stays observable and unweave can restore
+   the true original).  If a ``cflow`` pointcut is live anywhere, the
+   inert plan is instead a minimal stack-maintaining trampoline (no
+   chain lookup, no advice scan).
+2. **single-around** — exactly one around advice, statically matched
+   (no dynamic residue, no caller capture): a dedicated fast path that
+   arms ``proceed`` directly instead of running the recursive chain
+   interpreter.
+3. **all-around** — a pure-around chain, statically matched: the same
+   recursion as the interpreter minus per-level kind dispatch, residue
+   checks and generator-based context managers.
+4. **mixed** — before/after/after_returning/after_throwing advice
+   alongside (or without) arounds, statically matched, provided the
+   chain is *separable*: every non-around entry sorts before the first
+   around.  The chain is partitioned at weave time into
+   ``(prefix, arounds)`` and folded into nested closures — befores and
+   afters run from compile-time-built try/finally frames (identical
+   nesting to the interpreter), the around suffix reuses the all-around
+   recursion.  No generic interpreter, no per-call kind dispatch.
+5. **generic** — anything with a dynamic residue (``within``/``args``
+   residues, caller capture) or a non-around entry *below* an around:
+   a closure with the chain and flags baked in, calling the chain
+   interpreter per call.
+
+Invalidation rules: plans are recompiled only when the deployment state
+*at that shadow* changes — the weaver keeps a static shadow→deployment
+match index (built from :meth:`Pointcut.matches_shadow`) so deploying an
+aspect whose pointcuts can never match a shadow leaves that shadow's
+plan untouched.  Two changes are global: flipping flow-sensitivity
+(rewrites the inert plan shape everywhere) and ``declare_parents``
+(rewrites the subtype relation other deployments' ``Base+`` pointcuts
+match against, forcing a full re-index).  Unweaving a class prunes every
+per-class artifact: its shadows (and with them the cached batch plans),
+its chain-cache rows, its :class:`PlanStats` counters (call *and* batch)
+and its entries in the deployments' match index.  :class:`PlanStats`
+counts compilations per shadow and exposes a hook list so tests (and
+benchmarks) can assert exactly that.
 
 The same Plan abstraction is what the other layers consume:
 
 * :class:`MethodTable` — the middlewares' per-servant-class dispatch
   table.  Entries are the compiled class attributes, refreshed only when
   the weaver's version moves, so the server side stops resolving methods
-  per request;
+  per request; :meth:`MethodTable.invoke_batch` serves batched requests
+  through the compiled batch plan.
 * :func:`bound_entry` — the partition skeletons' way to obtain a woven
   entry point once per worker instead of re-walking attribute lookup and
   the advice chain per work item.  Because the compiled plan *is* the
   class attribute, the bound attribute is the whole artifact.
+* :func:`batched_entry` — the pack-granular sibling of ``bound_entry``:
+  one compiled call dispatches a whole pack of pieces, running the
+  advice chain **once per pack** around a :class:`BatchJoinPoint`
+  (pack-level args, item count, merged piece view) instead of once per
+  item.  Batch plans are compiled lazily per shadow, cached on the
+  shadow, and invalidated by the same recompiles as the call plan.
 """
 
 from __future__ import annotations
@@ -57,8 +89,12 @@ __all__ = [
     "Shadow",
     "PlanStats",
     "MethodTable",
+    "BatchJoinPoint",
     "compile_call_impl",
+    "compile_batch_impl",
     "bound_entry",
+    "batched_entry",
+    "piece_view",
     "resolve_caller",
 ]
 
@@ -88,12 +124,68 @@ def resolve_caller() -> CallerInfo | None:
     return None
 
 
+def piece_view(piece: Any) -> tuple[tuple, dict]:
+    """Normalise one batch item to ``(args, kwargs)``.
+
+    Accepts the partition layer's ``CallPiece``-shaped objects (anything
+    with ``args``/``kwargs`` attributes) as well as plain 2-tuples — the
+    wire shape middlewares ship for batched requests.
+    """
+    try:
+        return piece.args, piece.kwargs or {}
+    except AttributeError:
+        args, kwargs = piece
+        return args, kwargs or {}
+
+
+class BatchJoinPoint(JoinPoint):
+    """One joinpoint standing for a whole *pack* of calls.
+
+    Where a per-item dispatch allocates one :class:`JoinPoint` per piece
+    and runs the advice chain once per piece, a batched dispatch builds a
+    single ``BatchJoinPoint`` for the pack and runs the chain **once**:
+
+    * ``pieces`` — the pack items, each a ``CallPiece``-shaped object or
+      an ``(args, kwargs)`` pair (see :func:`piece_view`);
+    * ``args`` — the pack-level view ``(pieces,)``: around advice may
+      call ``proceed(new_pieces)`` to substitute the whole pack, exactly
+      like per-call ``proceed`` substitutes arguments;
+    * ``proceed()`` (and the innermost original) returns the **list of
+      per-item results** in piece order.
+    """
+
+    __slots__ = ("pieces",)
+
+    def __init__(self, cls: type, name: str, target: Any, pieces: tuple):
+        super().__init__(_CALL, cls, name, target, (pieces,), {})
+        self.pieces = pieces
+
+    @property
+    def item_count(self) -> int:
+        """Number of items in the pack."""
+        return len(self.pieces)
+
+    def merged_view(self) -> tuple[tuple, dict]:
+        """The merged piece view: concatenated positional arguments and
+        merged keyword arguments across all items, in piece order."""
+        merged_args: list = []
+        merged_kwargs: dict = {}
+        for piece in self.pieces:
+            args, kwargs = piece_view(piece)
+            merged_args.extend(args)
+            merged_kwargs.update(kwargs)
+        return tuple(merged_args), merged_kwargs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BatchJoinPoint {self.signature} x{len(self.pieces)}>"
+
+
 class Shadow:
     """One compiled joinpoint shadow: ``(cls, name, kind)`` plus its
     current plan (advice chain + specialised impl)."""
 
     __slots__ = ("cls", "name", "kind", "original", "impl", "entries",
-                 "needs_caller", "compiles")
+                 "needs_caller", "compiles", "batch_impl")
 
     def __init__(self, cls: type, name: str, kind: JoinPointKind,
                  original: Callable | None):
@@ -108,6 +200,9 @@ class Shadow:
         self.needs_caller = False
         #: number of times this shadow's plan was compiled
         self.compiles = 0
+        #: lazily compiled pack-granular plan (see :func:`batched_entry`);
+        #: reset to None whenever the call plan recompiles
+        self.batch_impl: Callable | None = None
 
     @property
     def key(self) -> tuple[type, str, JoinPointKind]:
@@ -134,6 +229,9 @@ class PlanStats:
         self.total = 0
         self.by_shadow: dict[tuple[type, str, JoinPointKind], int] = {}
         self.hooks: list[Callable[[Shadow], None]] = []
+        #: batch-plan compilations (see :func:`batched_entry`)
+        self.batch_total = 0
+        self.batch_by_shadow: dict[tuple[type, str, JoinPointKind], int] = {}
 
     def record(self, shadow: Shadow) -> None:
         self.total += 1
@@ -142,22 +240,36 @@ class PlanStats:
         for hook in self.hooks:
             hook(shadow)
 
+    def record_batch(self, shadow: Shadow) -> None:
+        self.batch_total += 1
+        key = shadow.key
+        self.batch_by_shadow[key] = self.batch_by_shadow.get(key, 0) + 1
+
     def count(self, cls: type, name: str,
               kind: JoinPointKind = JoinPointKind.CALL) -> int:
         return self.by_shadow.get((cls, name, kind), 0)
+
+    def batch_count(self, cls: type, name: str,
+                    kind: JoinPointKind = JoinPointKind.CALL) -> int:
+        return self.batch_by_shadow.get((cls, name, kind), 0)
 
     def snapshot(self) -> dict[tuple[type, str, JoinPointKind], int]:
         return dict(self.by_shadow)
 
     def prune_class(self, cls: type) -> None:
         """Drop counters for an unwoven class so long-lived processes
-        weaving ephemeral classes don't pin them (and grow) forever."""
+        weaving ephemeral classes don't pin them (and grow) forever.
+        Covers call-plan and batch-plan counters alike."""
         for key in [k for k in self.by_shadow if k[0] is cls]:
             del self.by_shadow[key]
+        for key in [k for k in self.batch_by_shadow if k[0] is cls]:
+            del self.batch_by_shadow[key]
 
     def clear(self) -> None:
         self.total = 0
         self.by_shadow.clear()
+        self.batch_total = 0
+        self.batch_by_shadow.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -279,9 +391,10 @@ def _all_around_impl(
     """Compiled plan for a pure-around chain with no dynamic residues —
     the shape every partition/concurrency/distribution stack has.  Same
     recursion as the interpreter minus the per-level kind dispatch,
-    residue checks and generator-based context managers."""
-    funcs = tuple(entry.func for entry in entries)
-    n = len(funcs)
+    residue checks and generator-based context managers (the recursion
+    itself lives in :func:`_around_core`, shared with the mixed and
+    batch plans)."""
+    core = _around_core(original, tuple(entry.func for entry in entries))
 
     @functools.wraps(original)
     def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
@@ -296,36 +409,184 @@ def _all_around_impl(
                 return interpreter(
                     entries, jp, lambda *a, **k: original(self_obj, *a, **k)
                 )
-            pm = jp._proceed_map
+            return core(jp, self_obj, args, kwargs)
+        finally:
+            stack.pop()
 
-            def invoke(i: int, args: tuple, kwargs: dict) -> Any:
+    return _mark(impl, original)
+
+
+def _around_core(
+    original: Callable, funcs: tuple[Callable, ...]
+) -> Callable[[JoinPoint, Any, tuple, dict], Any]:
+    """The compiled pure-around suffix as a reusable core.
+
+    Returns ``core(jp, self_obj, args, kwargs) -> result`` running the
+    around funcs with the same recursion as :func:`_all_around_impl`
+    (``original`` is invoked as ``original(self_obj, *args, **kwargs)``).
+    Shared by the mixed-chain call plan and the batch plans, which bake
+    different ``original`` strategies around the same recursion.
+    """
+    n = len(funcs)
+
+    def core(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
+        if n == 0:
+            return original(self_obj, *args, **kwargs)
+        pm = jp._proceed_map
+        flow = _FLOW
+
+        def invoke(i: int, args: tuple, kwargs: dict) -> Any:
+            jp.args, jp.kwargs = args, kwargs
+            if i == n:
+                return original(self_obj, *args, **kwargs)
+
+            def proceed(*new_args: Any, **new_kwargs: Any) -> Any:
+                use_args = new_args if new_args else args
+                use_kwargs = new_kwargs if new_kwargs else kwargs
+                result = invoke(i + 1, use_args, use_kwargs)
                 jp.args, jp.kwargs = args, kwargs
-                if i == n:
-                    return original(self_obj, *args, **kwargs)
+                pm[get_ident()] = proceed
+                return result
 
-                def proceed(*new_args: Any, **new_kwargs: Any) -> Any:
-                    use_args = new_args if new_args else args
-                    use_kwargs = new_kwargs if new_kwargs else kwargs
-                    result = invoke(i + 1, use_args, use_kwargs)
-                    jp.args, jp.kwargs = args, kwargs
-                    pm[get_ident()] = proceed
-                    return result
-
+            tid = get_ident()
+            saved = pm.get(tid)
+            pm[tid] = proceed
+            flow.advice_depth += 1
+            try:
+                return funcs[i](jp)
+            finally:
+                flow.advice_depth -= 1
                 tid = get_ident()
-                saved = pm.get(tid)
-                pm[tid] = proceed
+                if saved is None:
+                    pm.pop(tid, None)
+                else:
+                    pm[tid] = saved
+
+        return invoke(0, args, kwargs)
+
+    return core
+
+
+def _wrap_step(kind: AdviceKind, func: Callable, inner: Callable) -> Callable:
+    """One compile-time frame of the mixed-chain prefix: the before/after
+    entry's semantics as a dedicated closure around ``inner``.  The
+    try/finally nesting is built here, at compile time, so runtime pays
+    neither kind dispatch nor generator-based context managers while
+    keeping ordering byte-identical to the interpreter's."""
+    if kind is AdviceKind.BEFORE:
+
+        def step(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
+            flow = _FLOW
+            flow.advice_depth += 1
+            try:
+                func(jp)
+            finally:
+                flow.advice_depth -= 1
+            return inner(jp, self_obj, args, kwargs)
+
+    elif kind is AdviceKind.AFTER:
+
+        def step(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
+            try:
+                return inner(jp, self_obj, args, kwargs)
+            finally:
+                flow = _FLOW
                 flow.advice_depth += 1
                 try:
-                    return funcs[i](jp)
+                    func(jp)
                 finally:
                     flow.advice_depth -= 1
-                    tid = get_ident()
-                    if saved is None:
-                        pm.pop(tid, None)
-                    else:
-                        pm[tid] = saved
 
-            return invoke(0, args, kwargs)
+    elif kind is AdviceKind.AFTER_RETURNING:
+
+        def step(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
+            result = inner(jp, self_obj, args, kwargs)
+            jp.result = result
+            flow = _FLOW
+            flow.advice_depth += 1
+            try:
+                func(jp)
+            finally:
+                flow.advice_depth -= 1
+            return result
+
+    else:  # AdviceKind.AFTER_THROWING — arounds never reach _wrap_step
+
+        def step(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
+            try:
+                return inner(jp, self_obj, args, kwargs)
+            except BaseException as exc:
+                jp.exception = exc
+                flow = _FLOW
+                flow.advice_depth += 1
+                try:
+                    func(jp)
+                finally:
+                    flow.advice_depth -= 1
+                raise
+
+    return step
+
+
+def _fold_runner(
+    prefix: tuple[BoundAdvice, ...],
+    core: Callable[[JoinPoint, Any, tuple, dict], Any],
+) -> Callable[[JoinPoint, Any, tuple, dict], Any]:
+    """Fold a before/after prefix (outermost first) into nested closures
+    around ``core`` — the compiled mixed-chain runner."""
+    runner = core
+    for entry in reversed(prefix):
+        runner = _wrap_step(entry.kind, entry.func, runner)
+    return runner
+
+
+def _split_separable(
+    entries: tuple[BoundAdvice, ...], needs_caller: bool
+) -> tuple[tuple[BoundAdvice, ...], tuple[BoundAdvice, ...]] | None:
+    """Partition a chain into ``(prefix, arounds)`` if it is *separable*:
+    statically matched throughout (no residues, no caller capture) and
+    with every non-around entry sorting before the first around.  A
+    non-around below an around would interleave with ``proceed`` — only
+    the generic interpreter preserves that ordering, so return None."""
+    if needs_caller or any(entry.needs_eval for entry in entries):
+        return None
+    split = len(entries)
+    for i, entry in enumerate(entries):
+        if entry.kind is AdviceKind.AROUND:
+            split = i
+            break
+    arounds = entries[split:]
+    if any(entry.kind is not AdviceKind.AROUND for entry in arounds):
+        return None
+    return entries[:split], arounds
+
+
+def _mixed_chain_impl(
+    cls: type,
+    name: str,
+    original: Callable,
+    entries: tuple[BoundAdvice, ...],
+    prefix: tuple[BoundAdvice, ...],
+    arounds: tuple[BoundAdvice, ...],
+) -> Callable:
+    """Compiled plan for a separable mixed-kind chain: the before/after
+    prefix folded at compile time around the all-around recursion."""
+    runner = _fold_runner(prefix, _around_core(original, tuple(e.func for e in arounds)))
+
+    @functools.wraps(original)
+    def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+        jp = JoinPoint(_CALL, cls, name, self_obj, args, kwargs)
+        flow = _FLOW
+        jp.from_advice = flow.advice_depth > 0
+        interpreter = run_chain
+        stack = flow.stack
+        stack.append(jp)
+        try:
+            if interpreter is not _baseline_run_chain:  # tracing installed
+                return interpreter(
+                    entries, jp, lambda *a, **k: original(self_obj, *a, **k)
+                )
+            return runner(jp, self_obj, args, kwargs)
         finally:
             stack.pop()
 
@@ -363,22 +624,27 @@ def _chain_impl(
 
 def compile_call_impl(weaver: "Weaver", shadow: Shadow) -> Callable:
     """Compile the specialised dispatcher for a CALL shadow's current
-    chain (``shadow.entries`` / ``shadow.needs_caller`` must be fresh)."""
+    chain (``shadow.entries`` / ``shadow.needs_caller`` must be fresh).
+    Implements the inert / single-around / all-around / mixed / generic
+    decision tree described in the module docstring."""
     original = shadow.original
     entries = shadow.entries
     if not entries:
         if weaver._cflow_active:
             return _tracking_impl(shadow.cls, shadow.name, original)
         return _inert_impl(original)
-    if not shadow.needs_caller and all(
-        entry.kind is AdviceKind.AROUND and not entry.needs_eval
-        for entry in entries
-    ):
-        if len(entries) == 1:
-            return _single_around_impl(
-                shadow.cls, shadow.name, original, entries[0]
-            )
-        return _all_around_impl(shadow.cls, shadow.name, original, entries)
+    split = _split_separable(entries, shadow.needs_caller)
+    if split is not None:
+        prefix, arounds = split
+        if not prefix:
+            if len(arounds) == 1:
+                return _single_around_impl(
+                    shadow.cls, shadow.name, original, arounds[0]
+                )
+            return _all_around_impl(shadow.cls, shadow.name, original, entries)
+        return _mixed_chain_impl(
+            shadow.cls, shadow.name, original, entries, prefix, arounds
+        )
     return _chain_impl(
         shadow.cls, shadow.name, original, entries, shadow.needs_caller
     )
@@ -398,6 +664,138 @@ def bound_entry(obj: Any, name: str) -> Callable[..., Any]:
     pieces through it without re-walking lookup or the advice chain.
     """
     return getattr(obj, name)
+
+
+def compile_batch_impl(weaver: "Weaver", shadow: Shadow) -> Callable[[Any, Any], list]:
+    """Compile the pack-granular plan for a CALL shadow.
+
+    The returned ``impl(self_obj, pieces) -> [results]`` runs the advice
+    chain once around a :class:`BatchJoinPoint` whose innermost original
+    applies the woven method to every piece.  Specialisation follows the
+    call-plan decision tree: inert packs run a bare loop (zero joinpoint
+    allocations), separable chains reuse the folded prefix + all-around
+    recursion, residue-bearing chains fall back to one interpreted chain
+    pass per pack (still a single ``BatchJoinPoint``).
+    """
+    original = shadow.original
+    cls, name = shadow.cls, shadow.name
+    entries = shadow.entries
+    needs_caller = shadow.needs_caller
+
+    def batch_core(self_obj: Any, pieces: Any) -> list:
+        results = []
+        for piece in pieces:
+            args, kwargs = piece_view(piece)
+            results.append(original(self_obj, *args, **kwargs))
+        return results
+
+    if not entries:
+        if not weaver._cflow_active:
+            return batch_core
+
+        def tracking_batch(self_obj: Any, pieces: Any) -> list:
+            stack = _FLOW.stack
+            stack.append(BatchJoinPoint(cls, name, self_obj, tuple(pieces)))
+            try:
+                return batch_core(self_obj, pieces)
+            finally:
+                stack.pop()
+
+        return tracking_batch
+
+    split = _split_separable(entries, needs_caller)
+    if split is not None:
+        prefix, arounds = split
+        runner = _fold_runner(
+            prefix, _around_core(batch_core, tuple(e.func for e in arounds))
+        )
+    else:
+        runner = None
+
+    def advised_batch(self_obj: Any, pieces: Any) -> Any:
+        jp = BatchJoinPoint(cls, name, self_obj, tuple(pieces))
+        flow = _FLOW
+        jp.from_advice = flow.advice_depth > 0
+        if needs_caller:
+            jp._caller = resolve_caller()
+        interpreter = run_chain
+        stack = flow.stack
+        stack.append(jp)
+        try:
+            if runner is None or interpreter is not _baseline_run_chain:
+                # jp.args is (pieces,): the interpreter's innermost call
+                # unpacks it back into the batch core
+                return interpreter(
+                    entries, jp, lambda pack: batch_core(self_obj, pack)
+                )
+            return runner(jp, self_obj, jp.args, {})
+        finally:
+            stack.pop()
+
+    return advised_batch
+
+
+def _plain_batch(func: Callable) -> Callable[[Any], list]:
+    def entry(pieces: Any) -> list:
+        results = []
+        for piece in pieces:
+            args, kwargs = piece_view(piece)
+            results.append(func(*args, **kwargs))
+        return results
+
+    return entry
+
+
+def batched_entry(
+    obj: Any, name: str, weaver: "Weaver | None" = None
+) -> Callable[[Any], list]:
+    """The compiled *batched* entry point for ``obj.name``.
+
+    Returns ``entry(pieces) -> [results]`` dispatching a whole pack of
+    pieces (``CallPiece``-shaped objects or ``(args, kwargs)`` pairs)
+    through one compiled call: the advice chain runs once per pack with
+    a :class:`BatchJoinPoint` instead of once per item.  Batch plans are
+    compiled on first request, cached on the shadow, and invalidated by
+    the same weave/deploy recompiles as the call plan.
+
+    Objects whose method does not resolve to a shadow of ``weaver``
+    (unwoven classes, subclass or instance overrides, classes woven by a
+    different weaver) fall back to per-item dispatch through the bound
+    attribute — unbatched, but semantically identical.
+    """
+    if weaver is None:
+        from repro.aop.weaver import default_weaver
+
+        weaver = default_weaver
+    instance_dict = getattr(obj, "__dict__", None)
+    if instance_dict is not None and name in instance_dict:
+        return _plain_batch(instance_dict[name])
+    impl = _resolve_batch_impl(weaver, type(obj), name)
+    if impl is None:
+        return _plain_batch(getattr(obj, name))
+    return functools.partial(impl, obj)
+
+
+def _resolve_batch_impl(
+    weaver: "Weaver", cls: type, name: str
+) -> Callable[[Any, Any], list] | None:
+    """The (lazily compiled) batch plan for ``cls.name``, or None when
+    the method does not resolve to a shadow of ``weaver`` and callers
+    must fall back to per-item dispatch."""
+    shadow = None
+    for klass in cls.__mro__:
+        if name in vars(klass):
+            shadows = weaver._shadows.get(klass)
+            shadow = shadows.get((name, _CALL)) if shadows else None
+            break
+    if shadow is None or shadow.original is None:
+        return None
+    impl = shadow.batch_impl
+    if impl is None:
+        impl = compile_batch_impl(weaver, shadow)
+        shadow.batch_impl = impl
+        weaver.plan_stats.record_batch(shadow)
+    return impl
 
 
 class MethodTable:
@@ -422,7 +820,7 @@ class MethodTable:
     table was built with (the middlewares use the default weaver).
     """
 
-    __slots__ = ("cls", "weaver", "_version", "_cache")
+    __slots__ = ("cls", "weaver", "_version", "_cache", "_batch_cache")
 
     def __init__(self, cls: type, weaver: "Weaver | None" = None):
         if weaver is None:
@@ -433,6 +831,7 @@ class MethodTable:
         self.weaver = weaver
         self._version = weaver.version
         self._cache: dict[tuple[int, str], Callable | None] = {}
+        self._batch_cache: dict[tuple[int, str], Callable | None] = {}
 
     def lookup(self, name: str) -> Callable | None:
         """The cached unbound entry for ``name``; ``None`` means "resolve
@@ -448,6 +847,7 @@ class MethodTable:
         version = self.weaver.version
         if version != self._version:
             self._cache.clear()
+            self._batch_cache.clear()
             self._version = version
         key = (version, name)
         entry = self._cache.get(key, _MISS)
@@ -476,3 +876,30 @@ class MethodTable:
         if func is None:
             return getattr(obj, name)(*args, **kwargs)
         return func(obj, *args, **kwargs)
+
+    def invoke_batch(self, obj: Any, name: str, pieces: Any) -> list:
+        """Dispatch a pack of calls through the compiled batch plan.
+
+        The server-side half of a batched request: one advice pass (one
+        :class:`BatchJoinPoint`) covers the whole pack, and the list of
+        per-item results ships back in a single reply.  The resolved
+        batch plan is cached against the weaver version like
+        :meth:`lookup` entries, so serving packs stops re-resolving the
+        method per request.
+        """
+        instance_dict = getattr(obj, "__dict__", None)
+        if instance_dict is not None and name in instance_dict:
+            return _plain_batch(instance_dict[name])(pieces)
+        version = self.weaver.version
+        if version != self._version:
+            self._cache.clear()
+            self._batch_cache.clear()
+            self._version = version
+        key = (version, name)
+        impl = self._batch_cache.get(key, _MISS)
+        if impl is _MISS:
+            impl = _resolve_batch_impl(self.weaver, self.cls, name)
+            self._batch_cache[key] = impl
+        if impl is None:
+            return _plain_batch(getattr(obj, name))(pieces)
+        return impl(obj, pieces)

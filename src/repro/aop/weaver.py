@@ -6,11 +6,33 @@ construction is intercepted through ``__new__`` / ``__init__`` patches.
 This is the runtime analogue of AspectJ's compile-time weaving, with one
 twist: instead of generic dispatchers interpreting an epoch-cached
 advice-chain table per call, each shadow's dispatcher is a closure
-*specialised* to the advice that applies there, recompiled only when a
-deploy/undeploy actually changes that shadow's chain.  A static
-shadow→deployment match index (built from ``Pointcut.matches_shadow``)
-keeps "(un)plug on the fly" cheap under load: deploying an aspect whose
-pointcuts match ``Jacobi.*`` leaves every ``Primes.*`` plan untouched.
+*specialised* to the advice that applies there (the inert /
+single-around / all-around / mixed / generic decision tree of
+:mod:`repro.aop.plan`), recompiled only when a deploy/undeploy actually
+changes that shadow's chain.  A static shadow→deployment match index
+(built from ``Pointcut.matches_shadow``) keeps "(un)plug on the fly"
+cheap under load: deploying an aspect whose pointcuts match ``Jacobi.*``
+leaves every ``Primes.*`` plan untouched.
+
+Invalidation rules (what a mutation recompiles or prunes):
+
+* **deploy/undeploy** — only the shadows in the deployment's static
+  match set recompile (each recompile also drops the shadow's cached
+  batch plan, since batch plans bake the same chain);
+* **flow-sensitivity flips** (first/last ``cflow`` pointcut live) —
+  global recompile: the *inert* plan shape changes everywhere (stack
+  maintenance on/off);
+* **``declare_parents``** — global: it rewrites the subtype relation
+  that *other* deployments' ``Base+`` pointcuts match against, so every
+  deployment's match index is rebuilt before recompiling;
+* **unweave** — prunes every per-class artifact so long-lived processes
+  don't pin ephemeral classes: the class's shadows (taking their call
+  and batch plans with them), its chain-cache rows, its ``PlanStats``
+  counters (call and batch), and its entries in live deployments' match
+  sets;
+* the weaver ``version`` bumps only *after* recompiled plans are
+  installed, so :class:`~repro.aop.plan.MethodTable` consumers can never
+  cache a pre-mutation entry under the new version.
 
 Construction semantics (matching paper Section 4.1):
 
@@ -420,13 +442,16 @@ class Weaver:
         self._bump_epoch()
 
     def _recompile_shadow(self, shadow: Shadow) -> None:
-        """Recompute a shadow's chain and install its specialised impl."""
+        """Recompute a shadow's chain and install its specialised impl.
+        The cached batch plan is invalidated alongside: it bakes the same
+        chain, so it must be recompiled lazily on next batched use."""
         entries, needs_caller = self._compute_chain(
             shadow.cls, shadow.name, shadow.kind
         )
         shadow.entries = tuple(entries)
         shadow.needs_caller = needs_caller
         shadow.compiles += 1
+        shadow.batch_impl = None
         if shadow.kind is JoinPointKind.CALL:
             impl = compile_call_impl(self, shadow)
             shadow.impl = impl

@@ -28,7 +28,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any
 
-from repro.aop.plan import MethodTable
+from repro.aop.plan import MethodTable, piece_view
 from repro.cluster.machine import Node
 from repro.cluster.topology import Cluster
 from repro.errors import MiddlewareError, RemoteError
@@ -105,6 +105,20 @@ class Middleware(abc.ABC):
         result is ``None``) where the middleware supports it.
         """
 
+    def invoke_batch(self, ref: RemoteRef, method: str, pieces: Any) -> list:
+        """Call ``method`` once per piece in a single *batched* request.
+
+        ``pieces`` are ``CallPiece``-shaped objects or ``(args, kwargs)``
+        pairs; the reply is the list of per-item results in piece order.
+        The base implementation degrades to one :meth:`invoke` per piece
+        (correct, unbatched); transports that can ship a pack as one
+        message override it.
+        """
+        return [
+            self.invoke(ref, method, tuple(args), dict(kwargs))
+            for args, kwargs in map(piece_view, pieces)
+        ]
+
     @abc.abstractmethod
     def shutdown(self) -> None:
         """Stop server activities (end of run)."""
@@ -133,16 +147,21 @@ class _Request:
         "oneway",
         "size",
         "caller_node",
+        "batch",
     )
 
-    def __init__(self, method, args, kwargs, reply_channel, oneway, size, caller_node):
+    def __init__(self, method, args, kwargs, reply_channel, oneway, size,
+                 caller_node, batch=False):
         self.method = method
+        #: for batched requests ``args`` holds the piece views and
+        #: ``kwargs`` is unused
         self.args = args
         self.kwargs = kwargs
         self.reply_channel = reply_channel
         self.oneway = oneway
         self.size = size
         self.caller_node = caller_node
+        self.batch = batch
 
 
 _STOP = object()
@@ -170,6 +189,7 @@ class SimMiddleware(Middleware):
         self._servers: list[Any] = []
         self.calls = 0
         self.oneway_calls = 0
+        self.batched_calls = 0
 
     # -- export -----------------------------------------------------------
 
@@ -250,6 +270,51 @@ class SimMiddleware(Middleware):
             )
         return self.serializer.unpack(payload)
 
+    def invoke_batch(self, ref: RemoteRef, method: str, pieces: Any) -> list:
+        """Ship a whole pack as ONE request/reply pair.
+
+        The pack's piece views are marshalled together (one marshalling
+        pass, one wire transit, one skeleton dispatch through
+        :meth:`~repro.aop.plan.MethodTable.invoke_batch`) — this is the
+        wire-level face of communication packing: the per-message
+        overheads are paid once per pack instead of once per item.
+        """
+        servant = self._servants.get(ref.object_id)
+        if servant is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        self.calls += 1
+        self.batched_calls += 1
+        src = current_node()
+        views = [
+            (tuple(args), dict(kwargs))
+            for args, kwargs in map(piece_view, pieces)
+        ]
+        wire_views, size = self.serializer.pack(views)
+        if src is not None:
+            src.execute(self.costs.marshal_time(size))
+        delay = self.cluster.transit_delay(size, src, servant.node)
+        reply_channel = Channel(self.sim, name=f"{self.name}.reply")
+        servant.channel.send(
+            _Request(
+                method, wire_views, None, reply_channel, False, size, src,
+                batch=True,
+            ),
+            delay=delay,
+            size_bytes=size,
+            tag=method,
+        )
+        reply = reply_channel.recv()
+        outcome, payload = reply.payload
+        if src is not None:
+            src.execute(self.costs.unmarshal_time(reply.size_bytes))
+        if outcome == "error":
+            raise RemoteError(
+                f"remote batched invocation {ref.type_name}.{method} "
+                f"failed: {payload}",
+                cause=payload,
+            )
+        return self.serializer.unpack(payload)
+
     # -- server side -----------------------------------------------------------
 
     def _serve(self, servant: _Servant) -> None:
@@ -271,9 +336,15 @@ class SimMiddleware(Middleware):
             servant.node.execute(self.costs.unmarshal_time(request.size))
             try:
                 with server_dispatch():
-                    result = servant.table.invoke(
-                        servant.obj, request.method, request.args, request.kwargs
-                    )
+                    if request.batch:
+                        result = servant.table.invoke_batch(
+                            servant.obj, request.method, request.args
+                        )
+                    else:
+                        result = servant.table.invoke(
+                            servant.obj, request.method, request.args,
+                            request.kwargs,
+                        )
                 outcome: tuple[str, Any] = ("ok", result)
             except Exception as exc:  # noqa: BLE001 - shipped to the client
                 outcome = ("error", exc)

@@ -62,6 +62,24 @@ class LocalMiddleware(Middleware):
                 cause=exc,
             ) from exc
 
+    def invoke_batch(self, ref: RemoteRef, method: str, pieces: Any) -> list:
+        """Serve a pack through the servant's compiled batch plan: one
+        advice pass (one BatchJoinPoint) for the whole pack."""
+        entry = self._objects.get(ref.object_id)
+        if entry is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        obj, table = entry
+        self.calls += 1
+        try:
+            with server_dispatch():
+                return table.invoke_batch(obj, method, pieces)
+        except Exception as exc:  # noqa: BLE001 - uniform error surface
+            raise RemoteError(
+                f"local batched invocation {ref.type_name}.{method} "
+                f"failed: {exc}",
+                cause=exc,
+            ) from exc
+
     def servant_of(self, ref: RemoteRef) -> Any:
         entry = self._objects.get(ref.object_id)
         if entry is None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.aop import abstract_pointcut, around, pointcut
+from repro.aop.plan import BatchJoinPoint
 from repro.errors import RemoteError
 from repro.middleware.base import Middleware, RemoteRef
 from repro.middleware.placement import PlacementPolicy, RoundRobin
@@ -97,6 +98,18 @@ class DistributionAspect(ParallelAspect):
         self._refs[id(obj)] = (obj, ref)
         return obj
 
+    def remote_invoke(
+        self, middleware: Middleware, ref: RemoteRef, jp, oneway: bool = False
+    ) -> Any:
+        """One middleware invocation for ``jp`` — batched joinpoints ship
+        the whole pack as one request served through the servant's
+        :meth:`~repro.aop.plan.MethodTable.invoke_batch`."""
+        if isinstance(jp, BatchJoinPoint):
+            # jp.args[0] is the pack at THIS advice level — an outer
+            # around may have substituted it via proceed(new_pieces)
+            return middleware.invoke_batch(ref, jp.name, jp.args[0])
+        return middleware.invoke(ref, jp.name, jp.args, jp.kwargs, oneway=oneway)
+
     @around("remote_calls")
     def redirect(self, jp):
         """Client-side call → middleware invocation (Fig 14 lines 18-23),
@@ -108,12 +121,8 @@ class DistributionAspect(ParallelAspect):
             return jp.proceed()  # not a distributed object
         self.redirected += 1
         try:
-            return self.middleware.invoke(
-                entry[1],
-                jp.name,
-                jp.args,
-                jp.kwargs,
-                oneway=self.is_oneway(jp),
+            return self.remote_invoke(
+                self.middleware, entry[1], jp, oneway=self.is_oneway(jp)
             )
         except RemoteError:
             self.remote_errors += 1

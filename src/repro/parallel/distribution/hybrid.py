@@ -86,11 +86,11 @@ class HybridDistributionAspect(DistributionAspect):
         try:
             if jp.name in self.data_methods:
                 self.data_calls += 1
-                return self.mpp.invoke(
-                    self._mpp_refs[id(jp.target)], jp.name, jp.args, jp.kwargs
+                return self.remote_invoke(
+                    self.mpp, self._mpp_refs[id(jp.target)], jp
                 )
             self.control_calls += 1
-            return self.middleware.invoke(entry[1], jp.name, jp.args, jp.kwargs)
+            return self.remote_invoke(self.middleware, entry[1], jp)
         except RemoteError:
             self.remote_errors += 1
             raise

@@ -3,9 +3,12 @@ strategies built from object duplication + method-call split."""
 
 from repro.parallel.partition.base import (
     CallPiece,
+    PackedPiece,
     PartitionAspect,
     ResultCollector,
     WorkSplitter,
+    dispatch_piece,
+    piece_results,
 )
 from repro.parallel.partition.divide_conquer import (
     DivideAndConquerAspect,
@@ -25,6 +28,9 @@ from repro.parallel.partition.pipeline import (
 
 __all__ = [
     "CallPiece",
+    "PackedPiece",
+    "dispatch_piece",
+    "piece_results",
     "WorkSplitter",
     "ResultCollector",
     "PartitionAspect",

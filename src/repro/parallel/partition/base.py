@@ -19,11 +19,21 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.aop import abstract_pointcut, pointcut
+from repro.aop.plan import batched_entry
 from repro.errors import AdviceError
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.runtime.backend import current_backend
+from repro.runtime.futures import Future
 
-__all__ = ["CallPiece", "WorkSplitter", "ResultCollector", "PartitionAspect"]
+__all__ = [
+    "CallPiece",
+    "PackedPiece",
+    "WorkSplitter",
+    "ResultCollector",
+    "PartitionAspect",
+    "dispatch_piece",
+    "piece_results",
+]
 
 
 class CallPiece:
@@ -38,6 +48,56 @@ class CallPiece:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CallPiece #{self.index}>"
+
+
+class PackedPiece(CallPiece):
+    """A *pack*: several pieces routed as one unit and dispatched through
+    one compiled batched entry point.
+
+    Produced by the communication-packing optimisation in batch mode.
+    Skeletons route a pack exactly like a piece (by ``index``) but
+    dispatch it via :func:`repro.aop.plan.batched_entry`, so the advice
+    chain runs once per pack (one
+    :class:`~repro.aop.plan.BatchJoinPoint`) while the target method
+    still runs once per item.  ``args``/``kwargs`` stay empty — a pack's
+    payload is its ``items``.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self, index: int, items: Sequence[CallPiece]):
+        super().__init__(index, ())
+        self.items = tuple(items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PackedPiece #{self.index} x{len(self.items)}>"
+
+
+def dispatch_piece(target: Any, name: str, piece: CallPiece) -> Any:
+    """Send one split piece into ``target``'s woven entry point.
+
+    Plain pieces go through the compiled plan installed as the class
+    attribute (fetched per piece, so an aspect (un)plugged mid-split
+    applies to the remaining pieces); packs go through the compiled
+    batched entry — one advice pass for the whole pack.
+    """
+    items = getattr(piece, "items", None)
+    if items is not None:
+        return batched_entry(target, name)(items)
+    return getattr(target, name)(*piece.args, **piece.kwargs)
+
+
+def piece_results(piece: CallPiece, outcome: Any) -> list:
+    """Normalise one dispatch outcome to the per-item result list:
+    futures are resolved, pack outcomes (already per-item lists) are
+    spread, plain piece outcomes become singletons.  Skeletons flatten
+    with this so ``combine`` always sees piece-granular results in index
+    order, packed or not."""
+    if isinstance(outcome, Future):
+        outcome = outcome.result()
+    if getattr(piece, "items", None) is not None:
+        return list(outcome)
+    return [outcome]
 
 
 class WorkSplitter:

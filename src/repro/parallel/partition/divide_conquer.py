@@ -29,13 +29,11 @@ import threading
 from typing import Any, Callable, Sequence
 
 from repro.aop import abstract_pointcut, around, pointcut
-from repro.aop.plan import bound_entry
 from repro.errors import AdviceError
 from repro.middleware.serialize import Serializer
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
-from repro.parallel.partition.base import CallPiece
-from repro.runtime.futures import Future
+from repro.parallel.partition.base import CallPiece, dispatch_piece, piece_results
 
 __all__ = ["DivideAndConquerAspect", "divide_and_conquer_module"]
 
@@ -106,16 +104,15 @@ class DivideAndConquerAspect(ParallelAspect):
             for piece in pieces:
                 worker = self.make_worker(jp.target)
                 self.remember_branch(worker)
-                # recurse through the branch worker's compiled plan entry
-                outcomes.append(
-                    bound_entry(worker, jp.name)(*piece.args, **piece.kwargs)
-                )
+                # recurse through the branch worker's compiled plan entry;
+                # a divide() returning PackedPiece groups recurses through
+                # the compiled batched entry (one advice pass per pack)
+                outcomes.append(dispatch_piece(worker, jp.name, piece))
         finally:
             self._depth.value = depth
-        results = [
-            outcome.result() if isinstance(outcome, Future) else outcome
-            for outcome in outcomes
-        ]
+        results: list = []
+        for piece, outcome in zip(pieces, outcomes):
+            results.extend(piece_results(piece, outcome))
         return self.merge(results)
 
     # -- bookkeeping -------------------------------------------------------------

@@ -23,7 +23,12 @@ from typing import Any
 from repro.aop import around
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
-from repro.parallel.partition.base import PartitionAspect, WorkSplitter
+from repro.parallel.partition.base import (
+    PartitionAspect,
+    WorkSplitter,
+    dispatch_piece,
+    piece_results,
+)
 from repro.runtime.backend import current_backend
 
 __all__ = ["DynamicFarmAspect", "dynamic_farm_module"]
@@ -82,19 +87,18 @@ class DynamicFarmAspect(PartitionAspect):
             # Calls from here must skip this advice but still traverse
             # synchronisation/distribution — flagged per-thread.  Each
             # pulled piece re-enters the (remaining) chain through the
-            # worker's compiled plan entry (the class attribute *is* the
-            # plan — see repro.aop.plan.bound_entry), re-fetched per
+            # worker's compiled plan entry (packs go through the compiled
+            # batched entry — one advice pass per pack), re-fetched per
             # piece so an aspect (un)plugged mid-run applies to the
-            # remaining work; direct getattr keeps the inner loop free
-            # of an extra call frame.
+            # remaining work.
             self._internal.active = True
             try:
                 while True:
                     ok, piece = queue.try_get()
                     if not ok:
                         return
-                    results[piece.index] = getattr(worker, method_name)(
-                        *piece.args, **piece.kwargs
+                    results[piece.index] = dispatch_piece(
+                        worker, method_name, piece
                     )
                     self.served[index] += 1
             finally:
@@ -109,7 +113,10 @@ class DynamicFarmAspect(PartitionAspect):
         ]
         for handle in handles:
             handle.join()
-        return self.splitter.combine(results)
+        flat: list[Any] = []
+        for piece in pieces:
+            flat.extend(piece_results(piece, results[piece.index]))
+        return self.splitter.combine(flat)
 
 
 def dynamic_farm_module(

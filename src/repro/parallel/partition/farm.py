@@ -21,8 +21,12 @@ from typing import Any
 from repro.aop import around
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
-from repro.parallel.partition.base import PartitionAspect, WorkSplitter
-from repro.runtime.futures import Future
+from repro.parallel.partition.base import (
+    PartitionAspect,
+    WorkSplitter,
+    dispatch_piece,
+    piece_results,
+)
 
 __all__ = ["FarmAspect", "farm_module"]
 
@@ -65,16 +69,14 @@ class FarmAspect(PartitionAspect):
         for piece in pieces:
             worker = workers[piece.index % len(workers)]
             # re-enters the chain (concurrency / distribution) through
-            # the worker's compiled plan entry — the class attribute *is*
-            # the plan (repro.aop.plan), fetched per piece so an aspect
-            # (un)plugged mid-split applies to the remaining pieces
-            outcomes[piece.index] = getattr(worker, jp.name)(
-                *piece.args, **piece.kwargs
-            )
-        results = [
-            outcome.result() if isinstance(outcome, Future) else outcome
-            for outcome in outcomes
-        ]
+            # the worker's compiled plan entry — per-piece for plain
+            # pieces, per-pack through the compiled batched entry for
+            # packs (one BatchJoinPoint per pack); fetched per piece so
+            # an aspect (un)plugged mid-split applies to the remainder
+            outcomes[piece.index] = dispatch_piece(worker, jp.name, piece)
+        results: list[Any] = []
+        for piece in pieces:
+            results.extend(piece_results(piece, outcomes[piece.index]))
         return self.splitter.combine(results)
 
 

@@ -27,10 +27,10 @@ from __future__ import annotations
 from typing import Any
 
 from repro.aop import around
-from repro.aop.plan import bound_entry
+from repro.aop.plan import batched_entry, bound_entry
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
-from repro.parallel.partition.base import PartitionAspect, WorkSplitter
+from repro.parallel.partition.base import CallPiece, PartitionAspect, WorkSplitter
 from repro.runtime.futures import Future
 
 __all__ = ["HeartbeatAspect", "heartbeat_module"]
@@ -82,8 +82,8 @@ class HeartbeatAspect(PartitionAspect):
         for _ in range(iterations):
             self.iterations += 1
             # compiled plan entries re-fetched per iteration (one step
-            # entry per worker, one accessor tuple per pair): keeps the
-            # per-work-item chain walk gone while preserving the old
+            # entry per worker, batched accessor entries per exchange):
+            # keeps the per-work-item chain walk gone while preserving
             # per-iteration granularity of "(un)plug on the fly"
             steps = [bound_entry(worker, jp.name) for worker in self.workers]
             # 1. compute phase: one step on every block (possibly async)
@@ -93,31 +93,52 @@ class HeartbeatAspect(PartitionAspect):
             ]
             last_combined = self.splitter.combine(results)
             # 2. exchange phase: neighbouring blocks swap boundaries
-            self._exchange(self._exchange_plan())
+            self._exchange()
         return last_combined
 
-    def _exchange_plan(self) -> list[tuple[Any, Any, Any, Any]]:
-        """Per-pair plan entries ``(left_out, right_out, right_in,
-        left_in)`` for the 1-D neighbour chain."""
-        pairs = []
-        for i in range(len(self.workers) - 1):
-            left, right = self.workers[i], self.workers[i + 1]
-            pairs.append((
-                bound_entry(left, self.exchange_out),
-                bound_entry(right, self.exchange_out),
-                bound_entry(right, self.exchange_in),
-                bound_entry(left, self.exchange_in),
-            ))
-        return pairs
+    def _exchange(self) -> None:
+        """Swap boundary data between adjacent workers (1-D chain), one
+        *batched* accessor call per worker and phase.
 
-    def _exchange(self, plan: list[tuple[Any, Any, Any, Any]]) -> None:
-        """Swap boundary data between adjacent workers (1-D chain)."""
-        for left_out, right_out, right_in, left_in in plan:
-            down = self._value(left_out("bottom"))
-            up = self._value(right_out("top"))
-            right_in("top", down)
-            left_in("bottom", up)
-            self.exchanges += 2
+        Per iteration an interior worker is read twice (its ``bottom``
+        for the pair below, its ``top`` for the pair above) and written
+        twice — the gets and sets each go through one compiled batched
+        entry (one BatchJoinPoint and, under distribution, one message
+        per worker per phase) instead of one call per boundary.  Gathers
+        all read pre-exchange state and scatters write disjoint sides,
+        so gather-all-then-scatter-all is equivalent to the pairwise
+        interleaving of the per-call formulation.
+        """
+        workers = self.workers
+        last = len(workers) - 1
+        boundaries: dict[tuple[int, str], Any] = {}
+        for index, worker in enumerate(workers):
+            sides = []
+            if index < last:
+                sides.append("bottom")  # read by the pair below
+            if index > 0:
+                sides.append("top")  # read by the pair above
+            if not sides:
+                continue
+            values = self._value(  # an async aspect may future the pack
+                batched_entry(worker, self.exchange_out)(
+                    [CallPiece(i, (side,)) for i, side in enumerate(sides)]
+                )
+            )
+            for side, value in zip(sides, values):
+                boundaries[(index, side)] = self._value(value)
+        for index, worker in enumerate(workers):
+            updates = []
+            if index > 0:
+                updates.append(("top", boundaries[(index - 1, "bottom")]))
+            if index < last:
+                updates.append(("bottom", boundaries[(index + 1, "top")]))
+            if not updates:
+                continue
+            batched_entry(worker, self.exchange_in)(
+                [CallPiece(i, update) for i, update in enumerate(updates)]
+            )
+        self.exchanges += 2 * max(last, 0)
 
     @staticmethod
     def _value(outcome: Any) -> Any:

@@ -26,12 +26,17 @@ from __future__ import annotations
 from typing import Any
 
 from repro.aop import around, pointcut
-from repro.aop.plan import bound_entry
+from repro.aop.plan import BatchJoinPoint, batched_entry, piece_view
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
-from repro.parallel.partition.base import PartitionAspect, ResultCollector, WorkSplitter
+from repro.parallel.partition.base import (
+    CallPiece,
+    PartitionAspect,
+    ResultCollector,
+    WorkSplitter,
+    dispatch_piece,
+)
 from repro.runtime.backend import current_backend
-from repro.runtime.futures import Future
 
 __all__ = ["PipelineSplitAspect", "PipelineForwardAspect", "pipeline_module"]
 
@@ -87,12 +92,16 @@ class PipelineSplitAspect(PartitionAspect):
         self.split_calls += 1
         head = self.first if self.first is not None else jp.target
         pieces = self.splitter.split(jp.args, jp.kwargs)
-        self.collector = ResultCollector(len(pieces), current_backend())
-        # one compiled plan entry for the head stage; every piece enters
-        # the pipeline through it
-        method = bound_entry(head, jp.name)
+        # the collector gathers per-item results: a pack counts once per
+        # item (the tail deposits pack results item by item)
+        expected = sum(
+            len(getattr(piece, "items", ())) or 1 for piece in pieces
+        )
+        self.collector = ResultCollector(expected, current_backend())
         for piece in pieces:
-            method(*piece.args, **piece.kwargs)  # re-enters the chain
+            # re-enters the chain through the head stage's compiled plan
+            # entry; packs enter through the compiled batched entry
+            dispatch_piece(head, jp.name, piece)
         results = self.collector.wait()
         self.collector = None
         return self.splitter.combine(results)
@@ -125,6 +134,8 @@ class PipelineForwardAspect(ParallelAspect):
             return jp.proceed()  # not an aspect-managed stage
         result = jp.proceed()  # the stage's own processing
         nxt = co.next[key]
+        if isinstance(jp, BatchJoinPoint):
+            return self._forward_batch(jp, result, nxt)
         if nxt is not None:
             self.forwards += 1
             args, kwargs = co.splitter.forward_args(result, jp.args, jp.kwargs)
@@ -134,6 +145,30 @@ class PipelineForwardAspect(ParallelAspect):
         if co.collector is not None:
             co.collector.deposit(result)
         return result
+
+    def _forward_batch(self, jp, results, nxt):
+        """Pack-granular block 3: forward a whole pack in one batched
+        call.  Per-item forward arguments are computed with the same
+        ``forward_args`` hook, but the pack traverses each inter-stage
+        hop as one compiled batched dispatch (one BatchJoinPoint, and —
+        under distribution — one message) instead of one per item."""
+        co = self.coordinator
+        if nxt is not None:
+            self.forwards += 1
+            items = []
+            # jp.args[0] is the pack at this advice level — an outer
+            # around may have substituted it via proceed(new_pieces)
+            for index, (piece, result) in enumerate(zip(jp.args[0], results)):
+                piece_args, piece_kwargs = piece_view(piece)
+                args, kwargs = co.splitter.forward_args(
+                    result, piece_args, piece_kwargs
+                )
+                items.append(CallPiece(index, args, kwargs))
+            return batched_entry(nxt, jp.name)(items)
+        if co.collector is not None:
+            for result in results:
+                co.collector.deposit(result)
+        return results
 
 
 def pipeline_module(

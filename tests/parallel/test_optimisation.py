@@ -134,6 +134,154 @@ class TestCommunicationPacking:
             CommunicationPackingAspect(object(), 0)
 
 
+class TestBatchedPacking:
+    """Batch-mode packing: packs dispatch through the compiled batched
+    entry — one BatchJoinPoint per pack, no merge_pieces required."""
+
+    def make_farm(self, factor, duplicates=2, batch=None, merge=False):
+        class Adder:
+            def __init__(self):
+                self.calls = 0
+
+            def add(self, values):
+                self.calls += 1
+                return [v + 1 for v in values]
+
+        weave(Adder)
+
+        def split(args, kwargs):
+            (values,) = args
+            return [CallPiece(i, ([v],)) for i, v in enumerate(values)]
+
+        def combine(results):
+            return [v for r in results for v in r]
+
+        def merge_pieces(pieces):
+            merged = [v for p in pieces for v in p.args[0]]
+            return CallPiece(pieces[0].index, (merged,))
+
+        splitter = WorkSplitter(
+            duplicates=duplicates,
+            split=split,
+            combine=combine,
+            merge_pieces=merge_pieces if merge else None,
+        )
+        module = farm_module(
+            splitter, "initialization(Adder.new(..))", "call(Adder.add(..))"
+        )
+        comp = Composition("farm", [module])
+        packing = CommunicationPackingAspect(
+            module.coordinator, factor, batch=batch
+        )
+        comp.plug(ParallelModule("packing", Concern.OPTIMISATION, [packing]))
+        return Adder, comp, module.coordinator, packing
+
+    def test_batch_mode_is_default_without_merge_pieces(self):
+        Adder, comp, farm, packing = self.make_farm(factor=3)
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Adder]):
+                adder = Adder()
+                result = adder.add(list(range(6)))
+        # combine sees per-ITEM results in original order (unlike merge
+        # mode, which sees pack-granular results)
+        assert result == [v + 1 for v in range(6)]
+        assert packing.packed_messages == 2
+        # the target method still ran once per item
+        assert sum(w.calls for w in farm.workers) == 6
+
+    def test_batch_pack_allocates_one_joinpoint(self):
+        import repro.aop.plan as plan_mod
+        from repro.aop.plan import BatchJoinPoint, JoinPoint
+
+        counts = {"jp": 0, "batch": 0}
+
+        class CountingJP(JoinPoint):
+            __slots__ = ()
+
+            def __init__(self, *args, **kwargs):
+                counts["jp"] += 1
+                super().__init__(*args, **kwargs)
+
+        class CountingBatchJP(BatchJoinPoint):
+            __slots__ = ()
+
+            def __init__(self, *args, **kwargs):
+                counts["batch"] += 1
+                super().__init__(*args, **kwargs)
+
+        Adder, comp, farm, packing = self.make_farm(factor=4, batch=True)
+        saved = plan_mod.JoinPoint, plan_mod.BatchJoinPoint
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Adder]):
+                adder = Adder()
+                plan_mod.JoinPoint = CountingJP
+                plan_mod.BatchJoinPoint = CountingBatchJP
+                try:
+                    result = adder.add(list(range(8)))
+                finally:
+                    plan_mod.JoinPoint, plan_mod.BatchJoinPoint = saved
+        assert result == [v + 1 for v in range(8)]
+        # 8 items / factor 4 -> 2 packs -> 2 BatchJoinPoints, plus the
+        # single JoinPoint of the client's own split call
+        assert counts["batch"] == 2
+        assert counts["jp"] == 1
+
+    def test_forced_batch_mode_beats_missing_merge_support(self):
+        # a splitter WITH merge support can still opt into batch mode
+        Adder, comp, farm, packing = self.make_farm(
+            factor=2, batch=True, merge=True
+        )
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Adder]):
+                result = Adder().add(list(range(4)))
+        assert result == [v + 1 for v in range(4)]
+        assert sum(w.calls for w in farm.workers) == 4
+
+
+class TestBatchedPipeline:
+    """Packs traverse pipeline stages as single batched hops."""
+
+    def test_pack_forwarded_batched_through_stages(self):
+        from repro.parallel import pipeline_module
+
+        class Stage:
+            def __init__(self, offset=0):
+                self.offset = offset
+                self.calls = 0
+
+            def work(self, value):
+                self.calls += 1
+                return value + self.offset + 1
+
+        weave(Stage)
+
+        def split(args, kwargs):
+            (values,) = args
+            return [CallPiece(i, (v,)) for i, v in enumerate(values)]
+
+        splitter = WorkSplitter(
+            duplicates=2,
+            split=split,
+            combine=lambda results: sorted(results),
+            forward_args=lambda result, args, kwargs: ((result,), {}),
+        )
+        module = pipeline_module(
+            splitter, "initialization(Stage.new(..))", "call(Stage.work(..))"
+        )
+        comp = Composition("pipe", [module])
+        packing = CommunicationPackingAspect(module.coordinator, 2, batch=True)
+        comp.plug(ParallelModule("packing", Concern.OPTIMISATION, [packing]))
+        forward = module.aspects[1]
+        with use_backend(ThreadBackend()):
+            with comp.deployed(default_weaver, targets=[Stage]):
+                result = Stage().work([10, 20, 30, 40])
+        # two stages, each +1 -> every item gains 2
+        assert result == [12, 22, 32, 42]
+        # 4 items / factor 2 -> 2 packs, each forwarded once (stage1 ->
+        # stage2), batched: 2 forwards instead of 4
+        assert forward.forwards == 2
+
+
 class TestObjectCache:
     def make_service(self):
         class Service:

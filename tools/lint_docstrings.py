@@ -1,0 +1,47 @@
+"""Docstring lint: every public module under ``src/repro`` must carry a
+module docstring.
+
+Run by ``make lint``.  A *public* module is any ``.py`` file whose path
+contains no underscore-prefixed component (``__init__.py`` counts as
+public — it documents its package).  Exits non-zero listing offenders so
+CI fails loudly when an undocumented module lands.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def is_public(relative: Path) -> bool:
+    return not any(
+        part.startswith("_") and part != "__init__.py"
+        for part in relative.parts
+    )
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    missing: list[Path] = []
+    for path in sorted(root.rglob("*.py")):
+        if not is_public(path.relative_to(root)):
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:  # compileall catches these too
+            print(f"lint: {path}: syntax error: {exc}", file=sys.stderr)
+            return 1
+        if ast.get_docstring(tree) is None:
+            missing.append(path)
+    if missing:
+        print("modules missing a docstring:", file=sys.stderr)
+        for path in missing:
+            print(f"  {path}", file=sys.stderr)
+        return 1
+    print(f"docstring lint ok ({sum(1 for _ in root.rglob('*.py'))} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
