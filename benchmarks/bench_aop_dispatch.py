@@ -18,7 +18,11 @@ with pytest-benchmark, grounding the model:
   joinpoint per pack;
 * re-plug churn: deploy/undeploy against many woven bystander classes,
   which exercises the targeted plan invalidation (only matching shadows
-  recompile).
+  recompile);
+* the ParallelApp submit path: an 8-item pack through ``app.map`` over
+  simulated MPP, fire-and-forget (``oneway`` — one message per pack, no
+  reply wait, asserted as an invariant) vs the same pack with a reply
+  round-trip.
 
 Results are also appended to ``benchmarks/BENCH_dispatch.json`` by the
 conftest hook so the trajectory is tracked across PRs.
@@ -313,3 +317,98 @@ def test_initialization_interception(benchmark):
             Target()
 
     benchmark(build)
+
+
+# ---------------------------------------------------------------------------
+# Submit path: ParallelApp packs over the simulated middleware
+# ---------------------------------------------------------------------------
+
+
+def make_service_app(oneway):
+    """A partition-less ParallelApp over simulated MPP — the service
+    shape `app.map(pack=...)` targets."""
+    from repro.api import ParallelApp, StackSpec
+    from repro.cluster import paper_testbed
+    from repro.sim import Simulator
+
+    class Service:
+        def __init__(self):
+            self.calls = 0
+
+        def handle(self, x):
+            self.calls += 1
+            return x + 1
+
+    sim = Simulator()
+    app = ParallelApp(
+        StackSpec(
+            target=Service,
+            work="handle",
+            strategy="none",
+            concurrency=False,
+            middleware="mpp",
+            cluster=paper_testbed(sim),
+            oneway=("handle",) if oneway else (),
+        )
+    )
+    return sim, app
+
+
+def test_submit_oneway_pack8(benchmark):
+    """`app.map(pack=8, oneway=True)`: the whole pack is ONE message and
+    the client never waits for a reply — the trajectory's fire-and-forget
+    submit path."""
+    sim, app = make_service_app(oneway=True)
+    payload = list(range(PACK))
+    try:
+        app.deploy()
+        app.start()
+        cluster = app.spec.cluster
+        # invariant: one wire message per pack, zero replies, futures
+        # resolved to None placeholders at send time
+        before_msgs = cluster.network.messages
+        before_oneway = app.middleware.oneway_calls
+        group = app.map(payload, pack=True, oneway=True)
+        assert group.results() == [None] * PACK
+        assert cluster.network.messages - before_msgs == 1
+        assert app.middleware.oneway_calls - before_oneway == 1
+
+        def loop():
+            out = None
+            for _ in range(N // PACK):
+                out = app.map(payload, pack=True, oneway=True).results()
+            return out
+
+        assert benchmark(loop) == [None] * PACK
+    finally:
+        app.undeploy()
+        app.shutdown()
+        sim.shutdown()
+
+
+def test_submit_roundtrip_pack8(benchmark):
+    """The same 8-item pack with a reply wait (oneway off): one request
+    message + one reply per pack — the cost the oneway path removes."""
+    sim, app = make_service_app(oneway=False)
+    payload = list(range(PACK))
+    expected = [i + 1 for i in range(PACK)]
+    try:
+        app.deploy()
+        app.start()
+        cluster = app.spec.cluster
+        before_msgs = cluster.network.messages
+        group = app.map(payload, pack=True)
+        assert group.results() == expected
+        assert cluster.network.messages - before_msgs == 2  # request + reply
+
+        def loop():
+            out = None
+            for _ in range(N // PACK):
+                out = app.map(payload, pack=True).results()
+            return out
+
+        assert benchmark(loop) == expected
+    finally:
+        app.undeploy()
+        app.shutdown()
+        sim.shutdown()

@@ -1,28 +1,20 @@
 #!/usr/bin/env python3
-"""Heartbeat parallelisation of a Jacobi heat-diffusion solver.
+"""Heartbeat strategy on the declarative API: Jacobi heat diffusion.
 
-The third strategy category the paper reports (pipeline / farm /
-heartbeat).  The heartbeat aspect re-expresses the sequential
-``solve(iterations)`` call as: one sweep on every block worker, halo
-exchange between neighbours, repeat — and the block-decomposed result is
-bit-identical to the sequential solver.
+The heartbeat spec re-expresses the sequential ``solve(iterations)``
+call as: one sweep on every block worker, halo exchange between
+neighbours, repeat.  The deployment is one
+:class:`~repro.api.spec.StackSpec`; the run is ``app.start`` +
+``app.submit``, and the block-decomposed result is verified identical
+to the sequential solver.
 
 Run:  python examples/jacobi_heartbeat.py
 """
 
 import numpy as np
 
-from repro.aop import weave
-from repro.aop.weaver import default_weaver
-from repro.apps.jacobi import (
-    JACOBI_CREATION,
-    JACOBI_WORK,
-    JacobiGrid,
-    jacobi_splitter,
-    stitch_blocks,
-)
-from repro.parallel import Composition, concurrency_module, heartbeat_module
-from repro.runtime import Future, ThreadBackend, use_backend
+from repro.api import ParallelApp
+from repro.apps.jacobi import JacobiGrid, jacobi_spec, stitch_blocks
 
 ROWS, COLS, ITERS, BLOCKS = 24, 32, 200, 4
 
@@ -45,23 +37,17 @@ def main():
     expected = sequential.interior()
 
     print(f"heartbeat solve ({BLOCKS} blocks + thread concurrency)...")
-    module = heartbeat_module(jacobi_splitter(BLOCKS), JACOBI_CREATION, JACOBI_WORK)
-    composition = Composition(
-        "jacobi-heartbeat", [module, concurrency_module(JACOBI_WORK, JACOBI_WORK)]
-    )
-    weave(JacobiGrid)
-    with use_backend(ThreadBackend()):
-        with composition.deployed(default_weaver, targets=[JacobiGrid]):
-            grid = JacobiGrid(ROWS, COLS)
-            residual = grid.solve(ITERS)
-            if isinstance(residual, Future):
-                residual = residual.result()
-            aspect = module.coordinator
-            parallel = stitch_blocks(aspect.workers)
-            print(
-                f"  {len(aspect.workers)} blocks, {aspect.iterations} heartbeats, "
-                f"{aspect.exchanges} halo exchanges, final residual {residual:.2e}"
-            )
+    app = ParallelApp(jacobi_spec(blocks=BLOCKS, backend="thread"))
+    print(f"  {app.describe()}")
+    with app:
+        app.start(ROWS, COLS)
+        residual = app.submit(ITERS).result()
+        aspect = app.partition
+        parallel = stitch_blocks(aspect.workers)
+        print(
+            f"  {len(aspect.workers)} blocks, {aspect.iterations} heartbeats, "
+            f"{aspect.exchanges} halo exchanges, final residual {residual:.2e}"
+        )
 
     identical = np.allclose(parallel, expected)
     print(f"parallel == sequential: {identical}\n")

@@ -1,23 +1,19 @@
 #!/usr/bin/env python3
-"""Farm parallelisation of a Mandelbrot renderer (real threads).
+"""Farm strategy on the declarative API: Mandelbrot rendering.
 
-The core renderer is plain sequential code; the farm + concurrency
-modules are the *same reusable aspects* the sieve uses — only the
-splitter (how to duplicate and split) is application-specific.  The
-woven parallel image is verified identical to the sequential one and
-printed as ASCII art.
+The core renderer is plain sequential code; the whole parallel
+deployment is one :class:`~repro.api.spec.StackSpec` (the farm + the
+thread backend) and the run is ``app.start`` + ``app.submit`` — a
+future-returning call on the woven renderer.  The parallel image is
+verified identical to the sequential one and printed as ASCII art.
 
 Run:  python examples/mandelbrot_farm.py
 """
 
 import numpy as np
 
-from repro.aop import weave
-from repro.aop.weaver import default_weaver
-from repro.apps.mandelbrot import MandelbrotRenderer, MandelbrotScene, mandelbrot_splitter
-from repro.apps.mandelbrot.aspects import MANDEL_CREATION, MANDEL_WORK
-from repro.parallel import Composition, concurrency_module, farm_module
-from repro.runtime import Future, ThreadBackend, use_backend
+from repro.api import ParallelApp
+from repro.apps.mandelbrot import MandelbrotRenderer, MandelbrotScene, mandelbrot_spec
 
 SHADES = " .:-=+*#%@"
 
@@ -40,24 +36,11 @@ def main():
     sequential = MandelbrotRenderer(scene).render_all()
 
     print("parallel render (farm of 4 workers, 12 bands, thread backend)...")
-    composition = Composition(
-        "mandelbrot-farm",
-        [
-            farm_module(
-                mandelbrot_splitter(workers=4, bands=12),
-                MANDEL_CREATION,
-                MANDEL_WORK,
-            ),
-            concurrency_module(MANDEL_WORK, MANDEL_WORK),
-        ],
-    )
-    weave(MandelbrotRenderer)
-    with use_backend(ThreadBackend()):
-        with composition.deployed(default_weaver, targets=[MandelbrotRenderer]):
-            renderer = MandelbrotRenderer(scene)
-            image = renderer.render(np.arange(scene.height))
-            if isinstance(image, Future):
-                image = image.result()
+    app = ParallelApp(mandelbrot_spec(workers=4, bands=12, backend="thread"))
+    print(f"  {app.describe()}")
+    with app:
+        app.start(scene)
+        image = app.submit(np.arange(scene.height)).result()
 
     identical = np.array_equal(image, sequential)
     print(f"parallel == sequential: {identical}\n")

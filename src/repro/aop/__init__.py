@@ -66,11 +66,13 @@ from repro.aop.pointcut import (
 )
 from repro.aop.plan import (
     BatchJoinPoint,
+    CtorPack,
     MethodTable,
     PlanStats,
     Shadow,
     batched_entry,
     bound_entry,
+    ctor_pack_of,
     piece_view,
 )
 from repro.aop.signature import (
@@ -157,6 +159,8 @@ __all__ = [
     "PlanStats",
     "MethodTable",
     "BatchJoinPoint",
+    "CtorPack",
+    "ctor_pack_of",
     "bound_entry",
     "batched_entry",
     "piece_view",

@@ -90,6 +90,8 @@ __all__ = [
     "PlanStats",
     "MethodTable",
     "BatchJoinPoint",
+    "CtorPack",
+    "ctor_pack_of",
     "compile_call_impl",
     "compile_batch_impl",
     "bound_entry",
@@ -178,6 +180,53 @@ class BatchJoinPoint(JoinPoint):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<BatchJoinPoint {self.signature} x{len(self.pieces)}>"
+
+
+class CtorPack:
+    """A pack of constructor argument sets — batched *construction*.
+
+    Duplication loops (farm/pipeline worker creation) used to call
+    ``jp.proceed(*args_i)`` once per duplicate, paying one traversal of
+    the remaining initialization chain — and, under distribution, one
+    create-remote advice execution — *per worker*.  Passing a
+    ``CtorPack`` to a single ``proceed`` instead runs the inner chain
+    **once per duplicate set**: the weaver's innermost construction step
+    recognises the pack and builds one fully-initialised instance per
+    argset, returning the list in argset order.  Inner advice that cares
+    about construction (the distribution aspect) detects the pack via
+    :func:`ctor_pack_of` and handles the whole set in its single pass.
+
+    ``argsets`` is a tuple of ``(args, kwargs)`` pairs, one per
+    duplicate, in duplicate-index order.
+    """
+
+    __slots__ = ("argsets",)
+
+    def __init__(self, argsets: Any):
+        self.argsets = tuple(
+            (tuple(args), dict(kwargs)) for args, kwargs in argsets
+        )
+
+    def __len__(self) -> int:
+        return len(self.argsets)
+
+    def __iter__(self) -> Any:
+        return iter(self.argsets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CtorPack x{len(self.argsets)}>"
+
+
+def ctor_pack_of(jp: Any) -> "CtorPack | None":
+    """The :class:`CtorPack` travelling through an initialization
+    joinpoint, or ``None`` for an ordinary per-instance construction.
+    Advice on construction joinpoints that needs to act per instance
+    (e.g. the distribution aspect's create-remote) calls this to decide
+    whether ``proceed`` will hand back one instance or a list."""
+    args = jp.args
+    if len(args) == 1 and not jp.kwargs and isinstance(args[0], CtorPack):
+        return args[0]
+    return None
 
 
 class Shadow:

@@ -40,6 +40,11 @@ Construction semantics (matching paper Section 4.1):
   several times — each call builds a **fresh fully-initialised instance**
   (the aspect-managed objects of Figure 4) — and may return any object to
   the client;
+* passing a :class:`~repro.aop.plan.CtorPack` to a single ``proceed``
+  performs **batched construction**: the innermost step builds one
+  instance per argset and returns the list, so a duplication loop pays
+  one traversal of the inner initialization chain per duplicate *set*
+  instead of one per worker;
 * constructions performed *inside advice bodies* (e.g. the partition
   aspect composing its own helpers) take the raw path and are NOT
   re-intercepted — "this pointcut only intercepts object creations in the
@@ -67,6 +72,7 @@ from repro.aop.cflow import (
 from repro.aop.intertype import IntertypeApplier
 from repro.aop.joinpoint import JoinPoint, JoinPointKind
 from repro.aop.plan import (
+    CtorPack,
     PlanStats,
     Shadow,
     compile_call_impl,
@@ -557,6 +563,11 @@ class Weaver:
                 jp._caller = resolve_caller()
 
             def construct(*a: Any, **k: Any) -> Any:
+                # a CtorPack through proceed is a *batched* construction:
+                # one chain pass built N instances (see plan.CtorPack)
+                if len(a) == 1 and not k and isinstance(a[0], CtorPack):
+                    with bypassing_construction():
+                        return [cls(*pa, **pk) for pa, pk in a[0].argsets]
                 with bypassing_construction():
                     return cls(*a, **k)
 

@@ -1,0 +1,448 @@
+"""`ParallelApp`: assemble, deploy, and drive a stack — futures first.
+
+Where :class:`~repro.api.spec.StackSpec` *describes* a stack, a
+:class:`ParallelApp` *is* one: it resolves the spec's registry names
+into modules, assembles the :class:`~repro.parallel.composition.Composition`,
+resolves the execution backend, and exposes a submission API built on
+:mod:`repro.runtime.futures`:
+
+* :meth:`ParallelApp.start` constructs the woven target (running the
+  duplication advice) inside the app's execution context;
+* :meth:`ParallelApp.submit` dispatches one work call and returns a
+  :class:`~repro.runtime.futures.Future` immediately;
+* :meth:`ParallelApp.map` dispatches many payloads — per item, or as
+  *packs* through the compiled batched entry point
+  (:func:`repro.aop.plan.batched_entry`): one advice pass and, under
+  distribution, one message per pack.  Packs to methods declared
+  ``oneway`` in the spec are fire-and-forget — the middleware sends one
+  message and never waits for a reply.
+
+On the simulation backend, calls made from *outside* the simulator are
+transparently wrapped in a simulated process and driven to completion
+(the returned future is already resolved); calls made from *inside* a
+simulated process spawn sibling activities and return genuinely pending
+futures.  On the thread backend every submission is a spawned thread.
+The same application code therefore runs functionally and on the
+simulated cluster — the paper's pluggable-platform claim, applied to the
+API itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.aop.plan import batched_entry
+from repro.aop.weaver import Weaver, default_weaver
+from repro.api.registry import BACKENDS, MIDDLEWARES, STRATEGIES
+from repro.api.spec import StackSpec
+from repro.errors import DeploymentError
+from repro.middleware.context import use_node
+from repro.parallel.composition import Composition, ParallelModule
+from repro.parallel.concern import Concern
+from repro.parallel.concurrency import concurrency_module
+from repro.parallel.partition.base import CallPiece
+from repro.runtime.backend import ExecutionBackend, use_backend
+from repro.runtime.futures import Future, FutureGroup
+from repro.runtime.simbackend import SimBackend
+from repro.sim import current_process
+
+__all__ = ["ParallelApp", "AppBuilder"]
+
+
+class ParallelApp:
+    """One assembled, deployable, submittable parallel application."""
+
+    def __init__(self, spec: StackSpec):
+        spec.validate()
+        self.spec = spec
+        self.weaver: Weaver = spec.weaver if spec.weaver is not None else default_weaver
+        self.instance: Any = None
+        self.partition: Any = None
+        self.async_aspect: Any = None
+        self.distribution: Any = None
+        self.middleware: Any = None
+        self.extra_middleware: Any = None
+        self.modules: dict[str, ParallelModule] = {}
+        creation = spec.creation_pointcut
+        work = spec.work_pointcut
+        name = spec.name if spec.name is not None else f"{spec.strategy}+{spec.middleware}"
+        self.composition = Composition(name)
+
+        # -- partition -----------------------------------------------------
+        builder = STRATEGIES.get(spec.strategy)
+        module = builder(spec.splitter, creation, work, **spec.strategy_options)
+        if module is not None:
+            self._plug(module)
+            self.partition = getattr(module, "coordinator", None)
+
+        # -- concurrency (unless merged into the partition module) ---------
+        merged = module is not None and getattr(module, "provides_concurrency", False)
+        if spec.concurrency and not merged:
+            conc = concurrency_module(work, work)
+            self._plug(conc)
+            self.async_aspect = conc.async_aspect  # type: ignore[attr-defined]
+
+        # -- distribution --------------------------------------------------
+        bundle = MIDDLEWARES.get(spec.middleware)
+        self.middleware, self.extra_middleware, dist_module = bundle(
+            spec.cluster,
+            creation,
+            work,
+            placement=spec.placement,
+            oneway=spec.oneway,
+            **spec.middleware_options,
+        )
+        if dist_module is not None:
+            self._plug(dist_module)
+            self.distribution = getattr(dist_module, "aspect", None)
+
+        # -- instrumentation + optimisations -------------------------------
+        if spec.cost is not None:
+            self._plug(
+                ParallelModule("cost-model", Concern.INSTRUMENTATION, [spec.cost])
+            )
+        for index, extra in enumerate(spec.optimisations):
+            if isinstance(extra, ParallelModule):
+                self._plug(extra)
+            else:  # a bare aspect: wrap it as its own module
+                concern = getattr(extra, "concern", Concern.OPTIMISATION)
+                self._plug(
+                    ParallelModule(f"optimisation-{index}", concern, [extra])
+                )
+
+        # -- execution backend ---------------------------------------------
+        self.backend = self._resolve_backend(spec)
+        #: the simulator driving a sim-backend app (None on threads)
+        self.sim = getattr(self.backend, "sim", None)
+        self._submissions = 0
+
+    @staticmethod
+    def _resolve_backend(spec: StackSpec) -> ExecutionBackend:
+        backend = spec.backend
+        if backend is None:
+            backend = "sim" if spec.cluster is not None else "thread"
+        if isinstance(backend, str):
+            return BACKENDS.get(backend)(cluster=spec.cluster)
+        if not isinstance(backend, ExecutionBackend):
+            raise DeploymentError(
+                f"StackSpec.backend must be a registry name or an "
+                f"ExecutionBackend, got {backend!r}"
+            )
+        return backend
+
+    def _plug(self, module: ParallelModule) -> ParallelModule:
+        self.composition.plug(module)
+        self.modules[module.name] = module
+        return module
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def deploy(self) -> "ParallelApp":
+        """Weave the target and deploy every module."""
+        self.composition.deploy(self.weaver, targets=[self.spec.target])
+        return self
+
+    def undeploy(self) -> None:
+        """Undeploy every module (the target class stays woven)."""
+        self.composition.undeploy()
+
+    def shutdown(self) -> None:
+        """Stop middleware server activities (end of run)."""
+        for mw in (self.middleware, self.extra_middleware):
+            if mw is not None:
+                mw.shutdown()
+
+    def __enter__(self) -> "ParallelApp":
+        return self.deploy()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.undeploy()
+        self.shutdown()
+
+    def describe(self) -> str:
+        """Table-1-style description of the assembled composition."""
+        return self.composition.describe()
+
+    # -- execution context ---------------------------------------------------
+
+    def _contextualise(self, fn: Callable[[], Any]) -> Callable[[], Any]:
+        """Wrap ``fn`` so it runs under this app's backend (and, when a
+        cluster exists, placed on its head node)."""
+        cluster = self.spec.cluster
+
+        def body() -> Any:
+            with use_backend(self.backend):
+                if cluster is not None:
+                    with use_node(cluster.head):
+                        return fn()
+                return fn()
+
+        return body
+
+    def _outside_simulation(self) -> bool:
+        return isinstance(self.backend, SimBackend) and current_process() is None
+
+    def execute(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn()`` inside the app's execution context and return its
+        result — driving the simulator when called from outside it."""
+        body = self._contextualise(fn)
+        if self._outside_simulation():
+            out: dict[str, Any] = {}
+
+            def main() -> None:
+                out["result"] = body()
+
+            self.sim.spawn(main, name="api.execute")
+            self.sim.run()
+            return out["result"]
+        return body()
+
+    def _dispatch(self, perform: Callable[[], None], name: str) -> None:
+        """Run ``perform`` asynchronously in context: a spawned activity
+        inside a live execution, a driven simulation run from outside."""
+        body = self._contextualise(perform)
+        if self._outside_simulation():
+            self.sim.spawn(body, name=name)
+            self.sim.run()
+            return
+        self.backend.spawn(body, name=name)
+
+    # -- submission ----------------------------------------------------------
+
+    def start(self, *args: Any, **kwargs: Any) -> Any:
+        """Construct the (woven) target instance — the client-visible
+        object whose calls the stack intercepts.  Runs the duplication
+        advice, so workers/stages exist afterwards."""
+        target = self.spec.target
+
+        def build() -> Any:
+            return target(*args, **kwargs)
+
+        self.instance = self.execute(build)
+        return self.instance
+
+    def _entry_instance(self) -> Any:
+        if self.instance is None:
+            raise DeploymentError(
+                "no target instance yet — call app.start(*ctor_args) "
+                "inside the deployed context first"
+            )
+        return self.instance
+
+    def _check_oneway(self, oneway: bool) -> None:
+        if oneway and self.spec.resolved_work_method not in self.spec.oneway:
+            raise DeploymentError(
+                f"method {self.spec.resolved_work_method!r} is not declared "
+                f"oneway in the spec (oneway={list(self.spec.oneway)}); "
+                f"fire-and-forget must be declared so the transport knows"
+            )
+
+    def submit(self, *args: Any, oneway: bool = False, **kwargs: Any) -> Future:
+        """Dispatch one work call; returns a :class:`Future` immediately.
+
+        The call enters the woven method (running the full advice chain:
+        split, spawn, redirect...); nested futures produced by the
+        concurrency aspect are transparently unwrapped.  With
+        ``oneway=True`` (the method must be declared in
+        ``spec.oneway``) the future resolves to ``None`` as soon as the
+        send completes.
+        """
+        self._check_oneway(oneway)
+        instance = self._entry_instance()
+        method = self.spec.resolved_work_method
+        self._submissions += 1
+        future = Future(
+            name=f"submit.{method}.{self._submissions}", backend=self.backend
+        )
+
+        def perform() -> None:
+            try:
+                result = getattr(instance, method)(*args, **kwargs)
+                if isinstance(result, Future):
+                    result = result.result()
+                future.set_result(result)
+            except Exception as exc:  # noqa: BLE001 - delivered via future
+                future.set_exception(exc)
+
+        self._dispatch(perform, name=future.name)
+        return future
+
+    def map(
+        self,
+        items: Iterable[Any],
+        pack: bool | int = False,
+        oneway: bool = False,
+    ) -> FutureGroup:
+        """Dispatch one work call per payload; returns a
+        :class:`FutureGroup` of per-item futures in payload order.
+
+        Each item is the work method's positional argument (pass tuples
+        for multi-argument calls).  ``pack`` switches to *batched*
+        submission: payloads are grouped (``True`` = one pack, an int =
+        packs of that size) and each pack rides the compiled batched
+        entry point — the advice chain runs once per pack around a
+        :class:`~repro.aop.plan.BatchJoinPoint` and, under distribution,
+        the whole pack is one message.  Pack submission targets
+        partition-less (service-style) stacks: a live partition module
+        would try to data-split the pack-level arguments, so it is
+        rejected eagerly.  With ``oneway=True`` packs are sent
+        fire-and-forget and every future resolves to ``None``.
+        """
+        payloads = [item if isinstance(item, tuple) else (item,) for item in items]
+        if not pack:
+            return FutureGroup.of(
+                self.submit(*payload, oneway=oneway) for payload in payloads
+            )
+        if self.partition is not None:
+            raise DeploymentError(
+                "pack submission needs a partition-less spec "
+                "(strategy='none'): a live partition module would split "
+                "the pack-level arguments; use plain map()/submit() or "
+                "the CommunicationPackingAspect for split-level packing"
+            )
+        self._check_oneway(oneway)
+        instance = self._entry_instance()
+        method = self.spec.resolved_work_method
+        if not payloads:
+            return FutureGroup()  # nothing to pack
+        size = len(payloads) if pack is True else int(pack)
+        if size < 1:
+            raise DeploymentError(f"pack size must be >= 1, got {size}")
+        group = FutureGroup()
+        # futures must live on the app's backend (like submit's), not the
+        # ambient one — a sim-process caller waiting on a thread-event
+        # future would deadlock the simulation's only OS thread
+        futures = [
+            group.add(Future(name=f"map.{method}.{i}", backend=self.backend))
+            for i in range(len(payloads))
+        ]
+
+        def perform_pack(start: int, pieces: list[CallPiece]) -> None:
+            try:
+                entry = batched_entry(instance, method, self.weaver)
+                results = entry(pieces)
+                if isinstance(results, Future):
+                    results = results.result()
+                if results is None:  # oneway pack: no reply at all
+                    results = [None] * len(pieces)
+                for offset, result in enumerate(results):
+                    futures[start + offset].set_result(result)
+            except Exception as exc:  # noqa: BLE001 - delivered via futures
+                for offset in range(len(pieces)):
+                    if not futures[start + offset].resolved:
+                        futures[start + offset].set_exception(exc)
+
+        for start in range(0, len(payloads), size):
+            chunk = payloads[start : start + size]
+            pieces = [
+                CallPiece(index, payload) for index, payload in enumerate(chunk)
+            ]
+            self._dispatch(
+                lambda s=start, p=pieces: perform_pack(s, p),
+                name=f"map.pack.{method}.{start}",
+            )
+        return group
+
+    def call(self, *args: Any, **kwargs: Any) -> Any:
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(*args, **kwargs).result()
+
+    # -- fluent construction --------------------------------------------------
+
+    @classmethod
+    def of(cls, target: type) -> "AppBuilder":
+        """Start a fluent builder: ``ParallelApp.of(X).work("f").build()``."""
+        return AppBuilder(target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ParallelApp {self.composition.name} target={self.spec.target.__name__}>"
+
+
+class AppBuilder:
+    """Fluent accumulator producing a validated :class:`ParallelApp`.
+
+    Every setter returns the builder; :meth:`build` validates the
+    accumulated spec eagerly and assembles the app::
+
+        app = (ParallelApp.of(MandelbrotRenderer)
+               .work("render")
+               .splitter(mandelbrot_splitter(4, 12))
+               .strategy("farm")
+               .backend("thread")
+               .build())
+    """
+
+    def __init__(self, target: type):
+        self._fields: dict[str, Any] = {"target": target}
+
+    def _set(self, **values: Any) -> "AppBuilder":
+        self._fields.update(values)
+        return self
+
+    def work(self, pointcut: str, method: str | None = None) -> "AppBuilder":
+        """Name the work joinpoints (bare method name or pointcut)."""
+        return self._set(work=pointcut, work_method=method)
+
+    def creation(self, pointcut: str) -> "AppBuilder":
+        """Name the construction joinpoint to duplicate."""
+        return self._set(creation=pointcut)
+
+    def splitter(self, splitter: Any) -> "AppBuilder":
+        """Attach the application-supplied WorkSplitter."""
+        return self._set(splitter=splitter)
+
+    def strategy(self, name: str, **options: Any) -> "AppBuilder":
+        """Choose the partition strategy (plus builder options)."""
+        return self._set(strategy=name, strategy_options=options)
+
+    def concurrency(self, enabled: bool = True) -> "AppBuilder":
+        """Toggle the asynchronous-invocation module."""
+        return self._set(concurrency=enabled)
+
+    def middleware(self, name: str, cluster: Any = None, **options: Any) -> "AppBuilder":
+        """Choose the distribution middleware (plus its cluster)."""
+        values: dict[str, Any] = {"middleware": name, "middleware_options": options}
+        if cluster is not None:
+            values["cluster"] = cluster
+        return self._set(**values)
+
+    def cluster(self, cluster: Any) -> "AppBuilder":
+        """Attach the simulated cluster."""
+        return self._set(cluster=cluster)
+
+    def placement(self, policy: Any) -> "AppBuilder":
+        """Choose the servant placement policy."""
+        return self._set(placement=policy)
+
+    def backend(self, backend: Any) -> "AppBuilder":
+        """Choose the execution backend (registry name or instance)."""
+        return self._set(backend=backend)
+
+    def oneway(self, *methods: str) -> "AppBuilder":
+        """Declare fire-and-forget methods."""
+        return self._set(oneway=tuple(methods))
+
+    def cost(self, aspect: Any) -> "AppBuilder":
+        """Attach a cost-instrumentation aspect (simulated runs)."""
+        return self._set(cost=aspect)
+
+    def optimise(self, *extras: Any) -> "AppBuilder":
+        """Plug optimisation modules/aspects (innermost, in order)."""
+        existing = self._fields.get("optimisations", ())
+        return self._set(optimisations=tuple(existing) + extras)
+
+    def named(self, name: str) -> "AppBuilder":
+        """Set the composition's display name."""
+        return self._set(name=name)
+
+    def weaver(self, weaver: Any) -> "AppBuilder":
+        """Use a non-default weaver (isolated tests)."""
+        return self._set(weaver=weaver)
+
+    def spec(self) -> StackSpec:
+        """The accumulated (validated) StackSpec."""
+        return StackSpec(**self._fields).validate()
+
+    def build(self) -> ParallelApp:
+        """Validate eagerly and assemble the ParallelApp."""
+        return ParallelApp(self.spec())

@@ -1,0 +1,164 @@
+"""Open registries for strategies, middlewares, and execution backends.
+
+The seed's front door hard-coded its catalogues as tuples
+(``STRATEGIES``/``MIDDLEWARES`` in ``skeletons.py``), so adding a new
+partition strategy meant editing the facade.  This module replaces the
+tuples with three :class:`Registry` instances that any package — the
+built-in modules or an application — can extend::
+
+    from repro.api.registry import register_strategy
+
+    @register_strategy("wavefront")
+    def wavefront_module(splitter, creation, work, **options):
+        ...
+        return module
+
+Registered entries:
+
+* **strategies** — builders ``(splitter, creation, work, **options) ->
+  ParallelModule`` (the partition modules register themselves on
+  import);
+* **middlewares** — builders ``(cluster, creation, work, placement=None,
+  oneway=(), **options) -> (middleware, extra_middleware, module)``
+  (the distribution modules register themselves; ``"none"`` is
+  registered by :mod:`repro.api.spec`);
+* **backends** — factories ``(cluster=None, sim=None) ->
+  ExecutionBackend`` (the thread and sim backends register themselves).
+
+Unknown names raise :class:`UnknownNameError`, a
+:class:`~repro.errors.DeploymentError` that lists every registered name
+and suggests the nearest match for a typo — the error a user actually
+needs when they type ``strategy="frm"``.
+
+This module deliberately imports nothing heavier than the error
+hierarchy, so any layer (runtime backends, partition skeletons,
+distribution aspects) can register itself without an import cycle.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Any, Callable, Iterator
+
+from repro.errors import DeploymentError
+
+__all__ = [
+    "UnknownNameError",
+    "Registry",
+    "STRATEGIES",
+    "MIDDLEWARES",
+    "BACKENDS",
+    "register_strategy",
+    "register_middleware",
+    "register_backend",
+]
+
+
+class UnknownNameError(DeploymentError):
+    """An unregistered name was requested from a :class:`Registry`.
+
+    Carries the requested ``name``, the registry ``kind``, the tuple of
+    ``known`` names, and the nearest-match ``suggestion`` (or ``None``)
+    so tooling can render the hint however it likes; ``str(exc)``
+    already includes all of it.
+    """
+
+    def __init__(self, kind: str, name: str, known: tuple[str, ...]):
+        self.kind = kind
+        self.name = name
+        self.known = known
+        matches = difflib.get_close_matches(name, known, n=1, cutoff=0.5)
+        self.suggestion: str | None = matches[0] if matches else None
+        message = f"unknown {kind} {name!r}; registered: {', '.join(known) or '(none)'}"
+        if self.suggestion is not None:
+            message += f" — did you mean {self.suggestion!r}?"
+        super().__init__(message)
+
+
+class Registry:
+    """A named, openly extensible name → entry table."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, Any] = {}
+
+    def register(
+        self, name: str, entry: Any = None, *, replace: bool = False
+    ) -> Any:
+        """Register ``entry`` under ``name``.
+
+        With ``entry`` omitted, returns a decorator — the
+        ``@register_strategy("farm")`` form.  Re-registering an existing
+        name requires ``replace=True`` (guards against accidental
+        shadowing of a built-in).
+        """
+        if entry is None:
+            def decorator(obj: Any) -> Any:
+                self.register(name, obj, replace=replace)
+                return obj
+
+            return decorator
+        if not replace and name in self._entries:
+            raise DeploymentError(
+                f"{self.kind} {name!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> Any:
+        """Remove and return the entry under ``name``."""
+        if name not in self._entries:
+            raise UnknownNameError(self.kind, name, self.names())
+        return self._entries.pop(name)
+
+    def get(self, name: str) -> Any:
+        """The entry under ``name``; raises :class:`UnknownNameError`
+        (with the full catalogue and a nearest-match suggestion) when
+        absent."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownNameError(self.kind, name, self.names()) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Registry {self.kind}: {', '.join(self.names())}>"
+
+
+#: partition-strategy builders, e.g. ``"farm"`` → :func:`farm_module`
+STRATEGIES = Registry("strategy")
+#: distribution bundles, e.g. ``"rmi"`` → RMI middleware + module builder
+MIDDLEWARES = Registry("middleware")
+#: execution-backend factories, e.g. ``"thread"`` → ThreadBackend
+BACKENDS = Registry("backend")
+
+
+def register_strategy(name: str, builder: Callable | None = None, **kw: Any) -> Any:
+    """Register a partition-strategy builder (decorator form when
+    ``builder`` is omitted)."""
+    return STRATEGIES.register(name, builder, **kw)
+
+
+def register_middleware(name: str, builder: Callable | None = None, **kw: Any) -> Any:
+    """Register a distribution-middleware builder (decorator form when
+    ``builder`` is omitted)."""
+    return MIDDLEWARES.register(name, builder, **kw)
+
+
+def register_backend(name: str, factory: Callable | None = None, **kw: Any) -> Any:
+    """Register an execution-backend factory (decorator form when
+    ``factory`` is omitted)."""
+    return BACKENDS.register(name, factory, **kw)

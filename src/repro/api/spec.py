@@ -1,0 +1,222 @@
+"""Declarative stack description: :class:`StackSpec`.
+
+One value object describes a complete parallelisation stack — the
+paper's Table-1 rows become data instead of wiring code::
+
+    StackSpec(
+        target=PrimeFilter,
+        work="filter",                      # or a full call(..) pointcut
+        splitter=workload.farm_splitter(8),
+        strategy="farm",
+        middleware="rmi",
+        cluster=cluster,
+        backend="sim",
+    )
+
+``work`` and ``creation`` accept either bare method names (expanded to
+``call(Target.method(..))`` / ``initialization(Target.new(..))``) or
+full pointcut expressions.  ``strategy``, ``middleware`` and ``backend``
+are names resolved through the open registries of
+:mod:`repro.api.registry`; :meth:`StackSpec.validate` resolves them
+eagerly, so a typo fails at construction time with the full catalogue
+and a nearest-match suggestion instead of deep inside deployment.
+
+The special names registered here:
+
+* strategy ``"none"`` — no partition module (service-style stacks that
+  only need concurrency/distribution, e.g. for pack submission);
+* middleware ``"none"`` — no distribution module (single-machine runs).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.api.registry import BACKENDS, MIDDLEWARES, STRATEGIES, register_middleware, register_strategy
+from repro.errors import DeploymentError
+
+__all__ = ["StackSpec"]
+
+
+@register_strategy("none")
+def _no_partition(splitter: Any, creation: str, work: str, **options: Any) -> None:
+    """The null strategy: the stack has no partition module."""
+    return None
+
+
+@register_middleware("none")
+def _no_middleware(
+    cluster: Any,
+    creation: str,
+    work: str,
+    placement: Any = None,
+    oneway: Any = (),
+    **options: Any,
+) -> tuple[None, None, None]:
+    """The null middleware: the stack has no distribution module."""
+    return None, None, None
+
+
+#: ``Type.method`` captured from ``call(Type.method(..))``-shaped text
+_METHOD_RE = re.compile(r"\.\s*([A-Za-z_][\w]*)\s*\(")
+_IDENT_RE = re.compile(r"^[A-Za-z_]\w*$")
+
+
+def _ensure_builtin_registrations() -> None:
+    """Import the packages whose built-ins self-register, so
+    ``validate()`` resolves catalogue names regardless of what the
+    caller imported first (the imports are no-ops after the first
+    call)."""
+    import repro.parallel  # noqa: F401 - strategy/middleware registration
+    import repro.runtime  # noqa: F401 - backend registration
+
+
+@dataclass
+class StackSpec:
+    """Everything needed to assemble one parallelisation stack.
+
+    Parameters mirror the methodology's decision points; only ``target``
+    and ``work`` are mandatory (the null strategy/middleware/backend
+    defaults give a plain local stack).
+    """
+
+    #: the core-functionality class being parallelised
+    target: type
+    #: work pointcut — bare method name or full ``call(..)`` expression
+    work: str = ""
+    #: creation pointcut — defaults to ``initialization(Target.new(..))``
+    creation: str | None = None
+    #: the application-supplied :class:`~repro.parallel.partition.base.WorkSplitter`
+    splitter: Any = None
+    #: partition strategy name from the strategy registry
+    strategy: str = "farm"
+    #: per-strategy builder options (e.g. heartbeat exchange accessors)
+    strategy_options: dict[str, Any] = field(default_factory=dict)
+    #: plug the asynchronous-invocation concurrency module?
+    concurrency: bool = True
+    #: distribution middleware name from the middleware registry
+    middleware: str = "none"
+    #: per-middleware builder options (e.g. RMI remote_interface)
+    middleware_options: dict[str, Any] = field(default_factory=dict)
+    #: simulated cluster — required by every middleware but ``"none"``
+    cluster: Any = None
+    #: servant placement policy (middleware default when None)
+    placement: Any = None
+    #: execution backend: registry name, instance, or None for
+    #: auto ("sim" with a cluster, "thread" without)
+    backend: Any = None
+    #: methods invoked fire-and-forget (no reply wait) where supported
+    oneway: tuple[str, ...] = ()
+    #: cost-instrumentation aspect for simulated runs
+    cost: Any = None
+    #: extra optimisation modules/aspects plugged innermost, in order
+    optimisations: tuple[Any, ...] = ()
+    #: weaver override (tests); default weaver when None
+    weaver: Any = None
+    #: composition display name; derived from strategy+middleware if None
+    name: str | None = None
+    #: explicit work-method name for submission when ``work`` is a
+    #: pattern a method name cannot be derived from
+    work_method: str | None = None
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def work_pointcut(self) -> str:
+        """The work pointcut, bare method names expanded."""
+        return self._expand(self.work, "call", "{target}.{name}(..)")
+
+    @property
+    def creation_pointcut(self) -> str:
+        """The creation pointcut (defaulted from the target when unset)."""
+        if self.creation is None:
+            return f"initialization({self.target.__name__}.new(..))"
+        return self._expand(self.creation, "initialization", "{target}.{name}(..)")
+
+    @property
+    def resolved_work_method(self) -> str:
+        """The concrete method name submissions dispatch to."""
+        if self.work_method is not None:
+            return self.work_method
+        if _IDENT_RE.match(self.work):
+            return self.work
+        match = _METHOD_RE.search(self.work)
+        if match and "*" not in match.group(1):
+            return match.group(1)
+        raise DeploymentError(
+            f"cannot derive a method name from work pointcut {self.work!r}; "
+            f"set StackSpec.work_method explicitly"
+        )
+
+    def _expand(self, text: str, designator: str, signature: str) -> str:
+        if _IDENT_RE.match(text):
+            inner = signature.format(target=self.target.__name__, name=text)
+            return f"{designator}({inner})"
+        return text
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> "StackSpec":
+        """Eager validation with rich errors; returns self for chaining.
+
+        Resolves every registry name (raising
+        :class:`~repro.api.registry.UnknownNameError` with the catalogue
+        and a typo suggestion), and checks the cross-field rules the
+        assembly step would otherwise fail on obscurely.
+        """
+        _ensure_builtin_registrations()
+        if not isinstance(self.target, type):
+            raise DeploymentError(
+                f"StackSpec.target must be a class, got {self.target!r}"
+            )
+        if not self.work:
+            raise DeploymentError(
+                f"StackSpec for {self.target.__name__} needs a work pointcut "
+                f"(a method name like 'filter' or a call(..) expression)"
+            )
+        STRATEGIES.get(self.strategy)  # raises UnknownNameError on typos
+        MIDDLEWARES.get(self.middleware)
+        if isinstance(self.backend, str):
+            BACKENDS.get(self.backend)
+        if self.strategy != "none" and self.splitter is None:
+            raise DeploymentError(
+                f"strategy {self.strategy!r} needs a splitter "
+                f"(a WorkSplitter describing duplication and call split); "
+                f"use strategy='none' for a partition-less stack"
+            )
+        if self.middleware != "none" and self.cluster is None:
+            raise DeploymentError(
+                f"middleware {self.middleware!r} needs a cluster "
+                f"(e.g. repro.cluster.paper_testbed(Simulator()))"
+            )
+        if self.oneway and self.middleware == "none":
+            raise DeploymentError(
+                "oneway methods need a distribution middleware "
+                "(fire-and-forget is a transport property); "
+                f"declared oneway={self.oneway!r} with middleware='none'"
+            )
+        # NOTE: resolved_work_method is deliberately NOT forced here — a
+        # wildcard work pattern is deployable, it just cannot back
+        # submit(), which raises its own targeted error on first use.
+        return self
+
+    # -- convenience --------------------------------------------------------
+
+    def with_(self, **changes: Any) -> "StackSpec":
+        """A copy of this spec with ``changes`` applied (sweep helper)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human summary of the spec."""
+        backend = (
+            self.backend
+            if isinstance(self.backend, str)
+            else ("auto" if self.backend is None else type(self.backend).__name__)
+        )
+        return (
+            f"StackSpec({self.target.__name__}: strategy={self.strategy}, "
+            f"middleware={self.middleware}, backend={backend}, "
+            f"concurrency={self.concurrency}, oneway={list(self.oneway)})"
+        )

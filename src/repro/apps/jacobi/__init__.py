@@ -4,6 +4,7 @@ from repro.apps.jacobi.aspects import (
     JACOBI_CREATION,
     JACOBI_WORK,
     block_ranges,
+    jacobi_spec,
     jacobi_splitter,
     stitch_blocks,
 )
@@ -12,6 +13,7 @@ from repro.apps.jacobi.core import JacobiGrid
 __all__ = [
     "JacobiGrid",
     "jacobi_splitter",
+    "jacobi_spec",
     "block_ranges",
     "stitch_blocks",
     "JACOBI_CREATION",

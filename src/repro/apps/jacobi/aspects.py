@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.spec import StackSpec
 from repro.parallel.partition.base import WorkSplitter
 
 __all__ = [
     "jacobi_splitter",
+    "jacobi_spec",
     "block_ranges",
     "JACOBI_CREATION",
     "JACOBI_WORK",
@@ -56,6 +58,23 @@ def jacobi_splitter(blocks: int) -> WorkSplitter:
         return max(values) if values else 0.0
 
     return WorkSplitter(duplicates=blocks, ctor_args=ctor_args, combine=combine)
+
+
+def jacobi_spec(blocks: int, **overrides) -> StackSpec:
+    """The declarative heartbeat stack for the solver — block-duplicated
+    grids stepping in rhythm with halo exchange between iterations."""
+    from repro.apps.jacobi.core import JacobiGrid
+
+    return StackSpec(
+        target=JacobiGrid,
+        work=JACOBI_WORK,
+        creation=JACOBI_CREATION,
+        work_method="solve",
+        splitter=jacobi_splitter(blocks),
+        strategy="heartbeat",
+        name="jacobi-heartbeat",
+        **overrides,
+    )
 
 
 def stitch_blocks(workers) -> np.ndarray:

@@ -1,6 +1,11 @@
 """Farm case study: Mandelbrot escape-time rendering."""
 
-from repro.apps.mandelbrot.aspects import mandelbrot_splitter
+from repro.apps.mandelbrot.aspects import mandelbrot_spec, mandelbrot_splitter
 from repro.apps.mandelbrot.core import MandelbrotRenderer, MandelbrotScene
 
-__all__ = ["MandelbrotRenderer", "MandelbrotScene", "mandelbrot_splitter"]
+__all__ = [
+    "MandelbrotRenderer",
+    "MandelbrotScene",
+    "mandelbrot_splitter",
+    "mandelbrot_spec",
+]

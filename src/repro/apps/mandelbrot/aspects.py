@@ -12,9 +12,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.spec import StackSpec
 from repro.parallel.partition.base import CallPiece, WorkSplitter
 
-__all__ = ["mandelbrot_splitter", "MANDEL_CREATION", "MANDEL_WORK"]
+__all__ = [
+    "mandelbrot_splitter",
+    "mandelbrot_spec",
+    "MANDEL_CREATION",
+    "MANDEL_WORK",
+]
 
 MANDEL_CREATION = "initialization(MandelbrotRenderer.new(..))"
 MANDEL_WORK = "call(MandelbrotRenderer.render(..))"
@@ -46,4 +52,22 @@ def mandelbrot_splitter(workers: int, bands: int) -> WorkSplitter:
         split=split,
         combine=combine,
         merge_pieces=merge_pieces,
+    )
+
+
+def mandelbrot_spec(workers: int, bands: int, **overrides) -> StackSpec:
+    """The declarative farm stack for the renderer — pass ``overrides``
+    (middleware, cluster, backend, ...) to vary the deployment without
+    touching the strategy description."""
+    from repro.apps.mandelbrot.core import MandelbrotRenderer
+
+    return StackSpec(
+        target=MandelbrotRenderer,
+        work=MANDEL_WORK,
+        creation=MANDEL_CREATION,
+        work_method="render",
+        splitter=mandelbrot_splitter(workers, bands),
+        strategy="farm",
+        name="mandelbrot-farm",
+        **overrides,
     )

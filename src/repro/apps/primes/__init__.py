@@ -7,7 +7,9 @@ from repro.apps.primes.aspects import (
     IPrimeFilter,
     SieveStack,
     build_sieve_stack,
+    sieve_app,
     sieve_cost_aspect,
+    sieve_spec,
 )
 from repro.apps.primes.core import PrimeFilter, base_primes
 from repro.apps.primes.handcoded import (
@@ -30,6 +32,8 @@ __all__ = [
     "IPrimeFilter",
     "SieveStack",
     "build_sieve_stack",
+    "sieve_spec",
+    "sieve_app",
     "sieve_cost_aspect",
     "CostedPrimeFilter",
     "HandCodedFarmRMI",

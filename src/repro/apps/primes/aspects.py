@@ -24,27 +24,15 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.api.app import ParallelApp
+from repro.api.spec import StackSpec
 from repro.apps.primes.core import PrimeFilter
 from repro.apps.primes.workload import SieveWorkload
 from repro.cluster.topology import Cluster
 from repro.errors import DeploymentError
 from repro.middleware.base import Middleware
-from repro.middleware.mpp import MppMiddleware
 from repro.middleware.placement import PlacementPolicy, RoundRobin
-from repro.middleware.rmi import RmiMiddleware
-from repro.parallel import (
-    Composition,
-    ComputeCostAspect,
-    Concern,
-    ParallelModule,
-    concurrency_module,
-    dynamic_farm_module,
-    farm_module,
-    hybrid_distribution_module,
-    mpp_distribution_module,
-    pipeline_module,
-    rmi_distribution_module,
-)
+from repro.parallel import ComputeCostAspect, Composition, ParallelModule
 
 __all__ = [
     "SIEVE_CREATION",
@@ -52,6 +40,8 @@ __all__ = [
     "IPrimeFilter",
     "SieveStack",
     "sieve_cost_aspect",
+    "sieve_spec",
+    "sieve_app",
     "build_sieve_stack",
     "TABLE1_COMBINATIONS",
 ]
@@ -110,11 +100,75 @@ class SieveStack:
     extra_middleware: Middleware | None = None
     cost: ComputeCostAspect | None = None
     modules: dict[str, ParallelModule] = field(default_factory=dict)
+    #: the ParallelApp this stack was assembled from
+    app: ParallelApp | None = None
 
     def shutdown(self) -> None:
         for mw in (self.middleware, self.extra_middleware):
             if mw is not None:
                 mw.shutdown()
+
+
+def sieve_spec(
+    combo: str,
+    workload: SieveWorkload,
+    n_filters: int,
+    cluster: Cluster | None = None,
+    placement: PlacementPolicy | None = None,
+    cost: ComputeCostAspect | None = None,
+) -> StackSpec:
+    """The declarative :class:`StackSpec` for one named combination —
+    Table 1 as data.  ``cluster`` is required for the distributed
+    combinations; ``cost`` is attached for simulated runs."""
+    partition_kind, middleware_kind = _parse_combo(combo)
+    if partition_kind == "pipeline":
+        splitter = workload.pipeline_splitter(n_filters)
+    elif partition_kind == "none":
+        splitter = None
+    else:  # farm and dynamic-farm share the broadcast splitter
+        splitter = workload.farm_splitter(n_filters)
+    middleware_options: dict[str, Any] = {}
+    if middleware_kind == "rmi":
+        middleware_options = {
+            "remote_interface": IPrimeFilter,
+            "distributed_classes": (PrimeFilter,),
+        }
+    elif middleware_kind == "hybrid":
+        middleware_options = {"data_methods": ("filter",)}
+    return StackSpec(
+        target=PrimeFilter,
+        work=SIEVE_WORK,
+        creation=SIEVE_CREATION,
+        work_method="filter",
+        splitter=splitter,
+        strategy=partition_kind,
+        # the dynamic farm provides its own concurrency; Sequential has none
+        concurrency=partition_kind in ("pipeline", "farm"),
+        middleware=middleware_kind,
+        middleware_options=middleware_options,
+        cluster=cluster,
+        placement=placement if placement is not None else RoundRobin(),
+        cost=cost,
+        name=combo,
+    )
+
+
+def sieve_app(
+    combo: str,
+    workload: SieveWorkload,
+    n_filters: int,
+    cluster: Cluster | None = None,
+    placement: PlacementPolicy | None = None,
+    cost: ComputeCostAspect | None = None,
+) -> ParallelApp:
+    """Assemble one named combination as a ready-to-deploy
+    :class:`~repro.api.app.ParallelApp`."""
+    try:
+        return ParallelApp(
+            sieve_spec(combo, workload, n_filters, cluster, placement, cost)
+        )
+    except DeploymentError as exc:
+        raise DeploymentError(f"combination {combo!r}: {exc}") from exc
 
 
 def build_sieve_stack(
@@ -127,100 +181,22 @@ def build_sieve_stack(
 ) -> SieveStack:
     """Assemble one named module combination for ``n_filters`` filters.
 
-    ``cluster`` is required for the distributed combinations; ``cost``
-    (an instrumentation aspect) is attached when provided (simulated
-    runs) and omitted for functional-mode runs.
+    Thin wrapper over :func:`sieve_app` keeping the legacy
+    :class:`SieveStack` handle surface for tests and metrics readers.
     """
-    placement = placement if placement is not None else RoundRobin()
-    stack = SieveStack(combo, Composition(combo))
-
-    def add(module: ParallelModule) -> ParallelModule:
-        stack.composition.plug(module)
-        stack.modules[module.name] = module
-        return module
-
-    def need_cluster() -> Cluster:
-        if cluster is None:
-            raise DeploymentError(f"combination {combo!r} needs a cluster")
-        return cluster
-
-    partition_kind, middleware_kind = _parse_combo(combo)
-
-    # -- partition ---------------------------------------------------------
-    if partition_kind == "pipeline":
-        module = add(
-            pipeline_module(
-                workload.pipeline_splitter(n_filters), SIEVE_CREATION, SIEVE_WORK
-            )
-        )
-        stack.partition = module.coordinator  # type: ignore[attr-defined]
-    elif partition_kind == "farm":
-        module = add(
-            farm_module(
-                workload.farm_splitter(n_filters), SIEVE_CREATION, SIEVE_WORK
-            )
-        )
-        stack.partition = module.coordinator  # type: ignore[attr-defined]
-    elif partition_kind == "dynamic-farm":
-        module = add(
-            dynamic_farm_module(
-                workload.farm_splitter(n_filters), SIEVE_CREATION, SIEVE_WORK
-            )
-        )
-        stack.partition = module.coordinator  # type: ignore[attr-defined]
-    elif partition_kind != "none":  # pragma: no cover - guarded by _parse_combo
-        raise DeploymentError(f"unknown partition {partition_kind!r}")
-
-    # -- concurrency (dynamic farm brings its own) ---------------------------
-    if partition_kind in ("pipeline", "farm"):
-        module = add(concurrency_module(SIEVE_WORK, SIEVE_WORK))
-        stack.async_aspect = module.async_aspect  # type: ignore[attr-defined]
-
-    # -- distribution --------------------------------------------------------
-    if middleware_kind == "rmi":
-        stack.middleware = RmiMiddleware(need_cluster())
-        module = add(
-            rmi_distribution_module(
-                stack.middleware,
-                SIEVE_CREATION,
-                SIEVE_WORK,
-                placement=placement,
-                remote_interface=IPrimeFilter,
-                distributed_classes=(PrimeFilter,),
-            )
-        )
-        stack.distribution = module.aspect  # type: ignore[attr-defined]
-    elif middleware_kind == "mpp":
-        stack.middleware = MppMiddleware(need_cluster())
-        module = add(
-            mpp_distribution_module(
-                stack.middleware, SIEVE_CREATION, SIEVE_WORK, placement=placement
-            )
-        )
-        stack.distribution = module.aspect  # type: ignore[attr-defined]
-    elif middleware_kind == "hybrid":
-        stack.middleware = RmiMiddleware(need_cluster())
-        stack.extra_middleware = MppMiddleware(need_cluster())
-        module = add(
-            hybrid_distribution_module(
-                stack.middleware,
-                stack.extra_middleware,
-                data_methods=("filter",),
-                remote_new=SIEVE_CREATION,
-                remote_calls=SIEVE_WORK,
-                placement=placement,
-            )
-        )
-        stack.distribution = module.aspect  # type: ignore[attr-defined]
-    elif middleware_kind != "none":  # pragma: no cover
-        raise DeploymentError(f"unknown middleware {middleware_kind!r}")
-
-    # -- instrumentation ------------------------------------------------------
-    if cost is not None:
-        stack.cost = cost
-        add(ParallelModule("cost-model", Concern.INSTRUMENTATION, [cost]))
-
-    return stack
+    app = sieve_app(combo, workload, n_filters, cluster, placement, cost)
+    return SieveStack(
+        combo,
+        app.composition,
+        partition=app.partition,
+        async_aspect=app.async_aspect,
+        distribution=app.distribution,
+        middleware=app.middleware,
+        extra_middleware=app.extra_middleware,
+        cost=cost,
+        modules=app.modules,
+        app=app,
+    )
 
 
 def _parse_combo(combo: str) -> tuple[str, str]:

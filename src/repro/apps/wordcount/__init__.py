@@ -1,6 +1,18 @@
 """Pipeline case study: streaming word count."""
 
-from repro.apps.wordcount.aspects import WC_CREATION, WC_WORK, wordcount_splitter
+from repro.apps.wordcount.aspects import (
+    WC_CREATION,
+    WC_WORK,
+    wordcount_spec,
+    wordcount_splitter,
+)
 from repro.apps.wordcount.core import ALL_ROLES, TextPipeline
 
-__all__ = ["TextPipeline", "ALL_ROLES", "wordcount_splitter", "WC_CREATION", "WC_WORK"]
+__all__ = [
+    "TextPipeline",
+    "ALL_ROLES",
+    "wordcount_splitter",
+    "wordcount_spec",
+    "WC_CREATION",
+    "WC_WORK",
+]

@@ -10,10 +10,11 @@ from __future__ import annotations
 from collections import Counter
 from typing import Sequence
 
+from repro.api.spec import StackSpec
 from repro.apps.wordcount.core import ALL_ROLES
 from repro.parallel.partition.base import CallPiece, WorkSplitter
 
-__all__ = ["wordcount_splitter", "WC_CREATION", "WC_WORK"]
+__all__ = ["wordcount_splitter", "wordcount_spec", "WC_CREATION", "WC_WORK"]
 
 WC_CREATION = "initialization(TextPipeline.new(..))"
 WC_WORK = "call(TextPipeline.process(..))"
@@ -50,4 +51,21 @@ def wordcount_splitter(batches: int) -> WorkSplitter:
         ctor_args=ctor_args,
         split=split,
         combine=combine,
+    )
+
+
+def wordcount_spec(batches: int, **overrides) -> StackSpec:
+    """The declarative pipeline stack for the word counter — one stage
+    per text-processing role, document batches streaming through."""
+    from repro.apps.wordcount.core import TextPipeline
+
+    return StackSpec(
+        target=TextPipeline,
+        work=WC_WORK,
+        creation=WC_CREATION,
+        work_method="process",
+        splitter=wordcount_splitter(batches),
+        strategy="pipeline",
+        name="wordcount-pipeline",
+        **overrides,
     )

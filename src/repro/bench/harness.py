@@ -1,9 +1,13 @@
 """Experiment harness: one function per measured configuration.
 
-``run_sieve`` weaves the core class, deploys a named module combination,
-executes the full sieve on the simulated testbed, validates the output
-against the independent reference, and returns a :class:`RunResult` with
-the simulated time plus the observability counters that explain it
+``run_sieve`` assembles the named combination as a declarative
+:class:`~repro.api.app.ParallelApp` (via
+:func:`~repro.apps.primes.sieve_app`), deploys it, and drives the full
+sieve through the futures-first submission API — ``app.start`` builds
+the woven filter, ``app.submit`` dispatches the filter call and drives
+the simulator to completion.  The output is validated against the
+independent reference and returned as a :class:`RunResult` with the
+simulated time plus the observability counters that explain it
 (messages, per-node utilisation).
 
 ``run_handcoded`` does the same for the no-AOP baselines of Figure 16.
@@ -21,16 +25,15 @@ from repro.aop.weaver import Weaver, default_weaver
 from repro.apps.primes import (
     HandCodedFarmRMI,
     HandCodedPipelineRMI,
-    PrimeFilter,
     SieveWorkload,
-    build_sieve_stack,
     expected_sieve_output,
+    sieve_app,
     sieve_cost_aspect,
 )
 from repro.bench.costmodel import HANDCODED_COST_MODEL, PAPER_COST_MODEL, CostModel
 from repro.cluster import paper_testbed, single_node, snapshot
 from repro.middleware.context import use_node
-from repro.runtime import Future, SimBackend, use_backend
+from repro.runtime import SimBackend, use_backend
 from repro.sim import Simulator
 
 __all__ = ["RunResult", "run_sieve", "run_handcoded", "reference_for"]
@@ -81,8 +84,10 @@ def run_sieve(
 
     FarmThreads (no distribution aspect) runs on a single machine, as in
     the paper; every distributed combination uses the 7-node testbed.
+    The run itself is one ``start`` + one ``submit`` on the assembled
+    :class:`~repro.api.app.ParallelApp` — called from outside the
+    simulator, both drive it to completion transparently.
     """
-    weaver = weaver if weaver is not None else default_weaver
     sim = Simulator()
     cluster = (
         single_node(sim)
@@ -95,25 +100,17 @@ def run_sieve(
         aop_factor=cost_model.aop_factor,
         dispatch_cost=cost_model.dispatch_cost,
     )
-    stack = build_sieve_stack(combo, workload, n_filters, cluster=cluster, cost=cost)
-    backend = SimBackend(sim)
+    app = sieve_app(combo, workload, n_filters, cluster=cluster, cost=cost)
+    if weaver is not None:
+        app.weaver = weaver
     out: dict[str, Any] = {}
 
-    def main() -> None:
-        with use_backend(backend), use_node(cluster.head):
-            prime_filter = PrimeFilter(2, workload.sqrt)
-            result = prime_filter.filter(workload.candidates)
-            if isinstance(result, Future):
-                result = result.result()
-            out["survivors"] = np.asarray(result)
-            out["time"] = sim.now
-
     try:
-        with stack.composition.deployed(weaver, targets=[PrimeFilter]):
-            sim.spawn(main, name="main")
-            sim.run()
+        with app:
+            app.start(2, workload.sqrt)
+            out["survivors"] = np.asarray(app.submit(workload.candidates).result())
+            out["time"] = sim.now
     finally:
-        stack.shutdown()
         sim.shutdown()
 
     survivors = out["survivors"]
@@ -128,12 +125,12 @@ def run_sieve(
         messages=cluster.network.messages,
         remote_messages=cluster.network.remote_messages,
         bytes=cluster.network.bytes,
-        middleware_calls=getattr(stack.middleware, "calls", 0),
+        middleware_calls=getattr(app.middleware, "calls", 0),
         mean_utilisation=snapshot(cluster)["mean_utilisation"],
         detail={
             "cost_charged": cost.total_charged,
-            "spawned": getattr(stack.async_aspect, "spawned_calls", 0)
-            if stack.async_aspect
+            "spawned": getattr(app.async_aspect, "spawned_calls", 0)
+            if app.async_aspect
             else 0,
         },
     )

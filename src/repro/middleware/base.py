@@ -105,17 +105,22 @@ class Middleware(abc.ABC):
         result is ``None``) where the middleware supports it.
         """
 
-    def invoke_batch(self, ref: RemoteRef, method: str, pieces: Any) -> list:
+    def invoke_batch(
+        self, ref: RemoteRef, method: str, pieces: Any, oneway: bool = False
+    ) -> list:
         """Call ``method`` once per piece in a single *batched* request.
 
         ``pieces`` are ``CallPiece``-shaped objects or ``(args, kwargs)``
         pairs; the reply is the list of per-item results in piece order.
-        The base implementation degrades to one :meth:`invoke` per piece
-        (correct, unbatched); transports that can ship a pack as one
-        message override it.
+        With ``oneway=True`` the pack is fire-and-forget where the
+        middleware supports it: the call returns (a list of ``None``
+        placeholders) as soon as the send completes, and no reply is
+        ever produced or waited for.  The base implementation degrades
+        to one :meth:`invoke` per piece (correct, unbatched); transports
+        that can ship a pack as one message override it.
         """
         return [
-            self.invoke(ref, method, tuple(args), dict(kwargs))
+            self.invoke(ref, method, tuple(args), dict(kwargs), oneway=oneway)
             for args, kwargs in map(piece_view, pieces)
         ]
 
@@ -270,7 +275,9 @@ class SimMiddleware(Middleware):
             )
         return self.serializer.unpack(payload)
 
-    def invoke_batch(self, ref: RemoteRef, method: str, pieces: Any) -> list:
+    def invoke_batch(
+        self, ref: RemoteRef, method: str, pieces: Any, oneway: bool = False
+    ) -> list:
         """Ship a whole pack as ONE request/reply pair.
 
         The pack's piece views are marshalled together (one marshalling
@@ -278,12 +285,20 @@ class SimMiddleware(Middleware):
         :meth:`~repro.aop.plan.MethodTable.invoke_batch`) — this is the
         wire-level face of communication packing: the per-message
         overheads are paid once per pack instead of once per item.
+
+        With ``oneway=True`` the pack is fire-and-forget: no reply
+        channel is created, the caller resumes as soon as the send (and
+        its marshalling charge) completes, and the per-item results are
+        ``None`` placeholders — one message on the wire, zero reply
+        wait.
         """
         servant = self._servants.get(ref.object_id)
         if servant is None:
             raise MiddlewareError(f"unknown ref {ref!r}")
         self.calls += 1
         self.batched_calls += 1
+        if oneway:
+            self.oneway_calls += 1
         src = current_node()
         views = [
             (tuple(args), dict(kwargs))
@@ -293,16 +308,20 @@ class SimMiddleware(Middleware):
         if src is not None:
             src.execute(self.costs.marshal_time(size))
         delay = self.cluster.transit_delay(size, src, servant.node)
-        reply_channel = Channel(self.sim, name=f"{self.name}.reply")
+        reply_channel = (
+            None if oneway else Channel(self.sim, name=f"{self.name}.reply")
+        )
         servant.channel.send(
             _Request(
-                method, wire_views, None, reply_channel, False, size, src,
+                method, wire_views, None, reply_channel, oneway, size, src,
                 batch=True,
             ),
             delay=delay,
             size_bytes=size,
             tag=method,
         )
+        if oneway:
+            return [None] * len(views)
         reply = reply_channel.recv()
         outcome, payload = reply.payload
         if src is not None:

@@ -62,9 +62,13 @@ class LocalMiddleware(Middleware):
                 cause=exc,
             ) from exc
 
-    def invoke_batch(self, ref: RemoteRef, method: str, pieces: Any) -> list:
+    def invoke_batch(
+        self, ref: RemoteRef, method: str, pieces: Any, oneway: bool = False
+    ) -> list:
         """Serve a pack through the servant's compiled batch plan: one
-        advice pass (one BatchJoinPoint) for the whole pack."""
+        advice pass (one BatchJoinPoint) for the whole pack.  A
+        ``oneway`` pack still executes (there is no wire to race) but
+        reports ``None`` placeholders, matching the remote contract."""
         entry = self._objects.get(ref.object_id)
         if entry is None:
             raise MiddlewareError(f"unknown ref {ref!r}")
@@ -72,7 +76,8 @@ class LocalMiddleware(Middleware):
         self.calls += 1
         try:
             with server_dispatch():
-                return table.invoke_batch(obj, method, pieces)
+                results = table.invoke_batch(obj, method, pieces)
+                return [None] * len(results) if oneway else results
         except Exception as exc:  # noqa: BLE001 - uniform error surface
             raise RemoteError(
                 f"local batched invocation {ref.type_name}.{method} "

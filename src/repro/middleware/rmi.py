@@ -86,3 +86,10 @@ class RmiMiddleware(SimMiddleware):
         if oneway:
             raise MiddlewareError("RMI has no one-way invocations")
         return super().invoke(ref, method, args, kwargs, oneway=False)
+
+    def invoke_batch(
+        self, ref: RemoteRef, method: str, pieces: Any, oneway: bool = False
+    ) -> list:
+        if oneway:
+            raise MiddlewareError("RMI has no one-way invocations")
+        return super().invoke_batch(ref, method, pieces, oneway=False)

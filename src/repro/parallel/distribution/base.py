@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.aop import abstract_pointcut, around, pointcut
-from repro.aop.plan import BatchJoinPoint
+from repro.aop.plan import BatchJoinPoint, ctor_pack_of
 from repro.errors import RemoteError
 from repro.middleware.base import Middleware, RemoteRef
 from repro.middleware.placement import PlacementPolicy, RoundRobin
@@ -82,10 +82,27 @@ class DistributionAspect(ParallelAspect):
     @around("remote_new")
     def create_remote(self, jp):
         """Client-side 'new' → remote instance association (Fig 14
-        lines 09-16)."""
+        lines 09-16).
+
+        Batch-aware: a :class:`~repro.aop.plan.CtorPack` travelling
+        through the joinpoint (a partition aspect's batched duplication)
+        makes ``proceed`` return the whole duplicate list — each
+        instance is exported in index order within this single advice
+        execution, so a farm of N workers pays one initialization
+        joinpoint, not N.
+        """
         if self.passthrough(jp):
             return jp.proceed()
-        obj = jp.proceed()  # local reference the client will hold
+        result = jp.proceed()  # local reference(s) the client will hold
+        if ctor_pack_of(jp) is not None:
+            for obj in result:
+                self._associate(obj)
+            return result
+        self._associate(result)
+        return result
+
+    def _associate(self, obj: Any) -> None:
+        """Export one freshly built instance and remember its ref."""
         self.count += 1
         cluster = getattr(self.middleware, "cluster", None)
         node = (
@@ -96,18 +113,19 @@ class DistributionAspect(ParallelAspect):
         servant = self.make_servant(obj)
         ref = self.register(servant, node, f"{self.name_prefix}{self.count}")
         self._refs[id(obj)] = (obj, ref)
-        return obj
 
     def remote_invoke(
         self, middleware: Middleware, ref: RemoteRef, jp, oneway: bool = False
     ) -> Any:
         """One middleware invocation for ``jp`` — batched joinpoints ship
         the whole pack as one request served through the servant's
-        :meth:`~repro.aop.plan.MethodTable.invoke_batch`."""
+        :meth:`~repro.aop.plan.MethodTable.invoke_batch` (fire-and-forget
+        when the method is declared ``oneway``: one message, no reply
+        wait)."""
         if isinstance(jp, BatchJoinPoint):
             # jp.args[0] is the pack at THIS advice level — an outer
             # around may have substituted it via proceed(new_pieces)
-            return middleware.invoke_batch(ref, jp.name, jp.args[0])
+            return middleware.invoke_batch(ref, jp.name, jp.args[0], oneway=oneway)
         return middleware.invoke(ref, jp.name, jp.args, jp.kwargs, oneway=oneway)
 
     @around("remote_calls")

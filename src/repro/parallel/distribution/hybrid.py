@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.aop import around
-from repro.errors import RemoteError
+from repro.api.registry import register_middleware
+from repro.errors import DeploymentError, RemoteError
 from repro.middleware.mpp import MppMiddleware
 from repro.middleware.placement import PlacementPolicy
 from repro.middleware.rmi import RmiMiddleware
@@ -20,7 +21,11 @@ from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
 from repro.parallel.distribution.base import DistributionAspect
 
-__all__ = ["HybridDistributionAspect", "hybrid_distribution_module"]
+__all__ = [
+    "HybridDistributionAspect",
+    "hybrid_distribution_module",
+    "hybrid_bundle",
+]
 
 
 class HybridDistributionAspect(DistributionAspect):
@@ -56,24 +61,11 @@ class HybridDistributionAspect(DistributionAspect):
         self._pending_mpp_ref = self.mpp.export(servant, node)
         return self.middleware.lookup(name)
 
-    @around("remote_new")
-    def create_remote(self, jp):  # extends bookkeeping of the base advice
-        if self.passthrough(jp):
-            return jp.proceed()
-        # Same steps as the base advice, plus the MPP export bookkeeping.
-        obj = jp.proceed()
-        self.count += 1
-        cluster = getattr(self.middleware, "cluster", None)
-        node = (
-            self.placement.choose(cluster, self.count - 1, obj)
-            if cluster is not None
-            else None
-        )
-        servant = self.make_servant(obj)
-        ref = self.register(servant, node, f"{self.name_prefix}{self.count}")
-        self._refs[id(obj)] = (obj, ref)
+    def _associate(self, obj):
+        # extends the base association (which is pack-aware and calls
+        # this once per instance) with the MPP export bookkeeping
+        super()._associate(obj)
         self._mpp_refs[id(obj)] = self._pending_mpp_ref
-        return obj
 
     @around("remote_calls")
     def redirect(self, jp):
@@ -87,7 +79,10 @@ class HybridDistributionAspect(DistributionAspect):
             if jp.name in self.data_methods:
                 self.data_calls += 1
                 return self.remote_invoke(
-                    self.mpp, self._mpp_refs[id(jp.target)], jp
+                    self.mpp,
+                    self._mpp_refs[id(jp.target)],
+                    jp,
+                    oneway=self.is_oneway(jp),
                 )
             self.control_calls += 1
             return self.remote_invoke(self.middleware, entry[1], jp)
@@ -108,6 +103,7 @@ def hybrid_distribution_module(
     remote_calls: str,
     placement: PlacementPolicy | None = None,
     name: str = "distribution-hybrid",
+    **kwargs: Any,
 ) -> ParallelModule:
     aspect = HybridDistributionAspect(
         rmi,
@@ -116,7 +112,50 @@ def hybrid_distribution_module(
         placement,
         remote_new=remote_new,
         remote_calls=remote_calls,
+        **kwargs,
     )
     module = ParallelModule(name, Concern.DISTRIBUTION, [aspect])
     module.aspect = aspect  # type: ignore[attr-defined]
     return module
+
+
+@register_middleware("hybrid")
+def hybrid_bundle(
+    cluster: Any,
+    creation: str,
+    work: str,
+    placement: PlacementPolicy | None = None,
+    oneway: Iterable[str] = (),
+    data_methods: Iterable[str] = (),
+    **options: Any,
+) -> tuple[RmiMiddleware, MppMiddleware, ParallelModule]:
+    """Registry entry: RMI control + MPP data transports in one module.
+
+    ``data_methods`` names the calls that travel over MPP; everything
+    else uses RMI.  Only the MPP path supports fire-and-forget, so a
+    ``oneway`` method that is not also a data method is rejected
+    eagerly — its declaration would otherwise be silently ignored on
+    the blocking RMI control path.
+    """
+    oneway = tuple(oneway)
+    data_methods = tuple(data_methods)
+    missing = set(oneway) - set(data_methods)
+    if missing:
+        raise DeploymentError(
+            f"hybrid oneway methods must travel the MPP data path; "
+            f"{sorted(missing)} missing from data_methods={list(data_methods)}"
+        )
+    rmi = RmiMiddleware(cluster)
+    mpp = MppMiddleware(cluster)
+    module = hybrid_distribution_module(
+        rmi,
+        mpp,
+        data_methods,
+        creation,
+        work,
+        placement=placement,
+        **options,
+    )
+    if oneway:
+        module.aspect.oneway_methods = frozenset(oneway)  # type: ignore[attr-defined]
+    return rmi, mpp, module

@@ -13,13 +13,14 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from repro.api.registry import register_middleware
 from repro.middleware.mpp import MppMiddleware
 from repro.middleware.placement import PlacementPolicy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
 from repro.parallel.distribution.base import DistributionAspect
 
-__all__ = ["MppDistributionAspect", "mpp_distribution_module"]
+__all__ = ["MppDistributionAspect", "mpp_distribution_module", "mpp_bundle"]
 
 
 class MppDistributionAspect(DistributionAspect):
@@ -62,3 +63,20 @@ def mpp_distribution_module(
     module = ParallelModule(name, Concern.DISTRIBUTION, [aspect])
     module.aspect = aspect  # type: ignore[attr-defined]
     return module
+
+
+@register_middleware("mpp")
+def mpp_bundle(
+    cluster: Any,
+    creation: str,
+    work: str,
+    placement: PlacementPolicy | None = None,
+    oneway: Iterable[str] = (),
+    **options: Any,
+) -> tuple[MppMiddleware, None, ParallelModule]:
+    """Registry entry: MPP middleware + its distribution module."""
+    middleware = MppMiddleware(cluster)
+    module = mpp_distribution_module(
+        middleware, creation, work, placement=placement, oneway=oneway, **options
+    )
+    return middleware, None, module

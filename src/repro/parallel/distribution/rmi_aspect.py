@@ -13,16 +13,18 @@ Modularises the four RMI code modifications:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable
 
 from repro.aop import ParentDeclaration
+from repro.api.registry import register_middleware
+from repro.errors import DeploymentError
 from repro.middleware.placement import PlacementPolicy
 from repro.middleware.rmi import RmiMiddleware
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
 from repro.parallel.distribution.base import DistributionAspect
 
-__all__ = ["RmiDistributionAspect", "rmi_distribution_module"]
+__all__ = ["RmiDistributionAspect", "rmi_distribution_module", "rmi_bundle"]
 
 
 class RmiDistributionAspect(DistributionAspect):
@@ -79,3 +81,32 @@ def rmi_distribution_module(
     module = ParallelModule(name, Concern.DISTRIBUTION, [aspect])
     module.aspect = aspect  # type: ignore[attr-defined]
     return module
+
+
+@register_middleware("rmi")
+def rmi_bundle(
+    cluster: Any,
+    creation: str,
+    work: str,
+    placement: PlacementPolicy | None = None,
+    oneway: Iterable[str] = (),
+    **options: Any,
+) -> tuple[RmiMiddleware, None, ParallelModule]:
+    """Registry entry: RMI middleware + its distribution module.
+
+    RMI has no one-way invocations (Java semantics), so a non-empty
+    ``oneway`` declaration is rejected *eagerly* — accepting it would
+    make every call to the declared method fail at invocation time.
+    """
+    oneway = tuple(oneway)
+    if oneway:
+        raise DeploymentError(
+            f"RMI has no one-way invocations; oneway={list(oneway)} needs "
+            f"the 'mpp' middleware (or 'hybrid' with those methods listed "
+            f"in data_methods)"
+        )
+    middleware = RmiMiddleware(cluster)
+    module = rmi_distribution_module(
+        middleware, creation, work, placement=placement, **options
+    )
+    return middleware, None, module

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.aop import abstract_pointcut, pointcut
-from repro.aop.plan import batched_entry
+from repro.aop.plan import CtorPack, batched_entry
 from repro.errors import AdviceError
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.runtime.backend import current_backend
@@ -239,6 +239,29 @@ class PartitionAspect(ParallelAspect):
         self.instances: list[Any] = []
 
     # -- shared duplication bookkeeping ------------------------------------
+
+    def build_duplicates(self, jp) -> list[Any]:
+        """Construct every duplicate through ONE batched initialization
+        joinpoint pass.
+
+        The splitter's per-index constructor arguments are collected into
+        a :class:`~repro.aop.plan.CtorPack` and shipped through a single
+        ``proceed`` — the remaining initialization chain (and, under
+        distribution, the create-remote advice) runs once per duplicate
+        *set* instead of once per worker, while still building (and
+        exporting) one instance per argset.  Returns the instances in
+        index order, already remembered as aspect-managed.
+        """
+        self.reset_instances()
+        splitter = self.splitter
+        argsets = [
+            splitter.ctor_args(jp.args, jp.kwargs, index)
+            for index in range(splitter.duplicates)
+        ]
+        instances = list(jp.proceed(CtorPack(argsets)))
+        for index, obj in enumerate(instances):
+            self.remember(obj, index)
+        return instances
 
     def remember(self, obj: Any, index: int) -> None:
         self.managed[id(obj)] = index

@@ -21,6 +21,7 @@ import threading
 from typing import Any
 
 from repro.aop import around
+from repro.api.registry import register_strategy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
 from repro.parallel.partition.base import (
@@ -54,13 +55,8 @@ class DynamicFarmAspect(PartitionAspect):
     def duplicate(self, jp):
         if self.passthrough(jp) or jp.from_advice:
             return jp.proceed()
-        self.reset_instances()
-        self.workers = []
-        for index in range(self.splitter.duplicates):
-            args, kwargs = self.splitter.ctor_args(jp.args, jp.kwargs, index)
-            worker = jp.proceed(*args, **kwargs)
-            self.workers.append(worker)
-            self.remember(worker, index)
+        # one batched initialization joinpoint builds the whole worker set
+        self.workers = self.build_duplicates(jp)
         self.served = {i: 0 for i in range(len(self.workers))}
         return self.workers[0]
 
@@ -119,6 +115,7 @@ class DynamicFarmAspect(PartitionAspect):
         return self.splitter.combine(flat)
 
 
+@register_strategy("dynamic-farm")
 def dynamic_farm_module(
     splitter: WorkSplitter,
     creation: str,

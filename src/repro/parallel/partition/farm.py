@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.aop import around
+from repro.api.registry import register_strategy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
 from repro.parallel.partition.base import (
@@ -45,13 +46,8 @@ class FarmAspect(PartitionAspect):
     def duplicate(self, jp):
         if self.passthrough(jp) or jp.from_advice:
             return jp.proceed()
-        self.reset_instances()
-        self.workers = []
-        for index in range(self.splitter.duplicates):
-            args, kwargs = self.splitter.ctor_args(jp.args, jp.kwargs, index)
-            worker = jp.proceed(*args, **kwargs)
-            self.workers.append(worker)
-            self.remember(worker, index)
+        # one batched initialization joinpoint builds the whole worker set
+        self.workers = self.build_duplicates(jp)
         return self.workers[0]
 
     # -- call split: each piece to a single worker --------------------------
@@ -80,6 +76,7 @@ class FarmAspect(PartitionAspect):
         return self.splitter.combine(results)
 
 
+@register_strategy("farm")
 def farm_module(
     splitter: WorkSplitter,
     creation: str,

@@ -28,6 +28,7 @@ from typing import Any
 
 from repro.aop import around
 from repro.aop.plan import batched_entry, bound_entry
+from repro.api.registry import register_strategy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
 from repro.parallel.partition.base import CallPiece, PartitionAspect, WorkSplitter
@@ -60,13 +61,8 @@ class HeartbeatAspect(PartitionAspect):
     def duplicate(self, jp):
         if self.passthrough(jp) or jp.from_advice:
             return jp.proceed()
-        self.reset_instances()
-        self.workers = []
-        for index in range(self.splitter.duplicates):
-            args, kwargs = self.splitter.ctor_args(jp.args, jp.kwargs, index)
-            worker = jp.proceed(*args, **kwargs)
-            self.workers.append(worker)
-            self.remember(worker, index)
+        # one batched initialization joinpoint builds the whole block set
+        self.workers = self.build_duplicates(jp)
         return self.workers[0]
 
     # -- the heartbeat -------------------------------------------------------
@@ -145,6 +141,7 @@ class HeartbeatAspect(PartitionAspect):
         return outcome.result() if isinstance(outcome, Future) else outcome
 
 
+@register_strategy("heartbeat")
 def heartbeat_module(
     splitter: WorkSplitter,
     creation: str,

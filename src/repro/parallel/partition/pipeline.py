@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.aop import around, pointcut
 from repro.aop.plan import BatchJoinPoint, batched_entry, piece_view
+from repro.api.registry import register_strategy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.parallel.partition.base import (
@@ -60,24 +61,19 @@ class PipelineSplitAspect(PartitionAspect):
     def duplicate(self, jp):
         if self.passthrough(jp) or jp.from_advice:
             return jp.proceed()
-        self.reset_instances()
         self.next.clear()
         # The paper's sketch creates filters in reverse order because each
         # stage's ``next`` pointer must exist at construction time.  Our
         # ``next`` HashMap is filled after the fact, so stages are created
         # in pipeline order — this also keeps placement policies (which
         # see creations in order) assigning stage i and the hand-coded
-        # baseline's stage i to the same node.
-        stages: list[Any] = []
-        for index in range(self.splitter.duplicates):
-            args, kwargs = self.splitter.ctor_args(jp.args, jp.kwargs, index)
-            stage = jp.proceed(*args, **kwargs)
-            stages.append(stage)
+        # baseline's stage i to the same node.  The whole stage set is
+        # built through one batched initialization joinpoint.
+        stages = self.build_duplicates(jp)
         for index, stage in enumerate(stages):
             self.next[id(stage)] = (
                 stages[index + 1] if index + 1 < len(stages) else None
             )
-            self.remember(stage, index)
         self.first = stages[0]
         return self.first  # the first pipeline element goes back to the client
 
@@ -171,6 +167,7 @@ class PipelineForwardAspect(ParallelAspect):
         return results
 
 
+@register_strategy("pipeline")
 def pipeline_module(
     splitter: WorkSplitter,
     creation: str,

@@ -1,11 +1,11 @@
-"""High-level facade: one call from sequential class to parallel stack.
+"""Compatibility facade: ``parallelise()`` as a shim over ``repro.api``.
 
-The paper's future work announces "a domain-specific aspect library for
-parallel computing, based on reusable aspects"; this module is that
-library's front door.  :func:`parallelise` assembles a complete
-composition — partition strategy, concurrency, optional distribution,
-optional cost instrumentation — from a strategy name and a
-:class:`~repro.parallel.partition.base.WorkSplitter`::
+The original front door assembled the stack by hand from hard-coded
+``STRATEGIES``/``MIDDLEWARES`` tuples.  It is now a *thin shim* over the
+declarative API — :func:`parallelise` builds a
+:class:`~repro.api.spec.StackSpec`, assembles a
+:class:`~repro.api.app.ParallelApp`, and wraps it in the legacy
+:class:`ParallelStack` surface::
 
     stack = parallelise(
         PrimeFilter,
@@ -19,44 +19,46 @@ optional cost instrumentation — from a strategy name and a
     with stack:
         ...
 
-Everything remains individually pluggable afterwards through
-``stack.composition``.
+New code should use :class:`repro.api.ParallelApp` directly — it adds
+eager validation, registry-extensible strategies/middlewares/backends,
+and the futures-first ``submit``/``map`` API.  ``STRATEGIES`` and
+``MIDDLEWARES`` survive as snapshots of the open registries; unknown
+names now raise :class:`~repro.api.registry.UnknownNameError` (a
+``DeploymentError``) listing the registered names and suggesting the
+nearest match.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.api.app import ParallelApp
+from repro.api.registry import MIDDLEWARES as _MIDDLEWARE_REGISTRY
+from repro.api.registry import STRATEGIES as _STRATEGY_REGISTRY
+from repro.api.spec import StackSpec
 from repro.aop.weaver import Weaver, default_weaver
 from repro.cluster.topology import Cluster
-from repro.errors import DeploymentError
-from repro.middleware.mpp import MppMiddleware
 from repro.middleware.placement import PlacementPolicy
-from repro.middleware.rmi import RmiMiddleware
-from repro.parallel.composition import Composition, ParallelModule
-from repro.parallel.concern import Concern
-from repro.parallel.concurrency import concurrency_module
-from repro.parallel.distribution import (
-    mpp_distribution_module,
-    rmi_distribution_module,
-)
+from repro.parallel.composition import Composition
 from repro.parallel.instrumentation import ComputeCostAspect
-from repro.parallel.partition import (
-    WorkSplitter,
-    dynamic_farm_module,
-    farm_module,
-    heartbeat_module,
-    pipeline_module,
-)
+from repro.parallel.partition import WorkSplitter
 
 __all__ = ["ParallelStack", "parallelise", "STRATEGIES", "MIDDLEWARES"]
 
-STRATEGIES = ("pipeline", "farm", "dynamic-farm", "heartbeat")
-MIDDLEWARES = ("none", "rmi", "mpp")
+#: legacy catalogue views — snapshots of the open registries (excluding
+#: the null entries, which the old tuples never listed)
+STRATEGIES = tuple(n for n in _STRATEGY_REGISTRY.names() if n != "none")
+MIDDLEWARES = ("none",) + tuple(
+    n for n in _MIDDLEWARE_REGISTRY.names() if n != "none"
+)
 
 
 class ParallelStack:
-    """A deployed-or-deployable composition with its handles."""
+    """A deployed-or-deployable composition with its handles.
+
+    Legacy surface kept for existing callers; internally every stack is
+    a :class:`~repro.api.app.ParallelApp`, reachable as ``stack.app``.
+    """
 
     def __init__(
         self,
@@ -65,12 +67,31 @@ class ParallelStack:
         partition: Any,
         middleware: Any = None,
         weaver: Weaver | None = None,
+        app: ParallelApp | None = None,
     ):
         self.target = target
         self.composition = composition
         self.partition = partition
         self.middleware = middleware
         self.weaver = weaver if weaver is not None else default_weaver
+        #: the ParallelApp this stack wraps (None only for hand-built stacks)
+        self.app = app
+
+    @classmethod
+    def from_app(cls, app: ParallelApp) -> "ParallelStack":
+        """Wrap a ParallelApp in the legacy stack surface."""
+        return cls(
+            app.spec.target,
+            app.composition,
+            app.partition,
+            middleware=app.middleware,
+            weaver=app.weaver,
+            app=app,
+        )
+
+    @property
+    def async_aspect(self) -> Any:
+        return self.app.async_aspect if self.app is not None else None
 
     def deploy(self) -> "ParallelStack":
         self.composition.deploy(self.weaver, targets=[self.target])
@@ -80,7 +101,9 @@ class ParallelStack:
         self.composition.undeploy()
 
     def shutdown(self) -> None:
-        if self.middleware is not None:
+        if self.app is not None:
+            self.app.shutdown()
+        elif self.middleware is not None:
             self.middleware.shutdown()
 
     def __enter__(self) -> "ParallelStack":
@@ -110,56 +133,23 @@ def parallelise(
 ) -> ParallelStack:
     """Assemble a full parallelisation stack for ``target``.
 
-    Parameters mirror the methodology's decision points: the *strategy*
-    (partition category), whether to add the concurrency module, which
-    *middleware* to distribute over (requires a ``cluster``), and an
-    optional cost-instrumentation aspect for simulated runs.
+    Compatibility shim: builds a :class:`~repro.api.spec.StackSpec` from
+    the keyword soup and delegates assembly (and its eager validation,
+    including did-you-mean suggestions for unknown strategy/middleware
+    names) to :class:`~repro.api.app.ParallelApp`.
     """
-    if strategy not in STRATEGIES:
-        raise DeploymentError(f"unknown strategy {strategy!r}; choose {STRATEGIES}")
-    if middleware not in MIDDLEWARES:
-        raise DeploymentError(
-            f"unknown middleware {middleware!r}; choose {MIDDLEWARES}"
-        )
-
-    composition = Composition(f"{strategy}+{middleware}")
-    if strategy == "pipeline":
-        module = pipeline_module(splitter, creation, work, **strategy_kwargs)
-    elif strategy == "farm":
-        module = farm_module(splitter, creation, work, **strategy_kwargs)
-    elif strategy == "dynamic-farm":
-        module = dynamic_farm_module(splitter, creation, work, **strategy_kwargs)
-    else:
-        module = heartbeat_module(splitter, creation, work, **strategy_kwargs)
-    composition.plug(module)
-    partition = module.coordinator  # type: ignore[attr-defined]
-
-    merged = getattr(module, "provides_concurrency", False)
-    if concurrency and not merged:
-        composition.plug(concurrency_module(work, work))
-
-    mw_instance = None
-    if middleware != "none":
-        if cluster is None:
-            raise DeploymentError(f"middleware {middleware!r} needs a cluster")
-        if middleware == "rmi":
-            mw_instance = RmiMiddleware(cluster)
-            composition.plug(
-                rmi_distribution_module(
-                    mw_instance, creation, work, placement=placement
-                )
-            )
-        else:
-            mw_instance = MppMiddleware(cluster)
-            composition.plug(
-                mpp_distribution_module(
-                    mw_instance, creation, work, placement=placement
-                )
-            )
-
-    if cost is not None:
-        composition.plug(
-            ParallelModule("cost-model", Concern.INSTRUMENTATION, [cost])
-        )
-
-    return ParallelStack(target, composition, partition, mw_instance, weaver)
+    spec = StackSpec(
+        target=target,
+        work=work,
+        creation=creation,
+        splitter=splitter,
+        strategy=strategy,
+        strategy_options=dict(strategy_kwargs),
+        concurrency=concurrency,
+        middleware=middleware,
+        cluster=cluster,
+        placement=placement,
+        cost=cost,
+        weaver=weaver,
+    )
+    return ParallelStack.from_app(ParallelApp(spec))

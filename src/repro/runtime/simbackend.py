@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.api.registry import register_backend
 from repro.errors import BackendError
 from repro.runtime.backend import ExecutionBackend, TaskHandle, use_backend
 from repro.sim import SimEvent, SimLock, SimProcess, SimQueue, Simulator, current_process
@@ -79,3 +80,12 @@ class SimBackend(ExecutionBackend):
 
     def make_queue(self, name: str = "queue") -> SimQueue:
         return SimQueue(self.sim, name=name)
+
+
+@register_backend("sim")
+def _make_sim_backend(cluster: Any = None, sim: Any = None) -> SimBackend:
+    """Registry factory for the simulation backend: reuses the cluster's
+    simulator when one is in the spec, else creates a fresh kernel."""
+    if sim is None:
+        sim = cluster.sim if cluster is not None else Simulator()
+    return SimBackend(sim)

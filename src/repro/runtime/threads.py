@@ -14,6 +14,7 @@ import queue as _queue
 import threading
 from typing import Any, Callable
 
+from repro.api.registry import register_backend
 from repro.runtime.backend import ExecutionBackend, TaskHandle
 
 __all__ = ["ThreadBackend", "ThreadTask"]
@@ -124,3 +125,10 @@ class ThreadBackend(ExecutionBackend):
 
     def make_queue(self, name: str = "queue") -> _ThreadQueue:
         return _ThreadQueue(name)
+
+
+@register_backend("thread")
+def _make_thread_backend(cluster: Any = None, sim: Any = None) -> ThreadBackend:
+    """Registry factory for the functional (real-thread) backend; the
+    cluster/sim context is irrelevant here and ignored."""
+    return ThreadBackend()

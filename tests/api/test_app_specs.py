@@ -1,0 +1,74 @@
+"""Every example app runs through ParallelApp via its declarative spec."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import ParallelApp
+from repro.apps.jacobi import JacobiGrid, jacobi_spec, stitch_blocks
+from repro.apps.mandelbrot import (
+    MandelbrotRenderer,
+    MandelbrotScene,
+    mandelbrot_spec,
+)
+from repro.apps.primes import SieveWorkload, expected_sieve_output, sieve_spec
+from repro.apps.wordcount import TextPipeline, wordcount_spec
+
+
+def test_mandelbrot_farm_spec_matches_sequential():
+    scene = MandelbrotScene(width=32, height=20, max_iter=24)
+    sequential = MandelbrotRenderer(scene).render_all()
+    app = ParallelApp(mandelbrot_spec(workers=3, bands=6, backend="thread"))
+    with app:
+        app.start(scene)
+        image = app.submit(np.arange(scene.height)).result()
+    assert np.array_equal(image, sequential)
+
+
+def test_jacobi_heartbeat_spec_matches_sequential():
+    reference = JacobiGrid(12, 16)
+    reference.solve(60)
+    app = ParallelApp(jacobi_spec(blocks=3, backend="thread"))
+    with app:
+        app.start(12, 16)
+        app.submit(60).result()
+        parallel = stitch_blocks(app.partition.workers)
+    assert np.allclose(parallel, reference.interior())
+
+
+def test_wordcount_pipeline_spec_matches_sequential():
+    documents = ["the cat sat", "the dog SAT!", "a cat and a dog barked"]
+    expected = TextPipeline().process(list(documents))
+    app = ParallelApp(wordcount_spec(batches=2, backend="thread"))
+    with app:
+        app.start()
+        counts = app.submit(list(documents)).result()
+    assert counts == expected
+
+
+def test_primes_spec_on_simulated_testbed():
+    from repro.cluster import paper_testbed
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    workload = SieveWorkload(10_000, 4)
+    app = ParallelApp(
+        sieve_spec("FarmMPP", workload, 3, cluster=paper_testbed(sim))
+    )
+    try:
+        with app:
+            app.start(2, workload.sqrt)
+            survivors = app.submit(workload.candidates).result()
+        assert np.array_equal(
+            np.sort(np.asarray(survivors)), expected_sieve_output(10_000)
+        )
+        assert app.middleware.calls >= 4
+    finally:
+        sim.shutdown()
+
+
+def test_specs_accept_deployment_overrides():
+    spec = mandelbrot_spec(2, 4, backend="thread", concurrency=False)
+    assert spec.concurrency is False
+    assert spec.strategy == "farm"
+    assert spec.resolved_work_method == "render"

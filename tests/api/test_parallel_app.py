@@ -1,0 +1,385 @@
+"""ParallelApp: assembly, futures-first submission, packs, both backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.app import AppBuilder, ParallelApp
+from repro.api.registry import STRATEGIES, register_strategy
+from repro.api.spec import StackSpec
+from repro.apps.primes import PrimeFilter, SieveWorkload, expected_sieve_output
+from repro.cluster import paper_testbed
+from repro.errors import DeploymentError
+from repro.parallel import Concern, ParallelModule, WorkSplitter, farm_module
+from repro.runtime import Future, FutureGroup
+from repro.sim import Simulator
+
+MAX = 10_000
+PACKS = 4
+
+
+class Doubler:
+    def __init__(self):
+        self.calls = 0
+
+    def handle(self, x):
+        self.calls += 1
+        return x * 2
+
+
+def sieve_farm_spec(workload, filters=3, **overrides):
+    fields = dict(
+        target=PrimeFilter,
+        work="filter",
+        splitter=workload.farm_splitter(filters),
+        strategy="farm",
+        backend="thread",
+    )
+    fields.update(overrides)
+    return StackSpec(**fields)
+
+
+class TestAssembly:
+    def test_modules_assembled_by_concern(self):
+        workload = SieveWorkload(MAX, PACKS)
+        app = ParallelApp(sieve_farm_spec(workload))
+        assert app.partition is not None
+        assert app.async_aspect is not None
+        assert app.composition.by_concern(Concern.PARTITION)
+        assert app.composition.by_concern(Concern.CONCURRENCY)
+
+    def test_backend_auto_resolution(self):
+        workload = SieveWorkload(MAX, PACKS)
+        local = ParallelApp(sieve_farm_spec(workload, backend=None))
+        assert local.backend.name == "threads"
+        sim = Simulator()
+        try:
+            distributed = ParallelApp(
+                sieve_farm_spec(
+                    workload, backend=None, middleware="rmi",
+                    cluster=paper_testbed(sim),
+                )
+            )
+            assert distributed.backend.name == "sim"
+            assert distributed.sim is sim
+        finally:
+            sim.shutdown()
+
+    def test_optimisation_aspects_wrapped_as_modules(self):
+        from repro.parallel import CommunicationPackingAspect
+
+        workload = SieveWorkload(MAX, PACKS)
+        spec = sieve_farm_spec(workload)
+        partition_module = STRATEGIES.get("farm")(
+            workload.farm_splitter(3), spec.creation_pointcut, spec.work_pointcut
+        )
+        packing = CommunicationPackingAspect(partition_module.coordinator, 2)
+        app = ParallelApp(sieve_farm_spec(workload, optimisations=(packing,)))
+        assert app.composition.by_concern(Concern.OPTIMISATION)
+
+    def test_eager_validation_at_construction(self):
+        workload = SieveWorkload(MAX, PACKS)
+        with pytest.raises(DeploymentError, match="did you mean"):
+            ParallelApp(sieve_farm_spec(workload, strategy="frm"))
+
+
+class TestThreadSubmission:
+    def test_submit_returns_future_with_correct_result(self):
+        workload = SieveWorkload(MAX, PACKS)
+        app = ParallelApp(sieve_farm_spec(workload))
+        with app:
+            app.start(2, workload.sqrt)
+            future = app.submit(workload.candidates)
+            assert isinstance(future, Future)
+            result = future.result()
+        assert np.array_equal(
+            np.sort(np.asarray(result)), expected_sieve_output(MAX)
+        )
+
+    def test_submit_before_start_raises(self):
+        workload = SieveWorkload(MAX, PACKS)
+        app = ParallelApp(sieve_farm_spec(workload))
+        with app:
+            with pytest.raises(DeploymentError, match="app.start"):
+                app.submit(workload.candidates)
+
+    def test_submit_failure_delivered_via_future(self):
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle", strategy="none",
+                      backend="thread")
+        )
+        with app:
+            app.start()
+            future = app.submit("not", "valid", "arity")
+            with pytest.raises(TypeError):
+                future.result()
+
+    def test_map_resolves_per_item_futures_in_order(self):
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle", strategy="none",
+                      backend="thread")
+        )
+        with app:
+            app.start()
+            group = app.map([1, 2, 3])
+            assert isinstance(group, FutureGroup)
+            assert group.results() == [2, 4, 6]
+
+    def test_map_pack_runs_one_advice_pass_per_pack(self):
+        from repro.aop import Aspect, around
+
+        passes = []
+
+        class CountChain(Aspect):
+            @around("call(Doubler.handle(..))")
+            def count(self, jp):
+                passes.append(jp)
+                return jp.proceed()
+
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle", strategy="none",
+                      concurrency=False, backend="thread",
+                      optimisations=(CountChain(),))
+        )
+        with app:
+            app.start()
+            group = app.map([1, 2, 3, 4], pack=2)
+            assert group.results() == [2, 4, 6, 8]
+        # 4 items in packs of 2 -> exactly 2 chain traversals
+        assert len(passes) == 2
+
+    def test_map_pack_rejected_with_partition(self):
+        workload = SieveWorkload(MAX, PACKS)
+        app = ParallelApp(sieve_farm_spec(workload))
+        with app:
+            app.start(2, workload.sqrt)
+            with pytest.raises(DeploymentError, match="partition-less"):
+                app.map([workload.candidates], pack=True)
+
+    def test_call_is_synchronous_submit(self):
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle", strategy="none",
+                      backend="thread")
+        )
+        with app:
+            app.start()
+            assert app.call(21) == 42
+
+
+class TestSimSubmission:
+    def test_submit_drives_simulator_from_outside(self):
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        workload = SieveWorkload(MAX, PACKS)
+        app = ParallelApp(
+            sieve_farm_spec(
+                workload, backend="sim", middleware="rmi", cluster=cluster
+            )
+        )
+        try:
+            with app:
+                app.start(2, workload.sqrt)
+                future = app.submit(workload.candidates)
+                assert future.resolved  # driven to completion transparently
+                result = future.result()
+            assert np.array_equal(
+                np.sort(np.asarray(result)), expected_sieve_output(MAX)
+            )
+            assert app.middleware.calls >= PACKS
+            assert sim.now > 0
+        finally:
+            sim.shutdown()
+
+    def test_submit_inside_simulation_returns_pending_future(self):
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        workload = SieveWorkload(MAX, PACKS)
+        app = ParallelApp(
+            sieve_farm_spec(
+                workload, backend="sim", middleware="mpp", cluster=cluster
+            )
+        )
+        out = {}
+
+        def main():
+            app.start(2, workload.sqrt)
+            future = app.submit(workload.candidates)
+            out["resolved_at_submit"] = future.resolved
+            out["result"] = future.result()
+
+        try:
+            with app:
+                sim.spawn(main, name="driver")
+                sim.run()
+            assert out["resolved_at_submit"] is False
+            assert np.array_equal(
+                np.sort(np.asarray(out["result"])), expected_sieve_output(MAX)
+            )
+        finally:
+            sim.shutdown()
+
+
+class TestOnewayPacks:
+    def test_oneway_pack_sends_one_message_and_skips_reply(self):
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle", strategy="none",
+                      middleware="mpp", cluster=cluster,
+                      oneway=("handle",))
+        )
+        try:
+            with app:
+                app.start()
+                before = cluster.network.messages
+                group = app.map(list(range(8)), pack=True, oneway=True)
+                assert group.results() == [None] * 8
+                assert cluster.network.messages - before == 1  # no reply msg
+                assert app.middleware.oneway_calls == 1
+                assert app.middleware.batched_calls == 1
+                servant = app.middleware.servant_of(
+                    app.distribution.ref_of(app.instance)
+                )
+                assert servant.calls == 8  # delivered and executed
+        finally:
+            sim.shutdown()
+
+    def test_oneway_requires_declaration(self):
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle", strategy="none",
+                      middleware="mpp", cluster=cluster)
+        )
+        try:
+            with app:
+                app.start()
+                with pytest.raises(DeploymentError, match="not declared"):
+                    app.submit(1, oneway=True)
+        finally:
+            sim.shutdown()
+
+    def test_oneway_on_rmi_rejected_eagerly(self):
+        # RMI cannot fire-and-forget: the declaration must fail at
+        # assembly, not at the first call
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        try:
+            with pytest.raises(DeploymentError, match="one-way"):
+                ParallelApp(
+                    StackSpec(target=Doubler, work="handle", strategy="none",
+                              middleware="rmi", cluster=cluster,
+                              oneway=("handle",))
+                )
+        finally:
+            sim.shutdown()
+
+    def test_oneway_on_hybrid_must_be_a_data_method(self):
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        try:
+            with pytest.raises(DeploymentError, match="data path"):
+                ParallelApp(
+                    StackSpec(target=Doubler, work="handle", strategy="none",
+                              middleware="hybrid", cluster=cluster,
+                              middleware_options={"data_methods": ()},
+                              oneway=("handle",))
+                )
+            # declared as a data method, the same spec assembles fine
+            app = ParallelApp(
+                StackSpec(target=Doubler, work="handle", strategy="none",
+                          middleware="hybrid", cluster=cluster,
+                          middleware_options={"data_methods": ("handle",)},
+                          oneway=("handle",))
+            )
+            with app:
+                app.start()
+                assert app.map([1, 2], pack=True, oneway=True).results() == [
+                    None,
+                    None,
+                ]
+        finally:
+            sim.shutdown()
+
+    def test_pack_map_from_inside_the_simulation(self):
+        # regression: pack futures must live on the app's backend, or a
+        # sim-process caller waiting on them deadlocks the simulation
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle", strategy="none",
+                      middleware="mpp", cluster=cluster)
+        )
+        out = {}
+
+        def main():
+            app.start()
+            out["results"] = app.map([1, 2, 3], pack=True).results()
+
+        try:
+            with app:
+                sim.spawn(main, name="driver")
+                sim.run()
+            assert out["results"] == [2, 4, 6]
+        finally:
+            sim.shutdown()
+
+
+class TestFluentBuilder:
+    def test_builder_accumulates_and_builds(self):
+        workload = SieveWorkload(MAX, PACKS)
+        app = (
+            ParallelApp.of(PrimeFilter)
+            .work("filter")
+            .splitter(workload.farm_splitter(3))
+            .strategy("farm")
+            .backend("thread")
+            .named("fluent-farm")
+            .build()
+        )
+        assert isinstance(app, ParallelApp)
+        assert app.composition.name == "fluent-farm"
+        with app:
+            app.start(2, workload.sqrt)
+            result = app.submit(workload.candidates).result()
+        assert np.array_equal(
+            np.sort(np.asarray(result)), expected_sieve_output(MAX)
+        )
+
+    def test_builder_validates_eagerly(self):
+        builder = (
+            ParallelApp.of(PrimeFilter)
+            .work("filter")
+            .strategy("farm")  # no splitter
+        )
+        assert isinstance(builder, AppBuilder)
+        with pytest.raises(DeploymentError, match="splitter"):
+            builder.build()
+
+
+class TestOpenRegistry:
+    def test_custom_strategy_plugs_in_without_editing_any_facade(self):
+        name = "test-broadcast"
+        if name in STRATEGIES:
+            STRATEGIES.unregister(name)
+
+        @register_strategy(name)
+        def broadcast_module(splitter, creation, work, **options):
+            # reuse the farm mechanics under a new registered name
+            return farm_module(splitter, creation, work, name=name)
+
+        try:
+            workload = SieveWorkload(MAX, PACKS)
+            app = ParallelApp(
+                sieve_farm_spec(workload, strategy=name)
+            )
+            assert name in app.modules
+            with app:
+                app.start(2, workload.sqrt)
+                result = app.submit(workload.candidates).result()
+            assert np.array_equal(
+                np.sort(np.asarray(result)), expected_sieve_output(MAX)
+            )
+        finally:
+            STRATEGIES.unregister(name)

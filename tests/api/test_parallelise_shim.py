@@ -1,0 +1,100 @@
+"""The ``parallelise()`` compatibility shim over ParallelApp."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.app import ParallelApp
+from repro.api.registry import UnknownNameError
+from repro.apps.primes import PrimeFilter, SieveWorkload, expected_sieve_output
+from repro.errors import DeploymentError
+from repro.parallel.skeletons import (
+    MIDDLEWARES,
+    STRATEGIES,
+    ParallelStack,
+    parallelise,
+)
+from repro.runtime import Future, ThreadBackend, use_backend
+
+MAX = 10_000
+PACKS = 4
+
+CREATION = "initialization(PrimeFilter.new(..))"
+WORK = "call(PrimeFilter.filter(..))"
+
+
+def make_stack(**overrides):
+    workload = SieveWorkload(MAX, PACKS)
+    kwargs = dict(strategy="farm")
+    kwargs.update(overrides)
+    return workload, parallelise(
+        PrimeFilter, workload.farm_splitter(3), CREATION, WORK, **kwargs
+    )
+
+
+class TestShimSurface:
+    def test_stack_is_backed_by_a_parallel_app(self):
+        _, stack = make_stack()
+        assert isinstance(stack, ParallelStack)
+        assert isinstance(stack.app, ParallelApp)
+        assert stack.composition is stack.app.composition
+        assert stack.partition is stack.app.partition
+
+    def test_catalogues_reflect_the_registries(self):
+        assert "farm" in STRATEGIES and "heartbeat" in STRATEGIES
+        assert "none" in MIDDLEWARES and "rmi" in MIDDLEWARES
+
+    def test_unknown_strategy_error_lists_and_suggests(self):
+        workload = SieveWorkload(MAX, PACKS)
+        with pytest.raises(UnknownNameError) as excinfo:
+            parallelise(
+                PrimeFilter, workload.farm_splitter(2), CREATION, WORK,
+                strategy="pipelin",
+            )
+        assert "did you mean 'pipeline'?" in str(excinfo.value)
+        assert "farm" in str(excinfo.value)  # full catalogue listed
+
+    def test_unknown_middleware_is_still_a_deployment_error(self):
+        workload = SieveWorkload(MAX, PACKS)
+        with pytest.raises(DeploymentError):
+            parallelise(
+                PrimeFilter, workload.farm_splitter(2), CREATION, WORK,
+                middleware="corba",
+            )
+
+    def test_shim_runs_the_stack_exactly_like_before(self):
+        workload, stack = make_stack()
+        with use_backend(ThreadBackend()):
+            with stack:
+                pf = PrimeFilter(2, workload.sqrt)
+                result = pf.filter(workload.candidates)
+                if isinstance(result, Future):
+                    result = result.result()
+        assert np.array_equal(
+            np.sort(np.asarray(result)), expected_sieve_output(MAX)
+        )
+
+    def test_stack_still_exposes_submit_through_the_app(self):
+        workload, stack = make_stack()
+        with stack:
+            stack.app.start(2, workload.sqrt)
+            result = stack.app.submit(workload.candidates).result()
+        assert np.array_equal(
+            np.sort(np.asarray(result)), expected_sieve_output(MAX)
+        )
+
+    def test_wildcard_work_pattern_still_accepted(self):
+        # the legacy facade accepted arbitrary patterns; they deploy fine
+        # and only submit() is off the table
+        workload = SieveWorkload(MAX, PACKS)
+        stack = parallelise(
+            PrimeFilter,
+            workload.farm_splitter(2),
+            CREATION,
+            "call(PrimeFilter.fil*(..))",
+        )
+        with stack:
+            pass
+        with pytest.raises(DeploymentError, match="work_method"):
+            stack.app.spec.resolved_work_method

@@ -1,0 +1,111 @@
+"""StackSpec: pointcut expansion, derivation, and eager validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import UnknownNameError
+from repro.api.spec import StackSpec
+from repro.errors import DeploymentError
+from repro.parallel import WorkSplitter
+
+
+class Widget:
+    def __init__(self, size=1):
+        self.size = size
+
+    def work(self, x):
+        return x
+
+
+def widget_spec(**overrides):
+    fields = dict(
+        target=Widget,
+        work="work",
+        splitter=WorkSplitter(duplicates=2),
+        strategy="farm",
+    )
+    fields.update(overrides)
+    return StackSpec(**fields)
+
+
+class TestExpansion:
+    def test_bare_method_name_expands_to_call_pointcut(self):
+        spec = widget_spec()
+        assert spec.work_pointcut == "call(Widget.work(..))"
+
+    def test_full_pointcut_passes_through(self):
+        spec = widget_spec(work="call(Widget.w*(..))", work_method="work")
+        assert spec.work_pointcut == "call(Widget.w*(..))"
+
+    def test_creation_defaults_from_target(self):
+        assert widget_spec().creation_pointcut == "initialization(Widget.new(..))"
+
+    def test_creation_bare_name_expands(self):
+        spec = widget_spec(creation="new")
+        assert spec.creation_pointcut == "initialization(Widget.new(..))"
+
+    def test_work_method_derived_from_pointcut(self):
+        spec = widget_spec(work="call(Widget.work(..))")
+        assert spec.resolved_work_method == "work"
+
+    def test_work_method_underivable_raises_with_hint(self):
+        spec = widget_spec(work="call(Widget.w*(..))")
+        with pytest.raises(DeploymentError, match="work_method"):
+            spec.resolved_work_method
+
+    def test_explicit_work_method_wins(self):
+        spec = widget_spec(work="call(Widget.w*(..))", work_method="work")
+        assert spec.resolved_work_method == "work"
+
+
+class TestValidation:
+    def test_valid_spec_returns_self(self):
+        spec = widget_spec()
+        assert spec.validate() is spec
+
+    def test_target_must_be_a_class(self):
+        with pytest.raises(DeploymentError, match="must be a class"):
+            StackSpec(target=Widget(), work="work").validate()  # type: ignore[arg-type]
+
+    def test_work_is_mandatory(self):
+        with pytest.raises(DeploymentError, match="work pointcut"):
+            StackSpec(target=Widget).validate()
+
+    def test_unknown_strategy_suggests_nearest(self):
+        with pytest.raises(UnknownNameError, match="did you mean 'farm'"):
+            widget_spec(strategy="frm").validate()
+
+    def test_unknown_middleware_suggests_nearest(self):
+        with pytest.raises(UnknownNameError, match="did you mean 'rmi'"):
+            widget_spec(middleware="rmmi").validate()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(UnknownNameError, match="backend"):
+            widget_spec(backend="threds").validate()
+
+    def test_strategy_needs_splitter(self):
+        with pytest.raises(DeploymentError, match="needs a splitter"):
+            widget_spec(splitter=None).validate()
+
+    def test_none_strategy_needs_no_splitter(self):
+        widget_spec(strategy="none", splitter=None).validate()
+
+    def test_middleware_needs_cluster(self):
+        with pytest.raises(DeploymentError, match="needs a cluster"):
+            widget_spec(middleware="rmi").validate()
+
+    def test_oneway_needs_middleware(self):
+        with pytest.raises(DeploymentError, match="oneway"):
+            widget_spec(oneway=("work",)).validate()
+
+    def test_with_copies_and_overrides(self):
+        spec = widget_spec()
+        copy = spec.with_(strategy="pipeline")
+        assert copy.strategy == "pipeline"
+        assert spec.strategy == "farm"
+        assert copy.target is Widget
+
+    def test_describe_mentions_the_choices(self):
+        text = widget_spec().describe()
+        assert "farm" in text and "Widget" in text

@@ -1,10 +1,19 @@
-"""Docstring lint: every public module under ``src/repro`` must carry a
-module docstring.
+"""Docstring lint.
 
-Run by ``make lint``.  A *public* module is any ``.py`` file whose path
-contains no underscore-prefixed component (``__init__.py`` counts as
-public — it documents its package).  Exits non-zero listing offenders so
-CI fails loudly when an undocumented module lands.
+Two rules, run by ``make lint`` (and CI):
+
+1. every public module under ``src/repro`` must carry a module
+   docstring;
+2. every public function, method, and class defined in the
+   ``repro.api`` package must carry a docstring — the package is the
+   user-facing surface, so its signatures are documentation.
+
+A *public* module is any ``.py`` file whose path contains no
+underscore-prefixed component (``__init__.py`` counts as public — it
+documents its package).  A public definition is one whose name does not
+start with ``_``; nested (function-local) definitions are exempt.
+Exits non-zero listing offenders so CI fails loudly when an
+undocumented surface lands.
 """
 
 from __future__ import annotations
@@ -12,6 +21,9 @@ from __future__ import annotations
 import ast
 import sys
 from pathlib import Path
+
+#: packages whose public *definitions* (not just modules) need docstrings
+API_PACKAGES = ("api",)
 
 
 def is_public(relative: Path) -> bool:
@@ -21,11 +33,36 @@ def is_public(relative: Path) -> bool:
     )
 
 
+def undocumented_definitions(tree: ast.Module) -> list[tuple[int, str]]:
+    """(line, qualified name) of public defs/classes lacking docstrings.
+
+    Walks module and class bodies only — function-local helpers are
+    implementation detail, not API surface.
+    """
+    offenders: list[tuple[int, str]] = []
+
+    def visit(body: list[ast.stmt], prefix: str) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = node.name
+                qualified = f"{prefix}{name}"
+                if not name.startswith("_"):
+                    if ast.get_docstring(node) is None:
+                        offenders.append((node.lineno, qualified))
+                    if isinstance(node, ast.ClassDef):
+                        visit(node.body, f"{qualified}.")
+
+    visit(tree.body, "")
+    return offenders
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent / "src" / "repro"
-    missing: list[Path] = []
+    missing_modules: list[Path] = []
+    missing_defs: list[str] = []
     for path in sorted(root.rglob("*.py")):
-        if not is_public(path.relative_to(root)):
+        relative = path.relative_to(root)
+        if not is_public(relative):
             continue
         try:
             tree = ast.parse(path.read_text(encoding="utf-8"))
@@ -33,13 +70,30 @@ def main() -> int:
             print(f"lint: {path}: syntax error: {exc}", file=sys.stderr)
             return 1
         if ast.get_docstring(tree) is None:
-            missing.append(path)
-    if missing:
+            missing_modules.append(path)
+        if relative.parts[0] in API_PACKAGES:
+            for line, name in undocumented_definitions(tree):
+                missing_defs.append(f"  {path}:{line}: {name}")
+    failed = False
+    if missing_modules:
+        failed = True
         print("modules missing a docstring:", file=sys.stderr)
-        for path in missing:
+        for path in missing_modules:
             print(f"  {path}", file=sys.stderr)
+    if missing_defs:
+        failed = True
+        print(
+            "public repro.api definitions missing a docstring:",
+            file=sys.stderr,
+        )
+        for entry in missing_defs:
+            print(entry, file=sys.stderr)
+    if failed:
         return 1
-    print(f"docstring lint ok ({sum(1 for _ in root.rglob('*.py'))} modules)")
+    print(
+        f"docstring lint ok ({sum(1 for _ in root.rglob('*.py'))} modules, "
+        f"api definitions documented)"
+    )
     return 0
 
 
