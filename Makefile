@@ -5,7 +5,7 @@
 PY ?= python
 PYPATH := PYTHONPATH=src
 
-.PHONY: test bench-smoke bench-dispatch lint
+.PHONY: test bench-smoke bench-check bench-dispatch lint
 
 ## tier-1 test suite (the driver's acceptance gate)
 test:
@@ -18,6 +18,13 @@ test:
 bench-smoke:
 	REPRO_BENCH_MAXIMUM=200000 REPRO_BENCH_PACKS=8 \
 		$(PYPATH) $(PY) -m pytest benchmarks/bench_aop_dispatch.py -q
+
+## regression gate on the overlapped-submit pair: compares the latest
+## BENCH_dispatch.json run's overlapped/serial ratio against the
+## committed trajectory and fails on a >25% regression.  Run after
+## bench-smoke (CI wires them in sequence).
+bench-check:
+	$(PY) tools/check_bench_regression.py
 
 ## full E4 dispatch benchmark with the default (paper-scale) knobs
 bench-dispatch:

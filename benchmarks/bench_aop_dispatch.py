@@ -22,7 +22,14 @@ with pytest-benchmark, grounding the model:
 * the ParallelApp submit path: an 8-item pack through ``app.map`` over
   simulated MPP, fire-and-forget (``oneway`` — one message per pack, no
   reply wait, asserted as an invariant) vs the same pack with a reply
-  round-trip.
+  round-trip;
+* the overlapped-submit pair: 4 submissions through one deployed
+  thread-backend pipeline, overlapped (per-call dispatch contexts —
+  ``peak_in_flight >= 2`` asserted as an invariant) vs strictly serial
+  — the pair CI gates with ``tools/check_bench_regression.py``;
+* pack-aware partition routing: ``app.map(pack=4)`` on a farm over
+  simulated MPP (each whole pack one message to one worker, asserted)
+  vs the same payload submitted item by item.
 
 Results are also appended to ``benchmarks/BENCH_dispatch.json`` by the
 conftest hook so the trajectory is tracked across PRs.
@@ -380,6 +387,168 @@ def test_submit_oneway_pack8(benchmark):
             return out
 
         assert benchmark(loop) == [None] * PACK
+    finally:
+        app.undeploy()
+        app.shutdown()
+        sim.shutdown()
+
+
+SUBMITS = 4
+STAGE_DELAY = 0.002
+
+
+def make_pipeline_app():
+    """A 3-stage thread-backend pipeline whose stages cost ~2 ms each —
+    enough real latency that overlapping in-flight splits dominates the
+    wall clock (keeps the CI-gated pair ratio stable across machines)."""
+    import time
+
+    from repro.api import ParallelApp, StackSpec
+    from repro.parallel import WorkSplitter
+
+    class Stage:
+        def run(self, values):
+            time.sleep(STAGE_DELAY)
+            return [v + 1 for v in values]
+
+    return ParallelApp(
+        StackSpec(
+            target=Stage,
+            work="run",
+            splitter=WorkSplitter(duplicates=3, combine=lambda rs: rs[0]),
+            strategy="pipeline",
+            backend="thread",
+        )
+    )
+
+
+def test_submit_overlapped_pipeline(benchmark):
+    """4 overlapped submissions through ONE deployed pipeline: per-call
+    dispatch contexts let the splits share the stages concurrently.
+    CI gates this pair's ratio (overlapped/serial) against the committed
+    trajectory — see tools/check_bench_regression.py."""
+    app = make_pipeline_app()
+    payload = list(range(8))
+    expected = [[v + 3 for v in payload]] * SUBMITS
+    try:
+        app.deploy()
+        app.start()
+
+        def overlapped():
+            futures = [app.submit(list(payload)) for _ in range(SUBMITS)]
+            return [f.result() for f in futures]
+
+        assert benchmark(overlapped) == expected
+        # the tentpole invariant: the pipeline genuinely sustained >= 2
+        # concurrent in-flight splits
+        assert app.peak_in_flight >= 2
+        assert app.in_flight == 0
+    finally:
+        app.undeploy()
+        app.shutdown()
+
+
+def test_submit_serial_pipeline(benchmark):
+    """The same 4 submissions strictly serialised (each result awaited
+    before the next submit) — what the seed's per-aspect collector
+    forced on every deployed pipeline."""
+    app = make_pipeline_app()
+    payload = list(range(8))
+    expected = [[v + 3 for v in payload]] * SUBMITS
+    try:
+        app.deploy()
+        app.start()
+
+        def serial():
+            return [
+                app.submit(list(payload)).result() for _ in range(SUBMITS)
+            ]
+
+        assert benchmark(serial) == expected
+        assert app.peak_in_flight == 1  # never overlapped by construction
+    finally:
+        app.undeploy()
+        app.shutdown()
+
+
+def make_farm_app():
+    """A 2-worker farm over simulated MPP — the shape pack-aware
+    partition routing targets."""
+    from repro.api import ParallelApp, StackSpec
+    from repro.cluster import paper_testbed
+    from repro.parallel import WorkSplitter
+    from repro.sim import Simulator
+
+    class Service:
+        def __init__(self):
+            self.calls = 0
+
+        def handle(self, x):
+            self.calls += 1
+            return x + 1
+
+    sim = Simulator()
+    app = ParallelApp(
+        StackSpec(
+            target=Service,
+            work="handle",
+            splitter=WorkSplitter(duplicates=2, combine=lambda rs: rs[0]),
+            strategy="farm",
+            middleware="mpp",
+            cluster=paper_testbed(sim),
+        )
+    )
+    return sim, app
+
+
+def test_map_pack4_farm_mpp(benchmark):
+    """`app.map(pack=4)` on a farm spec: each whole pack is routed to
+    one worker as ONE batched message (invariant asserted) — pack-aware
+    partition routing instead of the old eager rejection."""
+    sim, app = make_farm_app()
+    payload = list(range(8))
+    expected = [x + 1 for x in payload]
+    try:
+        app.deploy()
+        app.start()
+        cluster = app.spec.cluster
+        before = cluster.network.messages
+        assert app.map(payload, pack=4).results() == expected
+        # 2 packs of 4 -> 2 batched requests + 2 replies, nothing per-item
+        assert cluster.network.messages - before == 4
+        assert app.middleware.batched_calls == 2
+
+        def loop():
+            out = None
+            for _ in range(N // (PACK * 16)):
+                out = app.map(payload, pack=4).results()
+            return out
+
+        assert benchmark(loop) == expected
+    finally:
+        app.undeploy()
+        app.shutdown()
+        sim.shutdown()
+
+
+def test_map_unpacked_farm_mpp(benchmark):
+    """The same 8 payloads submitted item by item through the same farm
+    — one split, one advice pass and one message round-trip per item:
+    the cost pack routing removes."""
+    sim, app = make_farm_app()
+    payload = list(range(8))
+    expected = [x + 1 for x in payload]
+    try:
+        app.deploy()
+        app.start()
+
+        def loop():
+            out = None
+            for _ in range(N // (PACK * 16)):
+                out = app.map(payload).results()
+            return out
+
+        assert benchmark(loop) == expected
     finally:
         app.undeploy()
         app.shutdown()

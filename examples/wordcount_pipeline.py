@@ -33,10 +33,12 @@ def main():
     with app:
         app.start()
         parallel = app.submit(list(DOCUMENTS)).result()
-        # the same deployed stack also serves one request at a time
-        # (the pipeline's collector is per-split, so requests are
-        # submitted back to back, not overlapped)
-        per_doc = [app.call([doc]) for doc in DOCUMENTS]
+        # the same deployed stack serves overlapped requests: every
+        # in-flight split owns its per-call dispatch context, so all
+        # four submissions stream through the stages concurrently
+        futures = [app.submit([doc]) for doc in DOCUMENTS]
+        per_doc = [future.result() for future in futures]
+        overlapped = app.peak_in_flight
 
     identical = parallel == expected
     recombined = Counter()
@@ -44,7 +46,8 @@ def main():
         recombined.update(counts)
     print(f"pipeline == sequential: {identical}")
     print(f"per-document submissions recombine identically: "
-          f"{recombined == expected}\n")
+          f"{recombined == expected}")
+    print(f"peak in-flight splits on one deployed pipeline: {overlapped}\n")
     for word, count in expected.most_common(8):
         print(f"  {word:>10}: {count}")
     if not identical or recombined != expected:

@@ -163,6 +163,18 @@ class ParallelApp:
         """Table-1-style description of the assembled composition."""
         return self.composition.describe()
 
+    @property
+    def in_flight(self) -> int:
+        """Live per-call dispatch tickets on the partition coordinator —
+        how many splits this deployed stack is serving right now."""
+        return getattr(self.partition, "in_flight", 0)
+
+    @property
+    def peak_in_flight(self) -> int:
+        """Most splits ever in flight at once on this deployed stack
+        (the overlap high-water mark the stress tests assert on)."""
+        return getattr(self.partition, "peak_in_flight", 0)
+
     # -- execution context ---------------------------------------------------
 
     def _contextualise(self, fn: Callable[[], Any]) -> Callable[[], Any]:
@@ -282,23 +294,30 @@ class ParallelApp:
         packs of that size) and each pack rides the compiled batched
         entry point — the advice chain runs once per pack around a
         :class:`~repro.aop.plan.BatchJoinPoint` and, under distribution,
-        the whole pack is one message.  Pack submission targets
-        partition-less (service-style) stacks: a live partition module
-        would try to data-split the pack-level arguments, so it is
-        rejected eagerly.  With ``oneway=True`` packs are sent
-        fire-and-forget and every future resolves to ``None``.
+        the whole pack is one message.  On partitioned specs the
+        partition layer routes each whole pack at the top level
+        (``routes_packs`` strategies: farm and dynamic-farm send a pack
+        to one worker, the pipeline streams it through the stages) — one
+        advice pass and one message per pack per worker.  Strategies
+        whose work call cannot carry independent packs (heartbeat's
+        iteration loop, divide-and-conquer's recursion) are rejected
+        eagerly.  With ``oneway=True`` packs are sent fire-and-forget
+        and every future resolves to ``None``.
         """
         payloads = [item if isinstance(item, tuple) else (item,) for item in items]
         if not pack:
             return FutureGroup.of(
                 self.submit(*payload, oneway=oneway) for payload in payloads
             )
-        if self.partition is not None:
+        if self.partition is not None and not self.spec.pack_routable:
             raise DeploymentError(
-                "pack submission needs a partition-less spec "
-                "(strategy='none'): a live partition module would split "
-                "the pack-level arguments; use plain map()/submit() or "
-                "the CommunicationPackingAspect for split-level packing"
+                f"pack submission is not routable on strategy "
+                f"{self.spec.strategy!r}: its work call cannot carry "
+                f"independent packs (only strategies that route whole "
+                f"packs per worker — farm, dynamic-farm, pipeline — or "
+                f"partition-less specs support map(pack=...)); use plain "
+                f"map()/submit() or the CommunicationPackingAspect for "
+                f"split-level packing"
             )
         self._check_oneway(oneway)
         instance = self._entry_instance()

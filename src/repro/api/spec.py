@@ -136,6 +136,56 @@ class StackSpec:
         return self._expand(self.creation, "initialization", "{target}.{name}(..)")
 
     @property
+    def pack_routable(self) -> bool:
+        """Can ``app.map(pack=N)`` route packs through this spec?
+
+        True for partition-less specs and for strategies whose
+        coordinator aspect class declares ``routes_packs`` (the single
+        source of truth, reached through the registered builder's
+        ``coordinator_class``; both this check and ``app.map`` consult
+        it) — farm, dynamic-farm and pipeline route whole packs per
+        worker through the compiled batched entry; heartbeat (an
+        iteration loop over a shared grid) genuinely cannot.
+        """
+        return self._strategy_flag("routes_packs")
+
+    @property
+    def oneway_routable(self) -> bool:
+        """Can this spec's strategy serve fire-and-forget work at all?
+
+        Stricter than :attr:`pack_routable`: a oneway call produces no
+        replies, so the strategy must neither gather per-piece results
+        nor forward between workers.  Farm and dynamic-farm packs are
+        pure scatter (``oneway_packs`` on their aspect classes); the
+        pipeline routes packs but *needs* every hop's reply to forward,
+        so it is pack-routable yet not oneway-capable.
+        """
+        return self._strategy_flag("oneway_packs")
+
+    def _strategy_flag(self, flag: str) -> bool:
+        if self.strategy == "none":
+            return True
+        _ensure_builtin_registrations()
+        builder = STRATEGIES.get(self.strategy)
+        # single source of truth: the flags live on the strategy's
+        # coordinator aspect class (exposed by the builder); a builder
+        # without the pointer may carry the flag directly
+        owner = getattr(builder, "coordinator_class", builder)
+        return bool(getattr(owner, flag, False))
+
+    def _oneway_covers_work(self) -> bool:
+        """Does the ``oneway`` declaration touch the partition's work
+        call?  Auxiliary fire-and-forget methods (a ``notify`` beside a
+        reply-bearing work call) are the strategy's business only when
+        the work call itself goes oneway.  With a work pattern no method
+        name can be derived from, assume coverage (conservative)."""
+        try:
+            work = self.resolved_work_method
+        except DeploymentError:
+            return True
+        return work in self.oneway
+
+    @property
     def resolved_work_method(self) -> str:
         """The concrete method name submissions dispatch to."""
         if self.work_method is not None:
@@ -196,6 +246,24 @@ class StackSpec:
                 "oneway methods need a distribution middleware "
                 "(fire-and-forget is a transport property); "
                 f"declared oneway={self.oneway!r} with middleware='none'"
+            )
+        if (
+            self.oneway
+            and not self.oneway_routable
+            and self._oneway_covers_work()
+        ):
+            # cross-field rule matching the map(pack=...) capabilities: a
+            # strategy whose work call must gather replies (heartbeat,
+            # divide-conquer) or forward them between workers (pipeline)
+            # has no fire-and-forget story for that call — oneway never
+            # produces the replies those strategies depend on.  Oneway
+            # declarations on auxiliary (non-work) methods stay legal.
+            raise DeploymentError(
+                f"strategy {self.strategy!r} cannot serve its work call "
+                f"oneway: the call depends on per-piece replies, which "
+                f"fire-and-forget never produces (declared "
+                f"oneway={list(self.oneway)}); use farm/dynamic-farm or "
+                f"a partition-less spec"
             )
         # NOTE: resolved_work_method is deliberately NOT forced here — a
         # wildcard work pattern is deployable, it just cannot back

@@ -19,6 +19,14 @@ to them.  Both concrete middlewares (RMI and MPP) share:
 Cost charging uses the *caller's* CPU for marshalling and the *servant's*
 CPU for unmarshalling + dispatch, with wire time from the cluster network
 model.
+
+Every request carries the **originating dispatch-ticket id**
+(:func:`repro.runtime.dispatch.dispatch_id`): the server-side activity
+re-installs the caller's per-call
+:class:`~repro.parallel.partition.base.DispatchContext` around the
+servant execution, so work done — and replies produced — on behalf of a
+call stay attributed to that call however many calls are in flight on
+one servant.
 """
 
 from __future__ import annotations
@@ -34,6 +42,12 @@ from repro.cluster.topology import Cluster
 from repro.errors import MiddlewareError, RemoteError
 from repro.middleware.context import current_node, server_dispatch, use_node
 from repro.middleware.serialize import Serializer, measure_size
+from repro.runtime.dispatch import (
+    dispatch_id,
+    find_dispatch,
+    shield_dispatch,
+    use_dispatch,
+)
 from repro.runtime.simbackend import SimBackend
 from repro.sim import Channel, Simulator
 
@@ -153,10 +167,11 @@ class _Request:
         "size",
         "caller_node",
         "batch",
+        "context_id",
     )
 
     def __init__(self, method, args, kwargs, reply_channel, oneway, size,
-                 caller_node, batch=False):
+                 caller_node, batch=False, context_id=None):
         self.method = method
         #: for batched requests ``args`` holds the piece views and
         #: ``kwargs`` is unused
@@ -167,6 +182,10 @@ class _Request:
         self.size = size
         self.caller_node = caller_node
         self.batch = batch
+        #: originating per-call dispatch ticket id (None outside any):
+        #: the servant side re-installs the ticket so work performed on
+        #: behalf of a call — and its reply — stays attributed to it
+        self.context_id = context_id
 
 
 _STOP = object()
@@ -204,8 +223,10 @@ class SimMiddleware(Middleware):
         servant = _Servant(obj, node, channel, ref)
         self._servants[ref.object_id] = servant
         node.place(obj)
+        # shield: the accept loop outlives any call that happens to be
+        # exporting (it resolves each request's OWN ticket id instead)
         handle = self.backend.spawn(
-            lambda: self._serve(servant),
+            shield_dispatch(lambda: self._serve(servant)),
             name=f"{self.name}.server.{ref.object_id}",
             daemon=True,
         )
@@ -254,7 +275,8 @@ class SimMiddleware(Middleware):
         )
         servant.channel.send(
             _Request(
-                method, wire_args[0], wire_args[1], reply_channel, oneway, size, src
+                method, wire_args[0], wire_args[1], reply_channel, oneway, size,
+                src, context_id=dispatch_id(),
             ),
             delay=delay,
             size_bytes=size,
@@ -314,7 +336,7 @@ class SimMiddleware(Middleware):
         servant.channel.send(
             _Request(
                 method, wire_views, None, reply_channel, oneway, size, src,
-                batch=True,
+                batch=True, context_id=dispatch_id(),
             ),
             delay=delay,
             size_bytes=size,
@@ -350,11 +372,18 @@ class SimMiddleware(Middleware):
                 )
 
     def _dispatch(self, servant: _Servant, request: _Request) -> None:
+        # resolve the originating per-call ticket (it travels the wire as
+        # an id, not an object) and execute the servant work under it —
+        # the request's reply therefore resolves against the call that
+        # sent it, however many calls are in flight on this servant
+        context = find_dispatch(request.context_id)
+        if context is not None and hasattr(context, "attribute_remote"):
+            context.attribute_remote()
         with use_node(servant.node):
             # unmarshal on the servant's CPU
             servant.node.execute(self.costs.unmarshal_time(request.size))
             try:
-                with server_dispatch():
+                with use_dispatch(context), server_dispatch():
                     if request.batch:
                         result = servant.table.invoke_batch(
                             servant.obj, request.method, request.args

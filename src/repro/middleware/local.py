@@ -19,8 +19,18 @@ from repro.cluster.machine import Node
 from repro.errors import MiddlewareError, RemoteError
 from repro.middleware.base import Middleware, RemoteRef
 from repro.middleware.context import server_dispatch
+from repro.runtime.dispatch import current_dispatch
 
 __all__ = ["LocalMiddleware"]
+
+
+def _attribute_dispatch() -> None:
+    """Bump the ambient ticket's servant-side counter (the in-process
+    middleware executes on the caller's activity, so the originating
+    per-call context is already installed — no wire id needed)."""
+    context = current_dispatch()
+    if context is not None and hasattr(context, "attribute_remote"):
+        context.attribute_remote()
 
 
 class LocalMiddleware(Middleware):
@@ -53,6 +63,7 @@ class LocalMiddleware(Middleware):
             raise MiddlewareError(f"unknown ref {ref!r}")
         obj, table = entry
         self.calls += 1
+        _attribute_dispatch()
         try:
             with server_dispatch():
                 return table.invoke(obj, method, args, kwargs or {})
@@ -74,6 +85,7 @@ class LocalMiddleware(Middleware):
             raise MiddlewareError(f"unknown ref {ref!r}")
         obj, table = entry
         self.calls += 1
+        _attribute_dispatch()
         try:
             with server_dispatch():
                 results = table.invoke_batch(obj, method, pieces)

@@ -30,6 +30,7 @@ from repro.parallel.optimisation import (
 )
 from repro.parallel.partition import (
     CallPiece,
+    DispatchContext,
     DivideAndConquerAspect,
     DynamicFarmAspect,
     FarmAspect,
@@ -56,6 +57,7 @@ __all__ = [
     "CallPiece",
     "WorkSplitter",
     "ResultCollector",
+    "DispatchContext",
     "PartitionAspect",
     "PipelineSplitAspect",
     "PipelineForwardAspect",

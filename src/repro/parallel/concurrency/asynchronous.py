@@ -22,6 +22,7 @@ from typing import Any, Callable
 from repro.aop import abstract_pointcut, around, pointcut
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.runtime.backend import ExecutionBackend, current_backend
+from repro.runtime.dispatch import bind_dispatch, shield_dispatch
 from repro.runtime.futures import Future
 
 __all__ = ["SpawnPerCall", "PooledSpawner", "AsyncInvocationAspect"]
@@ -60,9 +61,19 @@ class PooledSpawner:
             self._queue = backend.make_queue(name="pool.tasks")
             for i in range(self.size):
                 # workers idle on the queue between bursts; daemon=True
-                # keeps the sim's deadlock detector quiet about them
-                backend.spawn(self._worker, name=f"pool.worker{i}", daemon=True)
-        self._queue.put(task)
+                # keeps the sim's deadlock detector quiet about them.
+                # shield_dispatch: the pool may be created from inside a
+                # call's dispatch, and a worker must not pin (or leak to
+                # later tasks) that call's ticket for its whole lifetime
+                backend.spawn(
+                    shield_dispatch(self._worker),
+                    name=f"pool.worker{i}",
+                    daemon=True,
+                )
+        # pool workers are long-lived, so the spawn-time ticket capture
+        # the backends do would pin the *worker's* creation context; bind
+        # each task to the ticket of the call that enqueued it instead
+        self._queue.put(bind_dispatch(task))
 
     def _worker(self) -> None:
         while True:

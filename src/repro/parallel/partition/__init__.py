@@ -3,6 +3,8 @@ strategies built from object duplication + method-call split."""
 
 from repro.parallel.partition.base import (
     CallPiece,
+    DispatchContext,
+    DispatchContextOwner,
     PackedPiece,
     PartitionAspect,
     ResultCollector,
@@ -33,6 +35,8 @@ __all__ = [
     "piece_results",
     "WorkSplitter",
     "ResultCollector",
+    "DispatchContext",
+    "DispatchContextOwner",
     "PartitionAspect",
     "PipelineSplitAspect",
     "PipelineForwardAspect",

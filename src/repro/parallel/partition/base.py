@@ -10,19 +10,26 @@ provides the shared machinery:
   to combine piece results;
 * :class:`ResultCollector` — backend-neutral gather point for split-call
   results deposited by pipeline forwarding;
+* :class:`DispatchContext` — the per-call *ticket*: one split call's
+  collector, piece accounting and forwarding cursor, made ambient via
+  :mod:`repro.runtime.dispatch` so a deployed stack (immutable topology)
+  serves many overlapped in-flight splits;
 * :class:`PartitionAspect` — base class holding the splitter and the
   aspect-managed object bookkeeping every strategy shares.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.aop import abstract_pointcut, pointcut
 from repro.aop.plan import CtorPack, batched_entry
 from repro.errors import AdviceError
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.runtime.backend import current_backend
+from repro.runtime.dispatch import next_dispatch_id, register_dispatch, use_dispatch
 from repro.runtime.futures import Future
 
 __all__ = [
@@ -30,6 +37,8 @@ __all__ = [
     "PackedPiece",
     "WorkSplitter",
     "ResultCollector",
+    "DispatchContext",
+    "DispatchContextOwner",
     "PartitionAspect",
     "dispatch_piece",
     "piece_results",
@@ -175,12 +184,20 @@ class WorkSplitter:
 
 
 class ResultCollector:
-    """Gather point for ``expected`` deposits, in deposit order."""
+    """Gather point for ``expected`` deposits, in deposit order.
+
+    A worker that raises instead of depositing reports through
+    :meth:`fail`: the first failure latches, wakes every waiter, and
+    :meth:`wait` re-raises the original exception — so a caller blocked
+    with no timeout fails fast with the worker's traceback instead of
+    hanging on a deposit that will never come.
+    """
 
     def __init__(self, expected: int, backend: Any = None):
         backend = backend if backend is not None else current_backend()
         self.expected = expected
         self._items: list[Any] = []
+        self._failure: BaseException | None = None
         self._lock = backend.make_lock(name="collector.lock")
         self._done = backend.make_event(name="collector.done")
         if expected == 0:
@@ -193,18 +210,189 @@ class ResultCollector:
         if complete:
             self._done.set()
 
+    def fail(self, exc: BaseException) -> None:
+        """Latch a worker-side failure and release every waiter."""
+        with self._lock:
+            if self._failure is None:
+                self._failure = exc
+        self._done.set()
+
     def wait(self, timeout: float | None = None) -> list[Any]:
         if not self._done.wait(timeout):
             raise TimeoutError(
                 f"collector got {len(self._items)}/{self.expected} results"
             )
+        if self._failure is not None:
+            raise self._failure
         return list(self._items)
 
     def __len__(self) -> int:
         return len(self._items)
 
 
-class PartitionAspect(ParallelAspect):
+class DispatchContext:
+    """Per-call dispatch ticket: everything ONE in-flight split owns.
+
+    A deployed partition aspect holds only immutable topology (workers,
+    stages, ``next`` pointers).  Each intercepted call gets its own
+    ticket instead of parking state on the aspect, which is what lets a
+    single deployed stack serve many overlapped ``submit()``s:
+
+    * ``collector`` — the call's own :class:`ResultCollector` (present
+      when the strategy gathers out-of-band deposits, i.e. the pipeline
+      tail; strategies that gather via futures carry no collector);
+    * piece accounting — ``pieces`` dispatched and item-granular
+      ``items`` (packs spread), plus the latched failure;
+    * ``hops`` — the forwarding cursor: inter-stage forwards taken on
+      behalf of this call (pipeline) or exchange phases driven
+      (heartbeat).
+
+    The ticket is made *ambient* (:mod:`repro.runtime.dispatch`) for the
+    duration of the call and follows it across spawned activities and
+    the middleware request path, so forwarding advice running threads or
+    hops away still deposits into the originating call's collector.
+    """
+
+    __slots__ = (
+        "context_id",
+        "name",
+        "collector",
+        "pieces",
+        "items",
+        "hops",
+        "remote_dispatches",
+        "_lock",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        name: str = "dispatch",
+        expected: int | None = None,
+        backend: Any = None,
+    ):
+        self.context_id = next_dispatch_id()
+        self.name = name
+        self.collector = (
+            ResultCollector(expected, backend) if expected is not None else None
+        )
+        self.pieces = 0
+        self.items = 0
+        self.hops = 0
+        #: servant-side executions the middlewares attributed to this call
+        self.remote_dispatches = 0
+        #: one call's pieces progress on many activities at once — the
+        #: lock keeps the ticket's counters exact (never held across a
+        #: blocking operation)
+        self._lock = threading.Lock()
+        register_dispatch(self)
+
+    # -- piece accounting ---------------------------------------------------
+
+    def record(self, piece: CallPiece) -> CallPiece:
+        """Account one dispatched piece (a pack counts once per item)."""
+        with self._lock:
+            self.pieces += 1
+            self.items += len(getattr(piece, "items", ())) or 1
+        return piece
+
+    def record_pack(self, count: int) -> None:
+        """Account one routed pack of ``count`` items."""
+        with self._lock:
+            self.pieces += 1
+            self.items += count
+
+    def advance(self, hops: int = 1) -> None:
+        """Move the forwarding cursor: ``hops`` inter-stage forwards (or
+        exchange phases) were taken on behalf of this call."""
+        with self._lock:
+            self.hops += hops
+
+    def attribute_remote(self) -> None:
+        """Count one servant-side execution performed for this call
+        (called by the middlewares after resolving the wire ticket id)."""
+        with self._lock:
+            self.remote_dispatches += 1
+
+    # -- collector face -----------------------------------------------------
+
+    def deposit(self, item: Any) -> None:
+        self.collector.deposit(item)
+
+    def fail(self, exc: BaseException) -> None:
+        """Latch a worker failure so waiters fail fast (no-op without a
+        collector: strategies that gather via futures propagate the
+        exception through the future instead)."""
+        if self.collector is not None:
+            self.collector.fail(exc)
+
+    def wait(self, timeout: float | None = None) -> list[Any]:
+        return self.collector.wait(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DispatchContext #{self.context_id} {self.name} "
+            f"pieces={self.pieces} hops={self.hops}>"
+        )
+
+
+class DispatchContextOwner:
+    """Mixin for aspects that open a :class:`DispatchContext` per
+    intercepted call.
+
+    Keeps the live-ticket table (observability: ``contexts`` maps
+    context id → in-flight ticket) and append-only aggregates
+    (``dispatches`` served, ``peak_in_flight`` overlap high-water mark)
+    — the only state left on the aspect, none of it coordinating.
+    """
+
+    def _init_dispatch_state(self) -> None:
+        #: live in-flight tickets, context_id -> DispatchContext
+        self.contexts: dict[int, DispatchContext] = {}
+        #: total split calls served since deployment
+        self.dispatches = 0
+        #: most tickets ever live at once (overlap high-water mark)
+        self.peak_in_flight = 0
+        #: guards the table and counters above — overlapped submits hit
+        #: them from many activities; held only for the mutation itself,
+        #: never across a blocking operation (safe on both backends: sim
+        #: processes are OS threads)
+        self._dispatch_lock = threading.Lock()
+
+    @contextmanager
+    def dispatch_scope(
+        self,
+        name: str,
+        expected: int | None = None,
+        backend: Any = None,
+    ) -> Iterator[DispatchContext]:
+        """Open a per-call ticket, make it ambient for the block, and
+        retire it afterwards (the ``finally`` runs even when the call
+        fails, so the live table never leaks tickets)."""
+        ctx = DispatchContext(name, expected=expected, backend=backend)
+        with self._dispatch_lock:
+            self.contexts[ctx.context_id] = ctx
+            self.dispatches += 1
+            self.peak_in_flight = max(self.peak_in_flight, len(self.contexts))
+        try:
+            with use_dispatch(ctx):
+                yield ctx
+        finally:
+            with self._dispatch_lock:
+                self.contexts.pop(ctx.context_id, None)
+
+    @property
+    def in_flight(self) -> int:
+        """Live per-call tickets (calls being served right now)."""
+        return len(self.contexts)
+
+    @property
+    def split_calls(self) -> int:
+        """Legacy counter name: split calls served (== ``dispatches``)."""
+        return self.dispatches
+
+
+class PartitionAspect(DispatchContextOwner, ParallelAspect):
     """Common state for partition strategies.
 
     Abstract pointcuts every strategy binds (by constructor keyword or in
@@ -218,6 +406,19 @@ class PartitionAspect(ParallelAspect):
 
     concern = Concern.PARTITION
     precedence = LAYER["partition"]
+
+    #: does this aspect implement top-level pack routing (a
+    #: ``route_pack`` branch for pack-level BatchJoinPoints)?  This
+    #: class attribute is the SINGLE source of truth for the
+    #: capability: registered strategy builders expose their aspect via
+    #: a ``coordinator_class`` attribute, and ``StackSpec`` reads the
+    #: flags through it (``pack_routable`` / ``oneway_routable``).
+    routes_packs: bool = False
+    #: can this aspect's work call be fire-and-forget?  Only sound when
+    #: pack routing is pure scatter — no reply gathering, no
+    #: inter-worker forwarding (farms yes; pipeline routes packs but
+    #: needs every hop's reply, so it stays False).
+    oneway_packs: bool = False
 
     creation = abstract_pointcut("construction joinpoint to duplicate")
     work = abstract_pointcut("method call(s) to split")
@@ -237,6 +438,7 @@ class PartitionAspect(ParallelAspect):
         self.managed: dict[int, int] = {}
         #: duplicates in creation order (index order)
         self.instances: list[Any] = []
+        self._init_dispatch_state()
 
     # -- shared duplication bookkeeping ------------------------------------
 

@@ -33,16 +33,35 @@ from repro.errors import AdviceError
 from repro.middleware.serialize import Serializer
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
-from repro.parallel.partition.base import CallPiece, dispatch_piece, piece_results
+from repro.parallel.partition.base import (
+    CallPiece,
+    DispatchContextOwner,
+    dispatch_piece,
+    piece_results,
+)
+from repro.runtime.dispatch import current_dispatch
 
 __all__ = ["DivideAndConquerAspect", "divide_and_conquer_module"]
 
 
-class DivideAndConquerAspect(ParallelAspect):
-    """Recursive call-split with per-branch worker creation."""
+class DivideAndConquerAspect(DispatchContextOwner, ParallelAspect):
+    """Recursive call-split with per-branch worker creation.
+
+    The top-level intercepted call opens one per-call
+    :class:`~repro.parallel.partition.base.DispatchContext`; every
+    recursive division (whatever activity it runs on) records its pieces
+    into that originating ticket, so overlapped top-level calls keep
+    fully separate accounting.
+
+    ``routes_packs`` stays False: the work call is the recursion itself
+    — a submitted pack has no per-worker routing that preserves the
+    divide/merge contract, so ``app.map(pack=N)`` rejects these specs
+    eagerly.
+    """
 
     concern = Concern.PARTITION
     precedence = LAYER["partition"]
+    routes_packs = False
 
     work = abstract_pointcut("the recursive method call")
 
@@ -66,6 +85,7 @@ class DivideAndConquerAspect(ParallelAspect):
         self._make_worker = make_worker
         self._cloner = Serializer(copy=True)
         self._depth = threading.local()
+        self._init_dispatch_state()
         self.divisions = 0
         self.workers_created = 0
         self.leaves = 0
@@ -76,7 +96,8 @@ class DivideAndConquerAspect(ParallelAspect):
     # -- worker creation at call interception --------------------------------
 
     def make_worker(self, prototype: Any) -> Any:
-        self.workers_created += 1
+        with self._dispatch_lock:  # overlapped calls create in parallel
+            self.workers_created += 1
         if self._make_worker is not None:
             return self._make_worker(prototype)
         return self._cloner.clone(prototype)
@@ -91,23 +112,43 @@ class DivideAndConquerAspect(ParallelAspect):
         if depth >= self.max_depth or not self.should_divide(
             jp.args, jp.kwargs, depth
         ):
-            self.leaves += 1
+            with self._dispatch_lock:
+                self.leaves += 1
             return jp.proceed()
-        self.divisions += 1
+        ambient = current_dispatch()
+        reentered = ambient is not None and ambient.context_id in self.contexts
+        if depth == 0 and not reentered:
+            # the top-level call owns the ticket; recursive divisions
+            # (below, possibly on other activities whose thread-local
+            # depth restarts at 0) account into it via the ambient ticket
+            with self.dispatch_scope(f"divide-conquer.{jp.name}") as ctx:
+                return self._divide_and_merge(jp, depth, ctx)
+        return self._divide_and_merge(jp, depth, ambient)
+
+    def _divide_and_merge(self, jp, depth: int, ctx) -> Any:
+        with self._dispatch_lock:  # overlapped calls divide in parallel
+            self.divisions += 1
         pieces = self.divide(jp.args, jp.kwargs)
         if len(pieces) <= 1:
-            self.leaves += 1
+            with self._dispatch_lock:
+                self.leaves += 1
             return jp.proceed()
         outcomes = []
         self._depth.value = depth + 1
         try:
             for piece in pieces:
+                if ctx is not None:
+                    ctx.record(piece)
                 worker = self.make_worker(jp.target)
                 self.remember_branch(worker)
                 # recurse through the branch worker's compiled plan entry;
                 # a divide() returning PackedPiece groups recurses through
                 # the compiled batched entry (one advice pass per pack)
                 outcomes.append(dispatch_piece(worker, jp.name, piece))
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.fail(exc)
+            raise
         finally:
             self._depth.value = depth
         results: list = []
@@ -118,7 +159,8 @@ class DivideAndConquerAspect(ParallelAspect):
     # -- bookkeeping -------------------------------------------------------------
 
     def remember_branch(self, worker: Any) -> None:
-        self.branches.append(worker)
+        with self._dispatch_lock:
+            self.branches.append(worker)
 
 
 def divide_and_conquer_module(

@@ -21,6 +21,7 @@ import threading
 from typing import Any
 
 from repro.aop import around
+from repro.aop.plan import BatchJoinPoint, batched_entry
 from repro.api.registry import register_strategy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
@@ -41,10 +42,13 @@ class DynamicFarmAspect(PartitionAspect):
     #: concerns covered by this single module (see module docstring)
     concern = Concern.PARTITION
 
+    routes_packs = True
+    #: like the static farm: pack routing is pure scatter, oneway is sound
+    oneway_packs = True
+
     def __init__(self, splitter: WorkSplitter, creation=None, work=None):
         super().__init__(splitter, creation, work)
         self.workers: list[Any] = []
-        self.split_calls = 0
         #: pieces served per worker index (load-balance observability)
         self.served: dict[int, int] = {}
         self._internal = threading.local()
@@ -70,49 +74,84 @@ class DynamicFarmAspect(PartitionAspect):
             return jp.proceed()
         if not self.workers:
             return jp.proceed()
-        self.split_calls += 1
+        if isinstance(jp, BatchJoinPoint):
+            return self.route_pack(jp)
         backend = current_backend()
-        pieces = self.splitter.split(jp.args, jp.kwargs)
-        queue = backend.make_queue(name="dynfarm.work")
-        for piece in pieces:
-            queue.put(piece)
-        results: list[Any] = [None] * len(pieces)
-        method_name = jp.name
+        with self.dispatch_scope(f"dynamic-farm.{jp.name}", backend=backend) as ctx:
+            pieces = self.splitter.split(jp.args, jp.kwargs)
+            queue = backend.make_queue(name="dynfarm.work")
+            for piece in pieces:
+                queue.put(ctx.record(piece))
+            results: list[Any] = [None] * len(pieces)
+            method_name = jp.name
 
-        def worker_loop(worker: Any, index: int) -> None:
-            # Calls from here must skip this advice but still traverse
-            # synchronisation/distribution — flagged per-thread.  Each
-            # pulled piece re-enters the (remaining) chain through the
-            # worker's compiled plan entry (packs go through the compiled
-            # batched entry — one advice pass per pack), re-fetched per
-            # piece so an aspect (un)plugged mid-run applies to the
-            # remaining work.
-            self._internal.active = True
-            try:
-                while True:
-                    ok, piece = queue.try_get()
-                    if not ok:
-                        return
-                    results[piece.index] = dispatch_piece(
-                        worker, method_name, piece
-                    )
-                    self.served[index] += 1
-            finally:
-                self._internal.active = False
+            def worker_loop(worker: Any, index: int) -> None:
+                # Calls from here must skip this advice but still traverse
+                # synchronisation/distribution — flagged per-thread.  Each
+                # pulled piece re-enters the (remaining) chain through the
+                # worker's compiled plan entry (packs go through the compiled
+                # batched entry — one advice pass per pack), re-fetched per
+                # piece so an aspect (un)plugged mid-run applies to the
+                # remaining work.
+                self._internal.active = True
+                try:
+                    while True:
+                        ok, piece = queue.try_get()
+                        if not ok:
+                            return
+                        results[piece.index] = dispatch_piece(
+                            worker, method_name, piece
+                        )
+                        # ledger unit is ITEMS (a k-item pack counts k),
+                        # matching route_pack's charge so the demand-aware
+                        # pack steering compares like with like
+                        with self._dispatch_lock:
+                            self.served[index] += (
+                                len(getattr(piece, "items", ())) or 1
+                            )
+                except BaseException as exc:
+                    ctx.fail(exc)  # no collector today: latch is a no-op,
+                    raise  # join() below re-raises the original
+                finally:
+                    self._internal.active = False
 
-        handles = [
-            backend.spawn(
-                lambda w=worker, i=index: worker_loop(w, i),
-                name=f"dynfarm.worker{index}",
-            )
-            for index, worker in enumerate(self.workers)
-        ]
-        for handle in handles:
-            handle.join()
-        flat: list[Any] = []
-        for piece in pieces:
-            flat.extend(piece_results(piece, results[piece.index]))
+            handles = [
+                backend.spawn(
+                    lambda w=worker, i=index: worker_loop(w, i),
+                    name=f"dynfarm.worker{index}",
+                )
+                for index, worker in enumerate(self.workers)
+            ]
+            failure = None
+            for handle in handles:
+                try:
+                    handle.join()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    failure = failure if failure is not None else exc
+            if failure is not None:
+                raise failure
+            flat: list[Any] = []
+            for piece in pieces:
+                flat.extend(piece_results(piece, results[piece.index]))
         return self.splitter.combine(flat)
+
+    def route_pack(self, jp: BatchJoinPoint) -> Any:
+        """Top-level pack routing, demand-aware: one whole submitted pack
+        to the worker that has served the fewest pieces so far, through
+        the compiled batched entry (one advice pass, one message per
+        pack).  The ledger keeps steering later packs away from busy
+        workers — the demand-driven idea at pack granularity."""
+        pieces = tuple(jp.args[0])
+        with self._dispatch_lock:
+            # pick-and-charge atomically so overlapped packs spread out
+            index = min(self.served, key=lambda i: self.served[i])
+            self.served[index] += len(pieces)
+        worker = self.workers[index]
+        with self.dispatch_scope(
+            f"dynamic-farm.pack.{jp.name}", backend=current_backend()
+        ) as ctx:
+            ctx.record_pack(len(pieces))
+            return batched_entry(worker, jp.name)(pieces)
 
 
 @register_strategy("dynamic-farm")
@@ -128,3 +167,7 @@ def dynamic_farm_module(
     module.coordinator = aspect  # type: ignore[attr-defined]
     module.provides_concurrency = True  # type: ignore[attr-defined]
     return module
+
+
+#: StackSpec reads the pack/oneway capability flags off this class
+dynamic_farm_module.coordinator_class = DynamicFarmAspect  # type: ignore[attr-defined]

@@ -11,14 +11,22 @@ to the pipeline this changes two things (the paper's own diff):
   later improves on) instead of being forwarded through every stage.
 
 One aspect suffices: there is no forwarding, so nothing needs to nest
-inside the concurrency layer.
+inside the concurrency layer.  The aspect holds only the worker set;
+each split call's state (piece accounting, gathered outcomes) lives in
+its own per-call
+:class:`~repro.parallel.partition.base.DispatchContext`, so overlapped
+``submit()``s on one deployed farm never share state.  Whole submitted
+packs are routed too (``routes_packs``): one pack → one worker → one
+compiled batched dispatch and, under distribution, one message.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Any
 
 from repro.aop import around
+from repro.aop.plan import BatchJoinPoint, batched_entry
 from repro.api.registry import register_strategy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
@@ -28,6 +36,7 @@ from repro.parallel.partition.base import (
     dispatch_piece,
     piece_results,
 )
+from repro.runtime.backend import current_backend
 
 __all__ = ["FarmAspect", "farm_module"]
 
@@ -35,10 +44,18 @@ __all__ = ["FarmAspect", "farm_module"]
 class FarmAspect(PartitionAspect):
     """Broadcast duplication + piece-per-worker routing."""
 
+    routes_packs = True
+    #: a farm pack is pure scatter (no inter-worker forwarding), so
+    #: fire-and-forget packs are well-defined: one message, no gather
+    oneway_packs = True
+
     def __init__(self, splitter: WorkSplitter, creation=None, work=None):
         super().__init__(splitter, creation, work)
         self.workers: list[Any] = []
-        self.split_calls = 0
+        #: round-robin cursor for top-level pack routing (fairness across
+        #: overlapped ``map(pack=N)`` submissions; itertools.count is a
+        #: thread-safe-enough append-only allocator)
+        self._pack_cursor = itertools.count()
 
     # -- duplication (constructor parameters broadcast to all workers) ------
 
@@ -58,22 +75,42 @@ class FarmAspect(PartitionAspect):
             return jp.proceed()
         if not self.workers:
             return jp.proceed()  # partition never saw a creation
-        self.split_calls += 1
-        pieces = self.splitter.split(jp.args, jp.kwargs)
-        outcomes: list[Any] = [None] * len(pieces)
-        workers = self.workers
-        for piece in pieces:
-            worker = workers[piece.index % len(workers)]
-            # re-enters the chain (concurrency / distribution) through
-            # the worker's compiled plan entry — per-piece for plain
-            # pieces, per-pack through the compiled batched entry for
-            # packs (one BatchJoinPoint per pack); fetched per piece so
-            # an aspect (un)plugged mid-split applies to the remainder
-            outcomes[piece.index] = dispatch_piece(worker, jp.name, piece)
-        results: list[Any] = []
-        for piece in pieces:
-            results.extend(piece_results(piece, outcomes[piece.index]))
+        if isinstance(jp, BatchJoinPoint):
+            return self.route_pack(jp)
+        with self.dispatch_scope(
+            f"farm.{jp.name}", backend=current_backend()
+        ) as ctx:
+            pieces = self.splitter.split(jp.args, jp.kwargs)
+            outcomes: list[Any] = [None] * len(pieces)
+            workers = self.workers
+            for piece in pieces:
+                worker = workers[piece.index % len(workers)]
+                # re-enters the chain (concurrency / distribution) through
+                # the worker's compiled plan entry — per-piece for plain
+                # pieces, per-pack through the compiled batched entry for
+                # packs (one BatchJoinPoint per pack); fetched per piece so
+                # an aspect (un)plugged mid-split applies to the remainder
+                outcomes[piece.index] = dispatch_piece(
+                    worker, jp.name, ctx.record(piece)
+                )
+            results: list[Any] = []
+            for piece in pieces:
+                results.extend(piece_results(piece, outcomes[piece.index]))
         return self.splitter.combine(results)
+
+    def route_pack(self, jp: BatchJoinPoint) -> Any:
+        """Top-level pack routing: one whole submitted pack to ONE worker
+        through the compiled batched entry — one advice pass below the
+        partition layer and, under distribution, one message per pack.
+        Packs round-robin across workers, so ``map(items, pack=N)``
+        spreads its packs over the farm."""
+        worker = self.workers[next(self._pack_cursor) % len(self.workers)]
+        pieces = tuple(jp.args[0])
+        with self.dispatch_scope(
+            f"farm.pack.{jp.name}", backend=current_backend()
+        ) as ctx:
+            ctx.record_pack(len(pieces))
+            return batched_entry(worker, jp.name)(pieces)
 
 
 @register_strategy("farm")
@@ -88,3 +125,8 @@ def farm_module(
     module = ParallelModule(name, Concern.PARTITION, [aspect])
     module.coordinator = aspect  # type: ignore[attr-defined]
     return module
+
+
+#: StackSpec reads the pack/oneway capability flags off this class —
+#: the aspect's own attributes stay the single source of truth
+farm_module.coordinator_class = FarmAspect  # type: ignore[attr-defined]

@@ -38,7 +38,20 @@ __all__ = ["HeartbeatAspect", "heartbeat_module"]
 
 
 class HeartbeatAspect(PartitionAspect):
-    """Block data partition + per-iteration boundary exchange."""
+    """Block data partition + per-iteration boundary exchange.
+
+    The aspect holds the deployed block topology (``workers``) and
+    append-only counters; each intercepted iterate call opens a per-call
+    :class:`~repro.parallel.partition.base.DispatchContext` — the
+    compute and exchange phases both run under the originating call's
+    ticket (piece accounting per step, forwarding cursor per exchange
+    phase), so overlapped iterate calls keep fully separate state.
+
+    ``routes_packs`` stays False: a heartbeat's work call *is* the whole
+    iteration loop over the shared block grid, so there is no meaningful
+    way to route independent packs per worker — ``app.map(pack=N)``
+    rejects heartbeat specs eagerly.
+    """
 
     def __init__(
         self,
@@ -75,24 +88,30 @@ class HeartbeatAspect(PartitionAspect):
             return jp.proceed()
         (iterations,) = jp.args or (1,)
         last_combined: Any = None
-        for _ in range(iterations):
-            self.iterations += 1
-            # compiled plan entries re-fetched per iteration (one step
-            # entry per worker, batched accessor entries per exchange):
-            # keeps the per-work-item chain walk gone while preserving
-            # per-iteration granularity of "(un)plug on the fly"
-            steps = [bound_entry(worker, jp.name) for worker in self.workers]
-            # 1. compute phase: one step on every block (possibly async)
-            outcomes = [step(1) for step in steps]
-            results = [
-                o.result() if isinstance(o, Future) else o for o in outcomes
-            ]
-            last_combined = self.splitter.combine(results)
-            # 2. exchange phase: neighbouring blocks swap boundaries
-            self._exchange()
+        with self.dispatch_scope(f"heartbeat.{jp.name}") as ctx:
+            for _ in range(iterations):
+                with self._dispatch_lock:
+                    self.iterations += 1
+                # compiled plan entries re-fetched per iteration (one step
+                # entry per worker, batched accessor entries per exchange):
+                # keeps the per-work-item chain walk gone while preserving
+                # per-iteration granularity of "(un)plug on the fly"
+                steps = [bound_entry(worker, jp.name) for worker in self.workers]
+                # 1. compute phase: one step on every block (possibly async)
+                outcomes = [step(1) for step in steps]
+                ctx.record_pack(len(steps))  # one step per block this beat
+                results = [
+                    o.result() if isinstance(o, Future) else o
+                    for o in outcomes
+                ]
+                # only the latest combined value is retained (a long run
+                # must not accumulate per-iteration results)
+                last_combined = self.splitter.combine(results)
+                # 2. exchange phase: neighbouring blocks swap boundaries
+                self._exchange(ctx)
         return last_combined
 
-    def _exchange(self) -> None:
+    def _exchange(self, ctx=None) -> None:
         """Swap boundary data between adjacent workers (1-D chain), one
         *batched* accessor call per worker and phase.
 
@@ -134,7 +153,12 @@ class HeartbeatAspect(PartitionAspect):
             batched_entry(worker, self.exchange_in)(
                 [CallPiece(i, update) for i, update in enumerate(updates)]
             )
-        self.exchanges += 2 * max(last, 0)
+        with self._dispatch_lock:
+            self.exchanges += 2 * max(last, 0)
+        if ctx is not None:
+            # the forwarding cursor records exchange phases driven on
+            # behalf of the originating call (gather + scatter)
+            ctx.advance(2 * max(last, 0))
 
     @staticmethod
     def _value(outcome: Any) -> Any:
@@ -161,3 +185,8 @@ def heartbeat_module(
     module = ParallelModule(name, Concern.PARTITION, [aspect])
     module.coordinator = aspect  # type: ignore[attr-defined]
     return module
+
+
+#: StackSpec reads the pack/oneway capability flags off this class
+#: (heartbeat leaves both at the PartitionAspect default: False)
+heartbeat_module.coordinator_class = HeartbeatAspect  # type: ignore[attr-defined]

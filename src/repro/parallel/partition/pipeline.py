@@ -19,10 +19,19 @@ outermost); block 3 lives in :class:`PipelineForwardAspect`
 *between* them — Figure 11's interleaving, where forwarding happens
 inside the per-call thread.  :func:`pipeline_module` packages both as one
 pluggable module.
+
+The aspects hold only the *deployed topology* (stages, ``next``
+pointers).  Every split call opens its own
+:class:`~repro.parallel.partition.base.DispatchContext` — the collector
+the tail deposits into is the *originating call's*, found through the
+ambient ticket (:mod:`repro.runtime.dispatch`) that follows each piece
+across the spawned per-call activities.  A deployed pipeline therefore
+serves any number of overlapped in-flight splits.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 from repro.aop import around, pointcut
@@ -33,11 +42,11 @@ from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.parallel.partition.base import (
     CallPiece,
     PartitionAspect,
-    ResultCollector,
     WorkSplitter,
     dispatch_piece,
 )
 from repro.runtime.backend import current_backend
+from repro.runtime.dispatch import current_dispatch
 
 __all__ = ["PipelineSplitAspect", "PipelineForwardAspect", "pipeline_module"]
 
@@ -45,15 +54,18 @@ __all__ = ["PipelineSplitAspect", "PipelineForwardAspect", "pipeline_module"]
 class PipelineSplitAspect(PartitionAspect):
     """Blocks 1 (duplication) and 2 (call split) of Figure 8."""
 
+    routes_packs = True
+    #: NOT oneway-capable: stage-to-stage forwarding needs every hop's
+    #: reply, so a fire-and-forget pipeline work call is a contradiction
+    #: — StackSpec.validate() rejects such oneway declarations
+    oneway_packs = False
+
     def __init__(self, splitter: WorkSplitter, creation=None, work=None):
         super().__init__(splitter, creation, work)
         #: id(stage) -> next stage (None at the tail) — the paper's
         #: ``next`` HashMap
         self.next: dict[int, Any] = {}
         self.first: Any = None
-        #: live collector for the current split call
-        self.collector: ResultCollector | None = None
-        self.split_calls = 0
 
     # -- block 1: object duplication ----------------------------------------
 
@@ -85,29 +97,57 @@ class PipelineSplitAspect(PartitionAspect):
         # and servant-side execution pass through untouched.
         if self.passthrough(jp) or jp.from_advice:
             return jp.proceed()
-        self.split_calls += 1
         head = self.first if self.first is not None else jp.target
+        if isinstance(jp, BatchJoinPoint):
+            return self.route_pack(jp, head)
         pieces = self.splitter.split(jp.args, jp.kwargs)
-        # the collector gathers per-item results: a pack counts once per
-        # item (the tail deposits pack results item by item)
+        # the per-call collector gathers per-item results: a pack counts
+        # once per item (the tail deposits pack results item by item)
         expected = sum(
             len(getattr(piece, "items", ())) or 1 for piece in pieces
         )
-        self.collector = ResultCollector(expected, current_backend())
-        for piece in pieces:
-            # re-enters the chain through the head stage's compiled plan
-            # entry; packs enter through the compiled batched entry
-            dispatch_piece(head, jp.name, piece)
-        results = self.collector.wait()
-        self.collector = None
+        with self.dispatch_scope(
+            f"pipeline.{jp.name}", expected=expected, backend=current_backend()
+        ) as ctx:
+            for piece in pieces:
+                # re-enters the chain through the head stage's compiled
+                # plan entry; packs enter through the compiled batched
+                # entry.  The ambient ticket follows the piece across the
+                # spawned per-call activities, so the tail deposits into
+                # THIS call's collector however many splits are in flight.
+                dispatch_piece(head, jp.name, ctx.record(piece))
+            results = ctx.wait()
         return self.splitter.combine(results)
+
+    def route_pack(self, jp: BatchJoinPoint, head: Any) -> list:
+        """Top-level pack routing: feed a whole submitted pack into the
+        head stage through the compiled batched entry and gather the
+        per-item results falling off the tail.
+
+        One advice pass (and, under distribution, one message) per
+        inter-stage hop for the whole pack; results come back in piece
+        order because the tail deposits a pack's results item by item.
+        """
+        pieces = tuple(jp.args[0])
+        with self.dispatch_scope(
+            f"pipeline.pack.{jp.name}",
+            expected=len(pieces),
+            backend=current_backend(),
+        ) as ctx:
+            ctx.record_pack(len(pieces))
+            batched_entry(head, jp.name)(pieces)
+            return ctx.wait()
 
 
 class PipelineForwardAspect(ParallelAspect):
     """Block 3 of Figure 8: forward calls among pipeline elements.
 
     "This code also applies recursively to the filter method" — it
-    advises every call, including the ones it makes itself.
+    advises every call, including the ones it makes itself.  Stateless
+    apart from the append-only ``forwards`` counter: the collector it
+    deposits into and the forwarding cursor it advances belong to the
+    ambient per-call :class:`~repro.parallel.partition.base.DispatchContext`
+    of whichever split originated the piece.
     """
 
     concern = Concern.PARTITION
@@ -119,6 +159,9 @@ class PipelineForwardAspect(ParallelAspect):
         if isinstance(self.work, str):
             self.work = pointcut(self.work)
         self.forwards = 0
+        # own lock for the hot-path counter: forwards from overlapped
+        # splits must not contend on the coordinator's ticket-table lock
+        self._forwards_lock = threading.Lock()
 
     @around("work")
     def forward(self, jp):
@@ -128,21 +171,39 @@ class PipelineForwardAspect(ParallelAspect):
         key = id(jp.target)
         if key not in co.next:
             return jp.proceed()  # not an aspect-managed stage
-        result = jp.proceed()  # the stage's own processing
-        nxt = co.next[key]
-        if isinstance(jp, BatchJoinPoint):
-            return self._forward_batch(jp, result, nxt)
-        if nxt is not None:
-            self.forwards += 1
-            args, kwargs = co.splitter.forward_args(result, jp.args, jp.kwargs)
-            # re-intercepted: the attribute is the next stage's compiled
-            # plan (repro.aop.plan) — direct getattr, once per forward
-            return getattr(nxt, jp.name)(*args, **kwargs)
-        if co.collector is not None:
-            co.collector.deposit(result)
-        return result
+        ctx = current_dispatch()
+        # fail fast on ANY failure this side of the hop — the stage's own
+        # processing AND the forwarding step (forward_args, the next
+        # stage's dispatch): wake the originating call's waiter with the
+        # exception instead of leaving it blocked forever.  A failure in
+        # a later hop latches in that hop's activity; re-latching here is
+        # a no-op (the first failure wins).
+        try:
+            result = jp.proceed()  # the stage's own processing
+            nxt = co.next[key]
+            if isinstance(jp, BatchJoinPoint):
+                return self._forward_batch(jp, result, nxt, ctx)
+            if nxt is not None:
+                with self._forwards_lock:
+                    self.forwards += 1
+                if ctx is not None:
+                    ctx.advance()
+                args, kwargs = co.splitter.forward_args(
+                    result, jp.args, jp.kwargs
+                )
+                # re-intercepted: the attribute is the next stage's
+                # compiled plan (repro.aop.plan) — direct getattr, once
+                # per forward
+                return getattr(nxt, jp.name)(*args, **kwargs)
+            if ctx is not None and ctx.collector is not None:
+                ctx.deposit(result)
+            return result
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.fail(exc)
+            raise
 
-    def _forward_batch(self, jp, results, nxt):
+    def _forward_batch(self, jp, results, nxt, ctx):
         """Pack-granular block 3: forward a whole pack in one batched
         call.  Per-item forward arguments are computed with the same
         ``forward_args`` hook, but the pack traverses each inter-stage
@@ -150,7 +211,10 @@ class PipelineForwardAspect(ParallelAspect):
         under distribution — one message) instead of one per item."""
         co = self.coordinator
         if nxt is not None:
-            self.forwards += 1
+            with self._forwards_lock:
+                self.forwards += 1
+            if ctx is not None:
+                ctx.advance()
             items = []
             # jp.args[0] is the pack at this advice level — an outer
             # around may have substituted it via proceed(new_pieces)
@@ -161,9 +225,9 @@ class PipelineForwardAspect(ParallelAspect):
                 )
                 items.append(CallPiece(index, args, kwargs))
             return batched_entry(nxt, jp.name)(items)
-        if co.collector is not None:
+        if ctx is not None and ctx.collector is not None:
             for result in results:
-                co.collector.deposit(result)
+                ctx.deposit(result)
         return results
 
 
@@ -180,3 +244,7 @@ def pipeline_module(
     module = ParallelModule(name, Concern.PARTITION, [split_aspect, forward_aspect])
     module.coordinator = split_aspect  # type: ignore[attr-defined]
     return module
+
+
+#: StackSpec reads the pack/oneway capability flags off this class
+pipeline_module.coordinator_class = PipelineSplitAspect  # type: ignore[attr-defined]

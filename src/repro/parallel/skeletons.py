@@ -93,6 +93,12 @@ class ParallelStack:
     def async_aspect(self) -> Any:
         return self.app.async_aspect if self.app is not None else None
 
+    @property
+    def in_flight(self) -> int:
+        """Live per-call dispatch tickets on the partition coordinator
+        (each overlapped ``submit`` holds one for its duration)."""
+        return getattr(self.partition, "in_flight", 0)
+
     def deploy(self) -> "ParallelStack":
         self.composition.deploy(self.weaver, targets=[self.target])
         return self

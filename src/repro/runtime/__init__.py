@@ -9,6 +9,12 @@ from repro.runtime.backend import (
     set_default_backend,
     use_backend,
 )
+from repro.runtime.dispatch import (
+    current_dispatch,
+    dispatch_id,
+    find_dispatch,
+    use_dispatch,
+)
 from repro.runtime.futures import Future, FutureGroup
 from repro.runtime.simbackend import SimBackend, SimTask
 from repro.runtime.threads import ThreadBackend, ThreadTask
@@ -26,4 +32,8 @@ __all__ = [
     "Future",
     "FutureGroup",
     "ActiveObject",
+    "current_dispatch",
+    "use_dispatch",
+    "dispatch_id",
+    "find_dispatch",
 ]

@@ -17,6 +17,7 @@ from typing import Any
 
 from repro.errors import BackendError
 from repro.runtime.backend import current_backend
+from repro.runtime.dispatch import current_dispatch, shield_dispatch, use_dispatch
 from repro.runtime.futures import Future
 
 __all__ = ["ActiveObject"]
@@ -62,7 +63,12 @@ class ActiveObject:
         self._mailbox = self._backend.make_queue(name=f"{self.name}.mailbox")
         self._stopped = False
         self.processed = 0
-        self._server = self._backend.spawn(self._serve, name=f"{self.name}.server")
+        # shield: the server loop outlives whatever call created the
+        # active object — it must not pin (or serve later requests
+        # under) that call's dispatch ticket
+        self._server = self._backend.spawn(
+            shield_dispatch(self._serve), name=f"{self.name}.server"
+        )
 
     # -- client side -------------------------------------------------------
 
@@ -74,7 +80,10 @@ class ActiveObject:
         if self._stopped:
             raise BackendError(f"{self.name} is stopped")
         future = Future(name=f"{self.name}.{method}", backend=self._backend)
-        self._mailbox.put((method, args, kwargs, future))
+        # each request carries ITS caller's dispatch ticket (like pooled
+        # tasks): the shielded server re-installs it per request, so
+        # work done on a call's behalf keeps its collector routing
+        self._mailbox.put((method, args, kwargs, future, current_dispatch()))
         return future
 
     def stop(self) -> None:
@@ -94,9 +103,10 @@ class ActiveObject:
             request = self._mailbox.get()
             if request is _STOP:
                 return
-            method, args, kwargs, future = request
+            method, args, kwargs, future, ticket = request
             try:
-                result = getattr(self.target, method)(*args, **kwargs)
+                with use_dispatch(ticket):
+                    result = getattr(self.target, method)(*args, **kwargs)
             except Exception as exc:  # noqa: BLE001 - delivered via future
                 future.set_exception(exc)
             else:

@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 from repro.errors import BackendError
+from repro.runtime.dispatch import bind_dispatch
 
 __all__ = [
     "TaskHandle",
@@ -55,9 +56,27 @@ class ExecutionBackend(abc.ABC):
 
     name: str = "backend"
 
+    def spawn(
+        self, fn: Callable[[], Any], name: str | None = None, **kwargs: Any
+    ) -> TaskHandle:
+        """Run ``fn`` concurrently; returns a joinable handle.
+
+        Template method: the caller's ambient dispatch ticket
+        (:mod:`repro.runtime.dispatch`) is captured HERE, once, so every
+        backend — including third-party ones registered via
+        ``register_backend`` — propagates per-call collector routing
+        into the spawned activity by construction.  Backends implement
+        :meth:`_spawn`; thunks marked with
+        :func:`~repro.runtime.dispatch.shield_dispatch` (long-lived
+        workers) pass through uncaptured.
+        """
+        return self._spawn(bind_dispatch(fn), name=name, **kwargs)
+
     @abc.abstractmethod
-    def spawn(self, fn: Callable[[], Any], name: str | None = None) -> TaskHandle:
-        """Run ``fn`` concurrently; returns a joinable handle."""
+    def _spawn(
+        self, fn: Callable[[], Any], name: str | None = None, **kwargs: Any
+    ) -> TaskHandle:
+        """Backend-specific activity creation (``fn`` is pre-bound)."""
 
     @abc.abstractmethod
     def make_lock(self, name: str = "lock") -> Any:

@@ -1,0 +1,141 @@
+"""Ambient per-call dispatch tickets.
+
+A deployed stack is *immutable topology* — workers, stages, exported
+servants.  Everything owned by one in-flight call (its result collector,
+piece accounting, forwarding cursor) lives on a per-call *ticket*
+instead: the partition layer's
+:class:`~repro.parallel.partition.base.DispatchContext`.  This module is
+the backend-neutral plumbing that makes the ticket *ambient*:
+
+* :func:`use_dispatch` installs a ticket for the current activity;
+* :func:`current_dispatch` reads it — the pipeline's forwarding advice
+  uses this to deposit a piece result into the collector of the call
+  that *originated* the piece, which is what lets one deployed stack
+  serve many overlapped ``submit()``s;
+* the :meth:`~repro.runtime.backend.ExecutionBackend.spawn` template
+  method (shared by EVERY backend, built-in or registered) and the
+  pooled spawner capture the ambient ticket at spawn/enqueue time and
+  re-install it inside the spawned activity, so the ticket follows the
+  call across every activity boundary the stack creates;
+* :func:`find_dispatch` resolves a ticket by id — the middlewares stamp
+  the originating ticket id onto each request and re-install the ticket
+  around the servant-side execution, so work performed on behalf of a
+  call is attributed to that call even on the server side of the wire.
+
+Tickets register themselves on creation and are dropped automatically
+(the registry holds weak references), so a ticket's lifetime is exactly
+its call's.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "current_dispatch",
+    "use_dispatch",
+    "dispatch_id",
+    "find_dispatch",
+    "register_dispatch",
+    "next_dispatch_id",
+    "bind_dispatch",
+    "shield_dispatch",
+]
+
+
+class _DispatchState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Any] = []
+
+
+_STATE = _DispatchState()
+_IDS = itertools.count(1)
+#: live tickets by id — weak, so a finished call's ticket vanishes with it
+_LIVE: "weakref.WeakValueDictionary[int, Any]" = weakref.WeakValueDictionary()
+
+
+def next_dispatch_id() -> int:
+    """A fresh process-unique ticket id."""
+    return next(_IDS)
+
+
+def register_dispatch(ticket: Any) -> Any:
+    """Make ``ticket`` resolvable via :func:`find_dispatch` by its
+    ``context_id`` for as long as it is referenced; returns the ticket."""
+    _LIVE[ticket.context_id] = ticket
+    return ticket
+
+
+def current_dispatch() -> Any | None:
+    """The innermost ambient ticket for this activity, or ``None``."""
+    stack = _STATE.stack
+    return stack[-1] if stack else None
+
+
+def dispatch_id() -> int | None:
+    """The ambient ticket's id, or ``None`` outside any dispatch."""
+    ticket = current_dispatch()
+    return ticket.context_id if ticket is not None else None
+
+
+def find_dispatch(context_id: Any) -> Any | None:
+    """The live ticket registered under ``context_id``, or ``None`` when
+    the id is unknown or its call already finished."""
+    if context_id is None:
+        return None
+    return _LIVE.get(context_id)
+
+
+@contextmanager
+def use_dispatch(ticket: Any | None) -> Iterator[Any | None]:
+    """Make ``ticket`` the ambient dispatch for this activity within the
+    block.  ``None`` is a no-op (so call sites can pass through an
+    absent ticket unconditionally)."""
+    if ticket is None:
+        yield None
+        return
+    stack = _STATE.stack
+    stack.append(ticket)
+    try:
+        yield ticket
+    finally:
+        stack.pop()
+
+
+def bind_dispatch(fn: Callable[[], Any]) -> Callable[[], Any]:
+    """Capture the ambient ticket *now* and return a thunk running
+    ``fn`` under it — the helper backends and spawners use so a spawned
+    activity (or a pooled task executed much later, on a long-lived
+    worker) still runs under the ticket of the call that created it.
+
+    Thunks marked by :func:`shield_dispatch` pass through uncaptured.
+    """
+    if getattr(fn, "__dispatch_shielded__", False):
+        return fn
+    ticket = current_dispatch()
+    if ticket is None:
+        return fn
+
+    def bound() -> Any:
+        with use_dispatch(ticket):
+            return fn()
+
+    return bound
+
+
+def shield_dispatch(fn: Callable[[], Any]) -> Callable[[], Any]:
+    """Mark ``fn`` so :func:`bind_dispatch` does NOT capture the ambient
+    ticket for it.  Long-lived activities (pool workers) are spawned
+    from inside some call's dispatch, but must not pin that call's
+    ticket — and its collector and results — for their whole lifetime,
+    nor leak it as the ambient dispatch of unrelated later tasks."""
+
+    def shielded() -> Any:
+        return fn()
+
+    shielded.__dispatch_shielded__ = True  # type: ignore[attr-defined]
+    return shielded

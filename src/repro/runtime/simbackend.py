@@ -49,7 +49,7 @@ class SimBackend(ExecutionBackend):
         self.sim = sim
         self.spawned = 0
 
-    def spawn(
+    def _spawn(
         self, fn: Callable[[], Any], name: str | None = None, daemon: bool = False
     ) -> SimTask:
         caller = current_process()
@@ -58,7 +58,9 @@ class SimBackend(ExecutionBackend):
         self.spawned += 1
         # Spawned activities inherit the spawner's node placement: work a
         # concurrency aspect forks off still burns CPU where the caller
-        # lives (FarmThreads runs everything on the head node).
+        # lives (FarmThreads runs everything on the head node).  The
+        # dispatch ticket was already bound by the ExecutionBackend.spawn
+        # template, node placement is captured here.
         from repro.middleware.context import current_node, use_node
 
         node = current_node()

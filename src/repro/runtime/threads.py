@@ -109,11 +109,13 @@ class ThreadBackend(ExecutionBackend):
     def __init__(self) -> None:
         self.spawned = 0
 
-    def spawn(
+    def _spawn(
         self, fn: Callable[[], Any], name: str | None = None, daemon: bool = True
     ) -> ThreadTask:
         # all worker threads are OS daemons already; the flag only
-        # matters for the simulation backend's deadlock detection
+        # matters for the simulation backend's deadlock detection.  The
+        # ExecutionBackend.spawn template has already bound fn to the
+        # spawning call's dispatch ticket.
         self.spawned += 1
         return ThreadTask(fn, name or f"task-{self.spawned}")
 

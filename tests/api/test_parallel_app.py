@@ -12,6 +12,7 @@ from repro.apps.primes import PrimeFilter, SieveWorkload, expected_sieve_output
 from repro.cluster import paper_testbed
 from repro.errors import DeploymentError
 from repro.parallel import Concern, ParallelModule, WorkSplitter, farm_module
+from repro.parallel.partition import CallPiece
 from repro.runtime import Future, FutureGroup
 from repro.sim import Simulator
 
@@ -149,13 +150,34 @@ class TestThreadSubmission:
         # 4 items in packs of 2 -> exactly 2 chain traversals
         assert len(passes) == 2
 
-    def test_map_pack_rejected_with_partition(self):
-        workload = SieveWorkload(MAX, PACKS)
-        app = ParallelApp(sieve_farm_spec(workload))
+    def test_map_pack_routed_on_farm_spec(self):
+        # tightened rule: farms route whole packs per worker, so pack
+        # submission works on a partitioned spec now
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle",
+                      splitter=WorkSplitter(duplicates=2),
+                      strategy="farm", backend="thread")
+        )
         with app:
-            app.start(2, workload.sqrt)
-            with pytest.raises(DeploymentError, match="partition-less"):
-                app.map([workload.candidates], pack=True)
+            app.start()
+            group = app.map([1, 2, 3, 4, 5, 6], pack=2)
+            assert group.results() == [2, 4, 6, 8, 10, 12]
+        farm = app.partition
+        # 3 packs of 2 routed round-robin over 2 workers, whole-pack
+        assert farm.dispatches == 3
+        # every ticket retired; accounting is per call, not per aspect
+        assert app.in_flight == 0
+
+    def test_map_pack_rejected_only_when_unroutable(self):
+        # heartbeat's work call is the iteration loop over a shared
+        # grid: packs genuinely cannot be routed per worker
+        from repro.apps.jacobi import jacobi_spec
+
+        app = ParallelApp(jacobi_spec(blocks=2, backend="thread"))
+        with app:
+            app.start(12, 12)
+            with pytest.raises(DeploymentError, match="not routable"):
+                app.map([1, 2], pack=True)
 
     def test_call_is_synchronous_submit(self):
         app = ParallelApp(
@@ -299,6 +321,57 @@ class TestOnewayPacks:
                     None,
                     None,
                 ]
+        finally:
+            sim.shutdown()
+
+    def test_pack_map_on_farm_sends_one_message_per_pack_per_worker(self):
+        # pack-aware partition routing: each whole pack goes to one
+        # worker as ONE batched request (plus its one reply)
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle",
+                      splitter=WorkSplitter(duplicates=2),
+                      strategy="farm", middleware="mpp", cluster=cluster)
+        )
+        try:
+            with app:
+                app.start()
+                before = cluster.network.messages
+                group = app.map([1, 2, 3, 4, 5, 6], pack=3)
+                assert group.results() == [2, 4, 6, 8, 10, 12]
+                # 2 packs of 3 -> 2 requests + 2 replies, nothing per-item
+                assert cluster.network.messages - before == 4
+                assert app.middleware.batched_calls == 2
+                farm = app.partition
+                assert farm.dispatches == 2
+                # round-robin: each worker served one whole pack
+                served = [
+                    app.middleware.servant_of(app.distribution.ref_of(w)).calls
+                    for w in farm.workers
+                ]
+                assert sorted(served) == [3, 3]
+        finally:
+            sim.shutdown()
+
+    def test_oneway_pack_map_on_farm_is_fire_and_forget(self):
+        sim = Simulator()
+        cluster = paper_testbed(sim)
+        app = ParallelApp(
+            StackSpec(target=Doubler, work="handle",
+                      splitter=WorkSplitter(duplicates=2),
+                      strategy="farm", middleware="mpp", cluster=cluster,
+                      oneway=("handle",))
+        )
+        try:
+            with app:
+                app.start()
+                before = cluster.network.messages
+                group = app.map([1, 2, 3, 4], pack=2, oneway=True)
+                assert group.results() == [None] * 4
+                # one message per pack, zero replies
+                assert cluster.network.messages - before == 2
+                assert app.middleware.oneway_calls == 2
         finally:
             sim.shutdown()
 

@@ -99,6 +99,50 @@ class TestValidation:
         with pytest.raises(DeploymentError, match="oneway"):
             widget_spec(oneway=("work",)).validate()
 
+    def test_pack_routable_follows_strategy_capability(self):
+        assert widget_spec().pack_routable  # farm routes packs
+        assert widget_spec(strategy="dynamic-farm").pack_routable
+        assert widget_spec(strategy="pipeline").pack_routable
+        assert widget_spec(strategy="none", splitter=None).pack_routable
+        assert not widget_spec(strategy="heartbeat").pack_routable
+
+    def test_oneway_rejected_on_reply_dependent_strategies(self):
+        # cross-field rule matching the map(pack=...) capabilities:
+        # heartbeat gathers step results and the pipeline forwards each
+        # hop's reply — neither can serve fire-and-forget work, so the
+        # declaration must fail at validation time.  Farms are pure
+        # scatter and pass.
+        from repro.cluster import paper_testbed
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        try:
+            cluster = paper_testbed(sim)
+            for strategy in ("heartbeat", "pipeline"):
+                with pytest.raises(DeploymentError, match="cannot serve"):
+                    widget_spec(
+                        strategy=strategy,
+                        middleware="mpp",
+                        cluster=cluster,
+                        oneway=("work",),
+                    ).validate()
+            widget_spec(
+                strategy="farm",
+                middleware="mpp",
+                cluster=cluster,
+                oneway=("work",),
+            ).validate()
+            # oneway on an AUXILIARY method is fine on any strategy —
+            # only the work call itself is reply-dependent
+            widget_spec(
+                strategy="pipeline",
+                middleware="mpp",
+                cluster=cluster,
+                oneway=("notify",),
+            ).validate()
+        finally:
+            sim.shutdown()
+
     def test_with_copies_and_overrides(self):
         spec = widget_spec()
         copy = spec.with_(strategy="pipeline")

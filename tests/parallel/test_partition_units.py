@@ -70,6 +70,30 @@ class TestResultCollector:
             with pytest.raises(TimeoutError, match="1/2"):
                 collector.wait(timeout=0.01)
 
+    def test_fail_wakes_untimed_waiter_with_original_exception(self):
+        # regression: a worker that raises before depositing used to
+        # leave wait() (no timeout) blocked forever
+        import threading
+
+        with use_backend(ThreadBackend()):
+            collector = ResultCollector(2)
+            collector.deposit("partial")
+            boom = ValueError("worker exploded")
+            threading.Timer(0.02, lambda: collector.fail(boom)).start()
+            with pytest.raises(ValueError) as info:
+                collector.wait()  # deliberately no timeout
+            assert info.value is boom  # the original exception object
+
+    def test_first_failure_wins_and_latches(self):
+        with use_backend(ThreadBackend()):
+            collector = ResultCollector(3)
+            first = RuntimeError("first")
+            collector.fail(first)
+            collector.fail(RuntimeError("second"))
+            with pytest.raises(RuntimeError) as info:
+                collector.wait(timeout=1)
+            assert info.value is first
+
 
 def weave_counter():
     class Counter:

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI gate for the overlapped-submit benchmark pair.
+
+Reads ``benchmarks/BENCH_dispatch.json`` (after ``make bench-smoke``
+appended the current run) and compares the **pair ratio**
+
+    mean(test_submit_overlapped_pipeline) / mean(test_submit_serial_pipeline)
+
+of the latest run against the committed trajectory (the median ratio of
+all earlier runs that contain the pair).  Using the within-run ratio —
+not absolute means — keeps the gate meaningful across machines of
+different speeds: a regression means overlapped submissions lost ground
+*relative to serial ones on the same box*, i.e. the per-call dispatch
+contexts stopped overlapping.
+
+Fails (exit 1) when the current ratio exceeds the baseline by more than
+``BENCH_REGRESSION_THRESHOLD`` (default 0.25 = 25%).  Exits 0 with a
+notice when the trajectory has no earlier run with the pair (first run
+after the pair landed) or the JSON is missing (fresh checkout without a
+bench run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+from pathlib import Path
+
+OVERLAPPED = "test_submit_overlapped_pipeline"
+SERIAL = "test_submit_serial_pipeline"
+
+
+def results_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_dispatch.json"
+
+
+def pair_ratio(run: dict) -> float | None:
+    """The overlapped/serial mean ratio of one run, or None."""
+    benches = run.get("benchmarks", {})
+    overlapped = benches.get(OVERLAPPED, {}).get("mean")
+    serial = benches.get(SERIAL, {}).get("mean")
+    if not overlapped or not serial:
+        return None
+    return overlapped / serial
+
+
+def main() -> int:
+    threshold = float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.25"))
+    path = results_path()
+    if not path.exists():
+        print(f"bench-check: {path} not found (no bench run?) — skipping")
+        return 0
+    runs = json.loads(path.read_text()).get("runs", [])
+    if not runs:
+        print("bench-check: trajectory has no runs — skipping")
+        return 0
+    current = pair_ratio(runs[-1])
+    if current is None:
+        print(
+            f"bench-check: latest run lacks the {OVERLAPPED}/{SERIAL} pair "
+            f"— did bench-smoke run bench_aop_dispatch.py?"
+        )
+        return 1
+    prior = [r for r in (pair_ratio(run) for run in runs[:-1]) if r is not None]
+    if not prior:
+        print(
+            f"bench-check: no committed baseline for the pair yet "
+            f"(current ratio {current:.3f}) — skipping"
+        )
+        return 0
+    baseline = statistics.median(prior)
+    limit = baseline * (1.0 + threshold)
+    verdict = "OK" if current <= limit else "REGRESSION"
+    print(
+        f"bench-check: overlapped/serial ratio {current:.3f} "
+        f"vs baseline {baseline:.3f} (median of {len(prior)} runs), "
+        f"limit {limit:.3f} [+{threshold:.0%}] -> {verdict}"
+    )
+    if current > limit:
+        print(
+            "bench-check: overlapped submissions regressed vs serial — "
+            "per-call dispatch contexts are likely no longer overlapping"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
