@@ -5,11 +5,25 @@
 PY ?= python
 PYPATH := PYTHONPATH=src
 
-.PHONY: test bench-smoke bench-check bench-dispatch lint
+.PHONY: test stress bench-smoke bench-check bench-dispatch lint
 
 ## tier-1 test suite (the driver's acceptance gate)
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
+
+## overlap stress: rerun the concurrency-sensitive suites (dispatch
+## contexts, admission policies, deadlines) 5x with the pytest cache
+## disabled, to surface flakes and hangs that a single ordered run
+## hides.  CI wraps this in a hard timeout-minutes so a hung untimed
+## wait fails the job instead of stalling it.
+stress:
+	@for i in 1 2 3 4 5; do \
+		echo "--- stress round $$i/5 ---"; \
+		$(PYPATH) $(PY) -m pytest -q -p no:cacheprovider \
+			tests/parallel/test_dispatch_contexts.py \
+			tests/parallel/test_admission_policies.py \
+			tests/parallel/test_deadlines.py || exit 1; \
+	done
 
 ## quick benchmark pass: dispatch overhead only, small workload knobs.
 ## Covers the full decision tree: inert, single-/all-around, the
@@ -19,10 +33,12 @@ bench-smoke:
 	REPRO_BENCH_MAXIMUM=200000 REPRO_BENCH_PACKS=8 \
 		$(PYPATH) $(PY) -m pytest benchmarks/bench_aop_dispatch.py -q
 
-## regression gate on the overlapped-submit pair: compares the latest
-## BENCH_dispatch.json run's overlapped/serial ratio against the
-## committed trajectory and fails on a >25% regression.  Run after
-## bench-smoke (CI wires them in sequence).
+## regression gate over ALL committed bench pairs: compares the latest
+## BENCH_dispatch.json run's within-run pair ratios against the
+## committed trajectory, with per-pair thresholds from
+## tools/bench_gates.json.  Regressions emit GitHub Actions ::error
+## annotations naming the pair.  Run after bench-smoke (CI wires them
+## in sequence).
 bench-check:
 	$(PY) tools/check_bench_regression.py
 

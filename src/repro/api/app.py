@@ -35,12 +35,18 @@ from repro.aop.plan import batched_entry
 from repro.aop.weaver import Weaver, default_weaver
 from repro.api.registry import BACKENDS, MIDDLEWARES, STRATEGIES
 from repro.api.spec import StackSpec
-from repro.errors import DeploymentError
+from repro.errors import (
+    AdmissionError,
+    DeadlineExceeded,
+    DeploymentError,
+    FutureError,
+)
 from repro.middleware.context import use_node
 from repro.parallel.composition import Composition, ParallelModule
 from repro.parallel.concern import Concern
 from repro.parallel.concurrency import concurrency_module
 from repro.parallel.partition.base import CallPiece
+from repro.runtime.admission import AdmissionController, Deadline, use_envelope
 from repro.runtime.backend import ExecutionBackend, use_backend
 from repro.runtime.futures import Future, FutureGroup
 from repro.runtime.simbackend import SimBackend
@@ -114,6 +120,16 @@ class ParallelApp:
         self.backend = self._resolve_backend(spec)
         #: the simulator driving a sim-backend app (None on threads)
         self.sim = getattr(self.backend, "sim", None)
+        #: bounded admission table — submit()/map() acquire a slot per
+        #: call and the spec's overflow policy applies beyond
+        #: max_in_flight (an unbounded table still tracks slots for
+        #: observability when max_in_flight is None)
+        self.admission = AdmissionController(
+            limit=spec.max_in_flight,
+            policy=spec.overflow,
+            backend=self.backend,
+            name=self.composition.name,
+        )
         self._submissions = 0
 
     @staticmethod
@@ -174,6 +190,39 @@ class ParallelApp:
         """Most splits ever in flight at once on this deployed stack
         (the overlap high-water mark the stress tests assert on)."""
         return getattr(self.partition, "peak_in_flight", 0)
+
+    # -- admission observability ---------------------------------------------
+
+    @property
+    def admitted(self) -> int:
+        """Admission slots currently held (submissions between admit
+        and their future resolving)."""
+        return self.admission.admitted
+
+    def trace(self, ticket_id: int) -> dict | None:
+        """The span timeline of one dispatch ticket.
+
+        ``ticket_id`` is a dispatch-context id — take it from
+        ``future.admission.ticket_id`` after a submission dispatched, or
+        from the ``trace`` attribute of a
+        :class:`~repro.errors.DeadlineExceeded`.  Live tickets are
+        snapshotted in place; retired ones come from the partition
+        coordinator's bounded history.  Returns ``None`` for unknown or
+        evicted ids (and always for partition-less specs, which open no
+        tickets).
+        """
+        owner = self.partition
+        if owner is None or not hasattr(owner, "trace_of"):
+            return None
+        return owner.trace_of(ticket_id)
+
+    def traces(self) -> list[dict]:
+        """Recent ticket timelines, oldest first: every live ticket plus
+        the retired ones still in the bounded history."""
+        owner = self.partition
+        if owner is None or not hasattr(owner, "trace_history"):
+            return []
+        return owner.trace_history()
 
     # -- execution context ---------------------------------------------------
 
@@ -249,7 +298,21 @@ class ParallelApp:
                 f"fire-and-forget must be declared so the transport knows"
             )
 
-    def submit(self, *args: Any, oneway: bool = False, **kwargs: Any) -> Future:
+    def _deadline(self, timeout: float | None) -> Deadline | None:
+        """Build the call's deadline: the explicit ``timeout=`` wins,
+        the spec's default applies otherwise, None means no deadline."""
+        budget = timeout if timeout is not None else self.spec.timeout
+        if budget is None:
+            return None
+        return Deadline(budget, clock=self.backend.now)
+
+    def submit(
+        self,
+        *args: Any,
+        oneway: bool = False,
+        timeout: float | None = None,
+        **kwargs: Any,
+    ) -> Future:
         """Dispatch one work call; returns a :class:`Future` immediately.
 
         The call enters the woven method (running the full advice chain:
@@ -258,32 +321,136 @@ class ParallelApp:
         ``oneway=True`` (the method must be declared in
         ``spec.oneway``) the future resolves to ``None`` as soon as the
         send completes.
+
+        Admission control: the call first acquires a slot in the app's
+        bounded admission table.  Beyond ``spec.max_in_flight`` the
+        spec's overflow policy applies — ``block`` parks THIS caller
+        until a slot frees, ``fail`` raises
+        :class:`~repro.errors.AdmissionRejected` here, ``shed-oldest``
+        cancels the oldest in-flight call (its future raises
+        :class:`~repro.errors.CallShed`).  ``timeout=`` (or the spec's
+        default) arms a per-call deadline: expiry cancels the call's
+        dispatch ticket at the next boundary, unwinds its collector, and
+        the future raises :class:`~repro.errors.DeadlineExceeded`
+        carrying the ticket's trace.  The admission slot rides on the
+        returned future as ``future.admission`` (its ``ticket_id``
+        resolves traces via :meth:`trace`).
+
+        Like ``oneway``, the ``timeout`` keyword is reserved by the
+        submission API and never forwarded to the work method — a work
+        method with its own ``timeout`` parameter must receive it
+        positionally (or via a payload tuple through :meth:`map`).
         """
         self._check_oneway(oneway)
         instance = self._entry_instance()
         method = self.spec.resolved_work_method
+        deadline = self._deadline(timeout)
+        # acquire before dispatching: this is where backpressure (block),
+        # rejection (fail) and shedding happen — in the submitter
+        slot = self.admission.admit(
+            deadline=deadline, name=f"submit.{method}"
+        )
         self._submissions += 1
         future = Future(
             name=f"submit.{method}.{self._submissions}", backend=self.backend
         )
+        future.admission = slot  # type: ignore[attr-defined]
 
         def perform() -> None:
-            try:
-                result = getattr(instance, method)(*args, **kwargs)
-                if isinstance(result, Future):
-                    result = result.result()
-                future.set_result(result)
-            except Exception as exc:  # noqa: BLE001 - delivered via future
-                future.set_exception(exc)
+            self._run_admitted(
+                slot,
+                method,
+                produce=lambda: getattr(instance, method)(*args, **kwargs),
+                deliver=lambda result: (
+                    None if future.resolved else future.set_result(result)
+                ),
+                fail=lambda exc: (
+                    None if future.resolved else future.set_exception(exc)
+                ),
+            )
 
-        self._dispatch(perform, name=future.name)
+        try:
+            self._dispatch(perform, name=future.name)
+        except BaseException:
+            # the activity never started, so perform's release will
+            # never run — give the capacity back before re-raising
+            slot.release()
+            raise
         return future
+
+    def _run_admitted(
+        self,
+        slot: Any,
+        method: str,
+        produce: Callable[[], Any],
+        deliver: Callable[[Any], None],
+        fail: Callable[[Exception], None],
+    ) -> None:
+        """The admission lifecycle shared by every dispatched unit
+        (single submits and whole packs): re-check the slot (it may
+        have been shed while the activity waited to run), run the woven
+        call under the slot's envelope, enforce the strict completion
+        deadline, close the deliver-vs-cancel race atomically, and —
+        crucially — release the slot *before* resolving the caller's
+        future, so a submitter waking from ``result()`` never finds the
+        finished call still counted against ``max_in_flight``."""
+        try:
+            slot.check()
+            with use_envelope(slot):
+                result = produce()
+                if isinstance(result, Future):
+                    result = self._await_nested(result, slot.deadline)
+            self._enforce_completion_deadline(slot, method)
+            # atomic deliver-vs-cancel: a unit shed (or expired)
+            # mid-flight must not deliver — its slot was already handed
+            # to someone else — while a delivered one cannot be shed
+            cancelled = slot.finish()
+            if cancelled is not None:
+                raise cancelled
+            slot.release()  # free capacity before waking the waiter
+            deliver(result)
+        except Exception as exc:  # noqa: BLE001 - delivered via futures
+            slot.release()  # likewise: capacity first, then the error
+            fail(exc)
+        finally:
+            slot.release()  # idempotent backstop for exotic unwinds
+
+    def _enforce_completion_deadline(self, slot: Any, method: str) -> None:
+        """Deadlines are strict: a call whose result arrives after its
+        budget drained fails with :class:`DeadlineExceeded` (carrying
+        the ticket's trace when one opened) instead of delivering late —
+        even when no cooperative boundary noticed the expiry in flight.
+        """
+        deadline = slot.deadline
+        if deadline is None or not deadline.expired:
+            return
+        trace = (
+            self.trace(slot.ticket_id) if slot.ticket_id is not None else None
+        )
+        raise DeadlineExceeded(
+            f"submit.{method}: call completed after its deadline of "
+            f"{deadline.budget}s drained",
+            trace=trace,
+        )
+
+    @staticmethod
+    def _await_nested(result: Future, deadline: Deadline | None) -> Any:
+        """Unwrap a nested future, bounding the wait by the deadline
+        (how partition-less specs honour ``timeout=``)."""
+        if deadline is None:
+            return result.result()
+        try:
+            return result.result(timeout=max(deadline.remaining(), 0.0))
+        except FutureError:
+            deadline.check("awaiting the call's result")
+            raise
 
     def map(
         self,
         items: Iterable[Any],
         pack: bool | int = False,
         oneway: bool = False,
+        timeout: float | None = None,
     ) -> FutureGroup:
         """Dispatch one work call per payload; returns a
         :class:`FutureGroup` of per-item futures in payload order.
@@ -303,12 +470,32 @@ class ParallelApp:
         iteration loop, divide-and-conquer's recursion) are rejected
         eagerly.  With ``oneway=True`` packs are sent fire-and-forget
         and every future resolves to ``None``.
+
+        Admission control applies per submission unit: one slot per
+        item unpacked, one slot per pack when packing — so a bounded
+        ``max_in_flight`` backpressures (or rejects / sheds) a large
+        ``map`` exactly like a burst of submits.  ``timeout=`` arms the
+        same per-call deadline as :meth:`submit` on every unit.
         """
         payloads = [item if isinstance(item, tuple) else (item,) for item in items]
         if not pack:
-            return FutureGroup.of(
-                self.submit(*payload, oneway=oneway) for payload in payloads
-            )
+            # each unit is admitted independently; a rejected unit
+            # fails ITS OWN future instead of aborting the map — the
+            # caller always gets the full group back, so handles to
+            # already-dispatched in-flight work are never stranded
+            group = FutureGroup()
+            for index, payload in enumerate(payloads):
+                try:
+                    group.add(
+                        self.submit(*payload, oneway=oneway, timeout=timeout)
+                    )
+                except AdmissionError as exc:
+                    rejected = Future(
+                        name=f"map.rejected.{index}", backend=self.backend
+                    )
+                    rejected.set_exception(exc)
+                    group.add(rejected)
+            return group
         if self.partition is not None and not self.spec.pack_routable:
             raise DeploymentError(
                 f"pack submission is not routable on strategy "
@@ -336,30 +523,51 @@ class ParallelApp:
             for i in range(len(payloads))
         ]
 
-        def perform_pack(start: int, pieces: list[CallPiece]) -> None:
-            try:
-                entry = batched_entry(instance, method, self.weaver)
-                results = entry(pieces)
-                if isinstance(results, Future):
-                    results = results.result()
+        def perform_pack(start: int, pieces: list[CallPiece], slot: Any) -> None:
+            def produce() -> Any:
+                return batched_entry(instance, method, self.weaver)(pieces)
+
+            def deliver(results: Any) -> None:
                 if results is None:  # oneway pack: no reply at all
                     results = [None] * len(pieces)
                 for offset, result in enumerate(results):
-                    futures[start + offset].set_result(result)
-            except Exception as exc:  # noqa: BLE001 - delivered via futures
+                    if not futures[start + offset].resolved:
+                        futures[start + offset].set_result(result)
+
+            def fail(exc: Exception) -> None:
                 for offset in range(len(pieces)):
                     if not futures[start + offset].resolved:
                         futures[start + offset].set_exception(exc)
+
+            self._run_admitted(slot, method, produce, deliver, fail)
 
         for start in range(0, len(payloads), size):
             chunk = payloads[start : start + size]
             pieces = [
                 CallPiece(index, payload) for index, payload in enumerate(chunk)
             ]
-            self._dispatch(
-                lambda s=start, p=pieces: perform_pack(s, p),
-                name=f"map.pack.{method}.{start}",
-            )
+            # one admission unit per pack: blocking/failing/shedding
+            # happens HERE, in the mapping caller, pack by pack — a
+            # rejected pack fails its own futures and the map goes on,
+            # keeping every handle in the returned group reachable
+            try:
+                slot = self.admission.admit(
+                    deadline=self._deadline(timeout), name=f"map.pack.{method}"
+                )
+            except AdmissionError as exc:
+                for offset in range(len(chunk)):
+                    futures[start + offset].set_exception(exc)
+                continue
+            for offset in range(len(chunk)):
+                futures[start + offset].admission = slot  # type: ignore[attr-defined]
+            try:
+                self._dispatch(
+                    lambda s=start, p=pieces, a=slot: perform_pack(s, p, a),
+                    name=f"map.pack.{method}.{start}",
+                )
+            except BaseException:
+                slot.release()  # the pack activity never started
+                raise
         return group
 
     def call(self, *args: Any, **kwargs: Any) -> Any:
@@ -449,6 +657,16 @@ class AppBuilder:
         """Plug optimisation modules/aspects (innermost, in order)."""
         existing = self._fields.get("optimisations", ())
         return self._set(optimisations=tuple(existing) + extras)
+
+    def admission(
+        self, max_in_flight: int, overflow: str = "block"
+    ) -> "AppBuilder":
+        """Bound in-flight submissions and pick the overflow policy."""
+        return self._set(max_in_flight=max_in_flight, overflow=overflow)
+
+    def timeout(self, seconds: float) -> "AppBuilder":
+        """Set the spec-level default per-call deadline."""
+        return self._set(timeout=seconds)
 
     def named(self, name: str) -> "AppBuilder":
         """Set the composition's display name."""

@@ -36,6 +36,7 @@ from typing import Any
 
 from repro.api.registry import BACKENDS, MIDDLEWARES, STRATEGIES, register_middleware, register_strategy
 from repro.errors import DeploymentError
+from repro.runtime.admission import OVERFLOW_POLICIES
 
 __all__ = ["StackSpec"]
 
@@ -120,6 +121,17 @@ class StackSpec:
     #: explicit work-method name for submission when ``work`` is a
     #: pattern a method name cannot be derived from
     work_method: str | None = None
+    #: admission control — most submissions allowed in flight at once on
+    #: the deployed stack (None = unbounded)
+    max_in_flight: int | None = None
+    #: overflow policy when ``max_in_flight`` is reached: ``block``
+    #: (submitter waits for a slot), ``fail`` (AdmissionRejected), or
+    #: ``shed-oldest`` (the oldest live call is cancelled with CallShed)
+    overflow: str = "block"
+    #: default per-call deadline in seconds (``submit(timeout=...)``
+    #: overrides per call; None = no deadline).  Measured on the
+    #: backend's clock: wall time on threads, virtual time on sim.
+    timeout: float | None = None
 
     # -- derived views ------------------------------------------------------
 
@@ -226,15 +238,31 @@ class StackSpec:
                 f"StackSpec for {self.target.__name__} needs a work pointcut "
                 f"(a method name like 'filter' or a call(..) expression)"
             )
-        STRATEGIES.get(self.strategy)  # raises UnknownNameError on typos
+        builder = STRATEGIES.get(self.strategy)  # raises UnknownNameError
         MIDDLEWARES.get(self.middleware)
         if isinstance(self.backend, str):
             BACKENDS.get(self.backend)
-        if self.strategy != "none" and self.splitter is None:
+        needs_splitter = getattr(builder, "requires_splitter", True)
+        if self.strategy != "none" and needs_splitter and self.splitter is None:
             raise DeploymentError(
                 f"strategy {self.strategy!r} needs a splitter "
                 f"(a WorkSplitter describing duplication and call split); "
                 f"use strategy='none' for a partition-less stack"
+            )
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise DeploymentError(
+                f"max_in_flight must be >= 1 (or None for unbounded), "
+                f"got {self.max_in_flight!r}"
+            )
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise DeploymentError(
+                f"unknown overflow policy {self.overflow!r}; choose from "
+                f"{', '.join(repr(p) for p in OVERFLOW_POLICIES)}"
+            )
+        if self.timeout is not None and not self.timeout > 0:
+            raise DeploymentError(
+                f"timeout must be a positive number of seconds "
+                f"(or None for no deadline), got {self.timeout!r}"
             )
         if self.middleware != "none" and self.cluster is None:
             raise DeploymentError(

@@ -111,6 +111,44 @@ class FutureError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Admission control (bounded in-flight calls, deadlines, shedding)
+# ---------------------------------------------------------------------------
+
+
+class AdmissionError(ReproError):
+    """Base class for admission-control errors (bounded ticket table)."""
+
+
+class AdmissionRejected(AdmissionError):
+    """A submission was refused admission.
+
+    Raised by the ``fail`` overflow policy when the per-deployment
+    ticket table is full, and by a ``block``-policy admission wait that
+    ran out of deadline budget before a slot freed.
+    """
+
+
+class CallShed(AdmissionError):
+    """An in-flight call was cancelled by the ``shed-oldest`` overflow
+    policy to make room for a newer submission.  Delivered through the
+    shed call's future; the newer call proceeds normally.
+    """
+
+
+class DeadlineExceeded(AdmissionError):
+    """A per-call deadline expired before the call completed.
+
+    Carries the ticket's ``trace`` (the span timeline recorded on the
+    call's :class:`~repro.parallel.partition.base.DispatchContext` up to
+    the moment of expiry) so the failure is debuggable post mortem.
+    """
+
+    def __init__(self, message: str, trace: dict | None = None):
+        super().__init__(message)
+        self.trace = trace
+
+
+# ---------------------------------------------------------------------------
 # Middleware errors
 # ---------------------------------------------------------------------------
 

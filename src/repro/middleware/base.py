@@ -377,6 +377,21 @@ class SimMiddleware(Middleware):
         # the request's reply therefore resolves against the call that
         # sent it, however many calls are in flight on this servant
         context = find_dispatch(request.context_id)
+        if context is not None and getattr(context, "cancelled", False):
+            # the originating call is gone (shed, or its deadline
+            # expired): don't burn servant CPU on work nobody will
+            # collect — reply with the cancellation cause (the caller
+            # side is unwinding anyway) and keep serving other calls
+            if not request.oneway:
+                cause = getattr(context, "cancel_cause", None)
+                self._reply_error(
+                    servant,
+                    request,
+                    cause
+                    if cause is not None
+                    else MiddlewareError("originating call was cancelled"),
+                )
+            return
         if context is not None and hasattr(context, "attribute_remote"):
             context.attribute_remote()
         with use_node(servant.node):
@@ -407,6 +422,18 @@ class SimMiddleware(Middleware):
                 size_bytes=size,
                 tag="reply",
             )
+
+    def _reply_error(
+        self, servant: _Servant, request: _Request, exc: BaseException
+    ) -> None:
+        """Ship an error reply without executing the servant method
+        (used for requests whose originating ticket was cancelled)."""
+        delay = self.cluster.transit_delay(
+            0, servant.node, request.caller_node
+        )
+        request.reply_channel.send(
+            ("error", exc), delay=delay, size_bytes=0, tag="reply"
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 

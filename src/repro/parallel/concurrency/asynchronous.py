@@ -17,6 +17,8 @@ without touching this module.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from typing import Any, Callable
 
 from repro.aop import abstract_pointcut, around, pointcut
@@ -39,54 +41,108 @@ class SpawnPerCall:
 
 
 class PooledSpawner:
-    """Fixed pool of worker activities fed by a queue.
+    """Fixed pool of worker activities fed by task queues.
 
-    Created by the thread-pool optimisation aspect; workers are started
-    lazily on the first spawn (so the pool binds to the right backend).
+    Workers are started lazily on the first spawn (so the pool binds to
+    the right backend).  Two feeding modes:
+
+    * shared (default) — one queue, any idle worker takes the next task
+      (the thread-pool optimisation aspect's shape);
+    * ``pinned=True`` — one queue *per worker*, and ``spawn(...,
+      index=i)`` routes the task to worker ``i``.  This is the resident
+      worker-pool shape the dynamic farm uses: resident activity ``i``
+      always drives deployed worker instance ``i``, so per-call work
+      reaches a long-lived activity instead of paying a fresh spawn —
+      while every task still runs under the dispatch ticket of the call
+      that enqueued it (``bind_dispatch``).
+
+    A task that raises does NOT kill its resident worker: the exception
+    is recorded (``task_failures``) and the loop serves the next task —
+    errors belong to the enqueueing call, which observes them through
+    its own ticket/collector, never to the pool.
     """
 
     _STOP = object()
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, pinned: bool = False):
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self.size = size
-        self._queue: Any = None
+        self.pinned = pinned
+        self._queues: list[Any] | None = None
         self._backend: ExecutionBackend | None = None
+        #: guards the lazy start: overlapped first-submissions race into
+        #: spawn(), and a double start would orphan a whole resident set
+        self._start_lock = threading.Lock()
+        #: round-robin cursor for pinned spawns that name no worker
+        self._cursor = itertools.count()
         self.executed = 0
+        self.task_failures = 0
 
-    def spawn(self, backend: ExecutionBackend, task: Callable[[], None]) -> None:
-        if self._queue is None:
-            self._backend = backend
-            self._queue = backend.make_queue(name="pool.tasks")
-            for i in range(self.size):
-                # workers idle on the queue between bursts; daemon=True
-                # keeps the sim's deadlock detector quiet about them.
-                # shield_dispatch: the pool may be created from inside a
-                # call's dispatch, and a worker must not pin (or leak to
-                # later tasks) that call's ticket for its whole lifetime
-                backend.spawn(
-                    shield_dispatch(self._worker),
-                    name=f"pool.worker{i}",
-                    daemon=True,
-                )
+    @property
+    def started(self) -> bool:
+        """Have the resident worker activities been spawned yet?"""
+        return self._queues is not None
+
+    def spawn(
+        self,
+        backend: ExecutionBackend,
+        task: Callable[[], None],
+        index: int | None = None,
+    ) -> None:
+        """Enqueue ``task``; with ``pinned`` pools, ``index`` names the
+        resident worker that must run it (round-robin otherwise)."""
+        with self._start_lock:
+            if self._queues is None:
+                self._backend = backend
+                count = self.size if self.pinned else 1
+                queues = [
+                    backend.make_queue(name=f"pool.tasks{i}")
+                    for i in range(count)
+                ]
+                for i in range(self.size):
+                    queue = queues[i if self.pinned else 0]
+                    # workers idle on the queue between bursts; daemon=True
+                    # keeps the sim's deadlock detector quiet about them.
+                    # shield_dispatch: the pool may be created from inside a
+                    # call's dispatch, and a worker must not pin (or leak to
+                    # later tasks) that call's ticket for its whole lifetime
+                    backend.spawn(
+                        shield_dispatch(lambda q=queue: self._worker(q)),
+                        name=f"pool.worker{i}",
+                        daemon=True,
+                    )
+                self._queues = queues
+        if self.pinned:
+            if index is None:
+                index = next(self._cursor)
+            queue = self._queues[index % self.size]
+        else:
+            queue = self._queues[0]
         # pool workers are long-lived, so the spawn-time ticket capture
         # the backends do would pin the *worker's* creation context; bind
         # each task to the ticket of the call that enqueued it instead
-        self._queue.put(bind_dispatch(task))
+        queue.put(bind_dispatch(task))
 
-    def _worker(self) -> None:
+    def _worker(self, queue: Any) -> None:
         while True:
-            task = self._queue.get()
+            task = queue.get()
             if task is self._STOP:
                 return
-            task()
+            try:
+                task()
+            except Exception:  # noqa: BLE001 - the call observes its own error
+                self.task_failures += 1
             self.executed += 1
 
     def stop(self) -> None:
-        if self._queue is not None:
-            for _ in range(self.size):
-                self._queue.put(self._STOP)
+        if self._queues is not None:
+            if self.pinned:
+                for queue in self._queues:
+                    queue.put(self._STOP)
+            else:
+                for _ in range(self.size):
+                    self._queues[0].put(self._STOP)
 
 
 class AsyncInvocationAspect(ParallelAspect):

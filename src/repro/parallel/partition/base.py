@@ -21,13 +21,15 @@ provides the shared machinery:
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.aop import abstract_pointcut, pointcut
 from repro.aop.plan import CtorPack, batched_entry
-from repro.errors import AdviceError
+from repro.errors import AdviceError, DeadlineExceeded
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.runtime.admission import current_envelope
 from repro.runtime.backend import current_backend
 from repro.runtime.dispatch import next_dispatch_id, register_dispatch, use_dispatch
 from repro.runtime.futures import Future
@@ -191,6 +193,13 @@ class ResultCollector:
     :meth:`wait` re-raises the original exception — so a caller blocked
     with no timeout fails fast with the worker's traceback instead of
     hanging on a deposit that will never come.
+
+    Lock ordering: the failure latch, the item list, and :meth:`wait`'s
+    verdict are all resolved under the one collector lock.  A timed
+    ``wait`` that races a concurrent :meth:`fail` therefore reports the
+    latched failure — never a bare ``TimeoutError`` and never a partial
+    result list — and a straggler :meth:`deposit` arriving after the
+    latch is dropped instead of completing a call that already failed.
     """
 
     def __init__(self, expected: int, backend: Any = None):
@@ -205,6 +214,8 @@ class ResultCollector:
 
     def deposit(self, item: Any) -> None:
         with self._lock:
+            if self._failure is not None:
+                return  # the call already failed: drop the late deposit
             self._items.append(item)
             complete = len(self._items) >= self.expected
         if complete:
@@ -218,13 +229,19 @@ class ResultCollector:
         self._done.set()
 
     def wait(self, timeout: float | None = None) -> list[Any]:
-        if not self._done.wait(timeout):
-            raise TimeoutError(
-                f"collector got {len(self._items)}/{self.expected} results"
-            )
-        if self._failure is not None:
-            raise self._failure
-        return list(self._items)
+        finished = self._done.wait(timeout)
+        # verdict under the lock: a fail() racing the wakeup (or the
+        # timeout) must win over both the timeout report and the
+        # item snapshot — the old unlocked check-then-read could hand
+        # back partial results a latched failure had already disowned
+        with self._lock:
+            if self._failure is not None:
+                raise self._failure
+            if not finished and len(self._items) < self.expected:
+                raise TimeoutError(
+                    f"collector got {len(self._items)}/{self.expected} results"
+                )
+            return list(self._items)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -245,13 +262,25 @@ class DispatchContext:
       ``items`` (packs spread), plus the latched failure;
     * ``hops`` — the forwarding cursor: inter-stage forwards taken on
       behalf of this call (pipeline) or exchange phases driven
-      (heartbeat).
+      (heartbeat);
+    * admission state — an optional :class:`~repro.runtime.admission.Deadline`
+      adopted from the submission's admission slot, the ``cancelled``
+      latch (deadline expiry or shed), and the lightweight ``spans``
+      timeline (split → piece dispatch → merge) that
+      ``ParallelApp.trace`` exports.
 
     The ticket is made *ambient* (:mod:`repro.runtime.dispatch`) for the
     duration of the call and follows it across spawned activities and
     the middleware request path, so forwarding advice running threads or
     hops away still deposits into the originating call's collector.
+    Cancellation is cooperative: skeletons call :meth:`check_deadline`
+    at dispatch boundaries and drop the call's remaining work when the
+    ticket is cancelled, while the deployed workers keep serving every
+    other call.
     """
+
+    #: most spans retained per ticket (newest win — a ring, not a cap)
+    SPAN_LIMIT = 256
 
     __slots__ = (
         "context_id",
@@ -261,6 +290,11 @@ class DispatchContext:
         "items",
         "hops",
         "remote_dispatches",
+        "deadline",
+        "cancelled",
+        "cancel_cause",
+        "spans",
+        "_clock",
         "_lock",
         "__weakref__",
     )
@@ -271,6 +305,7 @@ class DispatchContext:
         expected: int | None = None,
         backend: Any = None,
     ):
+        backend = backend if backend is not None else current_backend()
         self.context_id = next_dispatch_id()
         self.name = name
         self.collector = (
@@ -281,6 +316,17 @@ class DispatchContext:
         self.hops = 0
         #: servant-side executions the middlewares attributed to this call
         self.remote_dispatches = 0
+        #: per-call deadline (adopted from the admission slot, if any)
+        self.deadline = None
+        self.cancelled = False
+        self.cancel_cause: BaseException | None = None
+        #: span timeline: {"name", "start", "end"} dicts on the
+        #: backend's clock (end == start for point events).  A bounded
+        #: ring — a million-beat heartbeat keeps its newest spans, the
+        #: ticket does not accumulate per-iteration state (matching the
+        #: skeletons' own last-combined-only discipline)
+        self.spans: "deque[dict]" = deque(maxlen=self.SPAN_LIMIT)
+        self._clock = backend.now
         #: one call's pieces progress on many activities at once — the
         #: lock keeps the ticket's counters exact (never held across a
         #: blocking operation)
@@ -314,6 +360,93 @@ class DispatchContext:
         with self._lock:
             self.remote_dispatches += 1
 
+    # -- admission: deadline, cancellation, spans ---------------------------
+
+    def adopt_deadline(self, deadline: Any) -> None:
+        """Take on the submission's deadline (set by the admission slot
+        at attach time; a no-op for deadline-less submissions)."""
+        if deadline is not None:
+            self.deadline = deadline
+
+    def cancel(self, exc: BaseException) -> None:
+        """Cancel this call: latch the cause, mark the span timeline,
+        and fail the collector so any gather-side waiter unwinds with
+        ``exc`` instead of blocking on deposits that will never count.
+        Idempotent — the first cancellation wins."""
+        with self._lock:
+            if self.cancelled:
+                return
+            self.cancelled = True
+            self.cancel_cause = exc
+            now = self._clock()
+            self.spans.append({"name": "cancelled", "start": now, "end": now})
+        if self.collector is not None:
+            self.collector.fail(exc)
+
+    def expire(self, where: str = "") -> BaseException:
+        """Cancel this call with a :class:`DeadlineExceeded` carrying
+        the ticket's trace; returns the exception to raise."""
+        budget = self.deadline.budget if self.deadline is not None else None
+        suffix = f" {where}" if where else ""
+        exc = DeadlineExceeded(
+            f"{self.name}#{self.context_id}: deadline"
+            f"{f' of {budget}s' if budget is not None else ''} "
+            f"exceeded{suffix}"
+        )
+        self.cancel(exc)
+        # snapshot AFTER cancelling so the trace shows the
+        # cancellation marker at the end of the timeline
+        exc.trace = self.trace_snapshot()
+        return exc
+
+    def check_deadline(self, where: str = "") -> None:
+        """Cooperative cancellation point, called by the skeletons at
+        every dispatch boundary: raises the cancellation cause when the
+        ticket was cancelled (shed), or expires the ticket when its
+        deadline has passed."""
+        if self.cancelled and self.cancel_cause is not None:
+            raise self.cancel_cause
+        if self.deadline is not None and self.deadline.expired:
+            raise self.expire(where)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[dict]:
+        """Record one timed span of the call's timeline (split, piece
+        dispatch, merge...) on the backend's clock."""
+        entry = {"name": name, "start": self._clock(), "end": None}
+        with self._lock:
+            self.spans.append(entry)
+        try:
+            yield entry
+        finally:
+            entry["end"] = self._clock()
+
+    def mark(self, name: str) -> None:
+        """Record one point event (a forwarding hop, an exchange phase)
+        on the call's timeline."""
+        now = self._clock()
+        with self._lock:
+            self.spans.append({"name": name, "start": now, "end": now})
+
+    def trace_snapshot(self) -> dict:
+        """An immutable copy of the ticket's timeline and accounting —
+        what ``ParallelApp.trace`` returns and what
+        :class:`~repro.errors.DeadlineExceeded` carries."""
+        with self._lock:
+            return {
+                "context_id": self.context_id,
+                "name": self.name,
+                "pieces": self.pieces,
+                "items": self.items,
+                "hops": self.hops,
+                "remote_dispatches": self.remote_dispatches,
+                "cancelled": self.cancelled,
+                "deadline": (
+                    None if self.deadline is None else self.deadline.budget
+                ),
+                "spans": [dict(span) for span in self.spans],
+            }
+
     # -- collector face -----------------------------------------------------
 
     def deposit(self, item: Any) -> None:
@@ -328,6 +461,18 @@ class DispatchContext:
 
     def wait(self, timeout: float | None = None) -> list[Any]:
         return self.collector.wait(timeout)
+
+    def gather(self) -> list[Any]:
+        """Deadline-aware collector wait: bounds the block by the
+        ticket's remaining budget and converts a timeout into the
+        ticket's expiry (cancelling the call so in-flight forwards drop
+        their pieces at the next boundary)."""
+        if self.deadline is None:
+            return self.collector.wait()
+        try:
+            return self.collector.wait(self.deadline.remaining())
+        except TimeoutError:
+            raise self.expire("gathering piece results") from None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -346,6 +491,9 @@ class DispatchContextOwner:
     — the only state left on the aspect, none of it coordinating.
     """
 
+    #: completed-ticket trace snapshots retained for ``trace_of``
+    TRACE_HISTORY = 64
+
     def _init_dispatch_state(self) -> None:
         #: live in-flight tickets, context_id -> DispatchContext
         self.contexts: dict[int, DispatchContext] = {}
@@ -353,6 +501,9 @@ class DispatchContextOwner:
         self.dispatches = 0
         #: most tickets ever live at once (overlap high-water mark)
         self.peak_in_flight = 0
+        #: bounded ring of completed tickets' trace snapshots, newest
+        #: last — ``ParallelApp.trace`` resolves retired ticket ids here
+        self.trace_log: deque[dict] = deque(maxlen=self.TRACE_HISTORY)
         #: guards the table and counters above — overlapped submits hit
         #: them from many activities; held only for the mutation itself,
         #: never across a blocking operation (safe on both backends: sim
@@ -368,8 +519,18 @@ class DispatchContextOwner:
     ) -> Iterator[DispatchContext]:
         """Open a per-call ticket, make it ambient for the block, and
         retire it afterwards (the ``finally`` runs even when the call
-        fails, so the live table never leaks tickets)."""
+        fails, so the live table never leaks tickets).
+
+        When the submission carries an ambient admission envelope
+        (:func:`repro.runtime.admission.current_envelope`), the fresh
+        ticket is attached to it: the ticket adopts the submission's
+        deadline and a shed/expired slot cancels the ticket — closing
+        the race where a call is shed before its ticket even opens.
+        """
         ctx = DispatchContext(name, expected=expected, backend=backend)
+        envelope = current_envelope()
+        if envelope is not None and envelope.ticket_id is None:
+            envelope.attach(ctx)
         with self._dispatch_lock:
             self.contexts[ctx.context_id] = ctx
             self.dispatches += 1
@@ -378,8 +539,31 @@ class DispatchContextOwner:
             with use_dispatch(ctx):
                 yield ctx
         finally:
+            snapshot = ctx.trace_snapshot()
             with self._dispatch_lock:
                 self.contexts.pop(ctx.context_id, None)
+                self.trace_log.append(snapshot)
+
+    def trace_of(self, context_id: int) -> dict | None:
+        """The span timeline of one ticket — live tickets are
+        snapshotted on the fly, retired ones come from the bounded
+        history (``None`` when the id is unknown or already evicted)."""
+        live = self.contexts.get(context_id)
+        if live is not None:
+            return live.trace_snapshot()
+        with self._dispatch_lock:
+            for snapshot in reversed(self.trace_log):
+                if snapshot["context_id"] == context_id:
+                    return snapshot
+        return None
+
+    def trace_history(self) -> list[dict]:
+        """Recent ticket timelines, oldest first: the retired snapshots
+        still in the bounded history followed by every live ticket."""
+        with self._dispatch_lock:
+            retired = list(self.trace_log)
+            live = [ctx.trace_snapshot() for ctx in self.contexts.values()]
+        return retired + live
 
     @property
     def in_flight(self) -> int:

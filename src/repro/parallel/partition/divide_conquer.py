@@ -29,6 +29,7 @@ import threading
 from typing import Any, Callable, Sequence
 
 from repro.aop import abstract_pointcut, around, pointcut
+from repro.api.registry import register_strategy
 from repro.errors import AdviceError
 from repro.middleware.serialize import Serializer
 from repro.parallel.composition import ParallelModule
@@ -41,7 +42,11 @@ from repro.parallel.partition.base import (
 )
 from repro.runtime.dispatch import current_dispatch
 
-__all__ = ["DivideAndConquerAspect", "divide_and_conquer_module"]
+__all__ = [
+    "DivideAndConquerAspect",
+    "divide_and_conquer_module",
+    "divide_and_conquer_strategy",
+]
 
 
 class DivideAndConquerAspect(DispatchContextOwner, ParallelAspect):
@@ -128,6 +133,8 @@ class DivideAndConquerAspect(DispatchContextOwner, ParallelAspect):
     def _divide_and_merge(self, jp, depth: int, ctx) -> Any:
         with self._dispatch_lock:  # overlapped calls divide in parallel
             self.divisions += 1
+        if ctx is not None:
+            ctx.mark(f"divide[depth={depth}]")
         pieces = self.divide(jp.args, jp.kwargs)
         if len(pieces) <= 1:
             with self._dispatch_lock:
@@ -138,6 +145,10 @@ class DivideAndConquerAspect(DispatchContextOwner, ParallelAspect):
         try:
             for piece in pieces:
                 if ctx is not None:
+                    # deadline/shed boundary per branch: an expired
+                    # recursion stops dividing wherever it is in the
+                    # tree and unwinds through the top-level ticket
+                    ctx.check_deadline("dividing sub-problems")
                     ctx.record(piece)
                 worker = self.make_worker(jp.target)
                 self.remember_branch(worker)
@@ -153,6 +164,8 @@ class DivideAndConquerAspect(DispatchContextOwner, ParallelAspect):
             self._depth.value = depth
         results: list = []
         for piece, outcome in zip(pieces, outcomes):
+            if ctx is not None:
+                ctx.check_deadline("merging sub-results")
             results.extend(piece_results(piece, outcome))
         return self.merge(results)
 
@@ -178,3 +191,59 @@ def divide_and_conquer_module(
     module = ParallelModule(name, Concern.PARTITION, [aspect])
     module.coordinator = aspect  # type: ignore[attr-defined]
     return module
+
+
+@register_strategy("divide-conquer")
+def divide_and_conquer_strategy(
+    splitter: Any,
+    creation: str,
+    work: str,
+    name: str = "divide-and-conquer",
+    **options: Any,
+) -> ParallelModule:
+    """Registry face of the divide-and-conquer strategy.
+
+    Unlike the duplication-based strategies it takes no
+    :class:`~repro.parallel.partition.base.WorkSplitter` (branch workers
+    are cloned at call time, not built from a creation joinpoint), so a
+    ``StackSpec`` declares it with ``splitter=None`` and passes the
+    recursion hooks through ``strategy_options``::
+
+        StackSpec(
+            target=Summer,
+            work="total",
+            strategy="divide-conquer",
+            strategy_options=dict(
+                should_divide=lambda args, kwargs, depth: len(args[0]) > 4,
+                divide=halve, merge=sum,
+            ),
+        )
+
+    ``creation`` is accepted for registry-signature uniformity and
+    ignored — there is nothing to duplicate up front.
+    """
+    missing = [
+        hook
+        for hook in ("should_divide", "divide", "merge")
+        if hook not in options
+    ]
+    if missing:
+        raise AdviceError(
+            f"divide-conquer strategy needs strategy_options "
+            f"{missing} (the recursion hooks)"
+        )
+    return divide_and_conquer_module(
+        options.pop("should_divide"),
+        options.pop("divide"),
+        options.pop("merge"),
+        work=work,
+        name=name,
+        **options,
+    )
+
+
+#: StackSpec reads capability flags off the aspect class (both pack
+#: flags stay False: the work call IS the recursion) and learns from
+#: ``requires_splitter`` that this strategy takes no WorkSplitter
+divide_and_conquer_strategy.coordinator_class = DivideAndConquerAspect  # type: ignore[attr-defined]
+divide_and_conquer_strategy.requires_splitter = False  # type: ignore[attr-defined]

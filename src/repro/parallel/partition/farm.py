@@ -80,23 +80,32 @@ class FarmAspect(PartitionAspect):
         with self.dispatch_scope(
             f"farm.{jp.name}", backend=current_backend()
         ) as ctx:
-            pieces = self.splitter.split(jp.args, jp.kwargs)
+            with ctx.span("split"):
+                pieces = self.splitter.split(jp.args, jp.kwargs)
             outcomes: list[Any] = [None] * len(pieces)
             workers = self.workers
-            for piece in pieces:
-                worker = workers[piece.index % len(workers)]
-                # re-enters the chain (concurrency / distribution) through
-                # the worker's compiled plan entry — per-piece for plain
-                # pieces, per-pack through the compiled batched entry for
-                # packs (one BatchJoinPoint per pack); fetched per piece so
-                # an aspect (un)plugged mid-split applies to the remainder
-                outcomes[piece.index] = dispatch_piece(
-                    worker, jp.name, ctx.record(piece)
-                )
-            results: list[Any] = []
-            for piece in pieces:
-                results.extend(piece_results(piece, outcomes[piece.index]))
-        return self.splitter.combine(results)
+            with ctx.span("dispatch"):
+                for piece in pieces:
+                    # deadline/shed boundary: remaining pieces of an
+                    # expired or shed call are dropped, the workers move
+                    # straight on to other calls' pieces
+                    ctx.check_deadline("dispatching farm pieces")
+                    worker = workers[piece.index % len(workers)]
+                    # re-enters the chain (concurrency / distribution) through
+                    # the worker's compiled plan entry — per-piece for plain
+                    # pieces, per-pack through the compiled batched entry for
+                    # packs (one BatchJoinPoint per pack); fetched per piece so
+                    # an aspect (un)plugged mid-split applies to the remainder
+                    outcomes[piece.index] = dispatch_piece(
+                        worker, jp.name, ctx.record(piece)
+                    )
+            with ctx.span("merge"):
+                results: list[Any] = []
+                for piece in pieces:
+                    ctx.check_deadline("gathering farm piece results")
+                    results.extend(piece_results(piece, outcomes[piece.index]))
+                combined = self.splitter.combine(results)
+        return combined
 
     def route_pack(self, jp: BatchJoinPoint) -> Any:
         """Top-level pack routing: one whole submitted pack to ONE worker
@@ -110,7 +119,9 @@ class FarmAspect(PartitionAspect):
             f"farm.pack.{jp.name}", backend=current_backend()
         ) as ctx:
             ctx.record_pack(len(pieces))
-            return batched_entry(worker, jp.name)(pieces)
+            with ctx.span("dispatch"):
+                ctx.check_deadline("routing the pack")
+                return batched_entry(worker, jp.name)(pieces)
 
 
 @register_strategy("farm")

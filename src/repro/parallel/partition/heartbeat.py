@@ -89,7 +89,12 @@ class HeartbeatAspect(PartitionAspect):
         (iterations,) = jp.args or (1,)
         last_combined: Any = None
         with self.dispatch_scope(f"heartbeat.{jp.name}") as ctx:
-            for _ in range(iterations):
+            for beat in range(iterations):
+                # deadline boundary per beat: an expired or shed iterate
+                # call stops rhythm here — the ticket unwinds with the
+                # expiry (and its trace) while the block workers stay
+                # deployed, ready for the next iterate call
+                ctx.check_deadline(f"starting heartbeat iteration {beat}")
                 with self._dispatch_lock:
                     self.iterations += 1
                 # compiled plan entries re-fetched per iteration (one step
@@ -97,18 +102,21 @@ class HeartbeatAspect(PartitionAspect):
                 # keeps the per-work-item chain walk gone while preserving
                 # per-iteration granularity of "(un)plug on the fly"
                 steps = [bound_entry(worker, jp.name) for worker in self.workers]
-                # 1. compute phase: one step on every block (possibly async)
-                outcomes = [step(1) for step in steps]
-                ctx.record_pack(len(steps))  # one step per block this beat
-                results = [
-                    o.result() if isinstance(o, Future) else o
-                    for o in outcomes
-                ]
-                # only the latest combined value is retained (a long run
-                # must not accumulate per-iteration results)
-                last_combined = self.splitter.combine(results)
-                # 2. exchange phase: neighbouring blocks swap boundaries
-                self._exchange(ctx)
+                with ctx.span(f"compute[{beat}]"):
+                    # 1. compute phase: one step on every block (possibly async)
+                    outcomes = [step(1) for step in steps]
+                    ctx.record_pack(len(steps))  # one step per block this beat
+                    results = [
+                        o.result() if isinstance(o, Future) else o
+                        for o in outcomes
+                    ]
+                with ctx.span(f"merge[{beat}]"):
+                    # only the latest combined value is retained (a long run
+                    # must not accumulate per-iteration results)
+                    last_combined = self.splitter.combine(results)
+                with ctx.span(f"exchange[{beat}]"):
+                    # 2. exchange phase: neighbouring blocks swap boundaries
+                    self._exchange(ctx)
         return last_combined
 
     def _exchange(self, ctx=None) -> None:
@@ -128,6 +136,12 @@ class HeartbeatAspect(PartitionAspect):
         last = len(workers) - 1
         boundaries: dict[tuple[int, str], Any] = {}
         for index, worker in enumerate(workers):
+            # mid-exchange deadline boundary: a deadline that runs out
+            # while halos are being gathered stops the exchange before
+            # the next worker is touched — the ticket unwinds, the
+            # workers' boundary state for OTHER calls is untouched
+            if ctx is not None:
+                ctx.check_deadline("gathering heartbeat boundaries")
             sides = []
             if index < last:
                 sides.append("bottom")  # read by the pair below
@@ -142,6 +156,14 @@ class HeartbeatAspect(PartitionAspect):
             )
             for side, value in zip(sides, values):
                 boundaries[(index, side)] = self._value(value)
+        # ONE deadline check before the write phase, not per worker: the
+        # block grid is shared state across iterate calls, so a scatter
+        # must apply atomically — aborting half-way would leave some
+        # blocks with new halos and some with stale ones, corrupting
+        # every subsequent call's input.  (The gather checks above are
+        # per-worker because reads cannot damage shared state.)
+        if ctx is not None:
+            ctx.check_deadline("scattering heartbeat boundaries")
         for index, worker in enumerate(workers):
             updates = []
             if index > 0:

@@ -109,15 +109,20 @@ class PipelineSplitAspect(PartitionAspect):
         with self.dispatch_scope(
             f"pipeline.{jp.name}", expected=expected, backend=current_backend()
         ) as ctx:
-            for piece in pieces:
-                # re-enters the chain through the head stage's compiled
-                # plan entry; packs enter through the compiled batched
-                # entry.  The ambient ticket follows the piece across the
-                # spawned per-call activities, so the tail deposits into
-                # THIS call's collector however many splits are in flight.
-                dispatch_piece(head, jp.name, ctx.record(piece))
-            results = ctx.wait()
-        return self.splitter.combine(results)
+            with ctx.span("dispatch"):
+                for piece in pieces:
+                    # re-enters the chain through the head stage's compiled
+                    # plan entry; packs enter through the compiled batched
+                    # entry.  The ambient ticket follows the piece across the
+                    # spawned per-call activities, so the tail deposits into
+                    # THIS call's collector however many splits are in flight.
+                    ctx.check_deadline("feeding the pipeline head")
+                    dispatch_piece(head, jp.name, ctx.record(piece))
+            with ctx.span("gather"):
+                results = ctx.gather()
+            with ctx.span("merge"):
+                combined = self.splitter.combine(results)
+        return combined
 
     def route_pack(self, jp: BatchJoinPoint, head: Any) -> list:
         """Top-level pack routing: feed a whole submitted pack into the
@@ -135,8 +140,11 @@ class PipelineSplitAspect(PartitionAspect):
             backend=current_backend(),
         ) as ctx:
             ctx.record_pack(len(pieces))
-            batched_entry(head, jp.name)(pieces)
-            return ctx.wait()
+            with ctx.span("dispatch"):
+                ctx.check_deadline("feeding the pipeline head")
+                batched_entry(head, jp.name)(pieces)
+            with ctx.span("gather"):
+                return ctx.gather()
 
 
 class PipelineForwardAspect(ParallelAspect):
@@ -172,6 +180,12 @@ class PipelineForwardAspect(ParallelAspect):
         if key not in co.next:
             return jp.proceed()  # not an aspect-managed stage
         ctx = current_dispatch()
+        # the originating call may already be gone (shed, or its
+        # deadline expired): drop the piece instead of processing it —
+        # the collector is latched, the waiter has failed, and this
+        # stage goes straight back to serving other calls' pieces
+        if ctx is not None and ctx.cancelled:
+            return None
         # fail fast on ANY failure this side of the hop — the stage's own
         # processing AND the forwarding step (forward_args, the next
         # stage's dispatch): wake the originating call's waiter with the
@@ -181,6 +195,17 @@ class PipelineForwardAspect(ParallelAspect):
         try:
             result = jp.proceed()  # the stage's own processing
             nxt = co.next[key]
+            # mid-forward deadline boundary: a deadline that ran out
+            # while this stage processed unwinds HERE — the ticket is
+            # expired (latching DeadlineExceeded with its trace into the
+            # originating collector) and the piece never reaches the
+            # next stage
+            if ctx is not None:
+                if ctx.cancelled:
+                    return None
+                if ctx.deadline is not None and ctx.deadline.expired:
+                    ctx.expire("forwarding between pipeline stages")
+                    return None
             if isinstance(jp, BatchJoinPoint):
                 return self._forward_batch(jp, result, nxt, ctx)
             if nxt is not None:
@@ -188,6 +213,7 @@ class PipelineForwardAspect(ParallelAspect):
                     self.forwards += 1
                 if ctx is not None:
                     ctx.advance()
+                    ctx.mark("forward")
                 args, kwargs = co.splitter.forward_args(
                     result, jp.args, jp.kwargs
                 )
@@ -215,6 +241,7 @@ class PipelineForwardAspect(ParallelAspect):
                 self.forwards += 1
             if ctx is not None:
                 ctx.advance()
+                ctx.mark("forward")
             items = []
             # jp.args[0] is the pack at this advice level — an outer
             # around may have substituted it via proceed(new_pieces)

@@ -2,6 +2,14 @@
 futures with wait-by-necessity, and active objects."""
 
 from repro.runtime.active import ActiveObject
+from repro.runtime.admission import (
+    OVERFLOW_POLICIES,
+    AdmissionController,
+    AdmissionSlot,
+    Deadline,
+    current_envelope,
+    use_envelope,
+)
 from repro.runtime.backend import (
     ExecutionBackend,
     TaskHandle,
@@ -36,4 +44,10 @@ __all__ = [
     "use_dispatch",
     "dispatch_id",
     "find_dispatch",
+    "OVERFLOW_POLICIES",
+    "AdmissionController",
+    "AdmissionSlot",
+    "Deadline",
+    "current_envelope",
+    "use_envelope",
 ]

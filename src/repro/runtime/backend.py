@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import abc
 import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
@@ -89,6 +90,16 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def make_queue(self, name: str = "queue") -> Any:
         """A FIFO with blocking ``get()`` and ``put(item)``."""
+
+    def now(self) -> float:
+        """This backend's monotonic clock, in seconds.
+
+        Deadlines and tracing spans are measured against the clock of
+        the backend the call runs on: wall time for real threads, the
+        simulator's virtual time for simulated processes — so a
+        ``timeout=`` means the same thing in both execution modes.
+        """
+        return time.monotonic()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"

@@ -83,6 +83,11 @@ class SimBackend(ExecutionBackend):
     def make_queue(self, name: str = "queue") -> SimQueue:
         return SimQueue(self.sim, name=name)
 
+    def now(self) -> float:
+        # deadlines on the sim backend are measured in *virtual* time,
+        # so a timeout= interacts with the cost model, not the wall clock
+        return self.sim.now
+
 
 @register_backend("sim")
 def _make_sim_backend(cluster: Any = None, sim: Any = None) -> SimBackend:

@@ -91,6 +91,38 @@ class TestValidation:
     def test_none_strategy_needs_no_splitter(self):
         widget_spec(strategy="none", splitter=None).validate()
 
+    def test_divide_conquer_strategy_needs_no_splitter(self):
+        # the registered builder declares requires_splitter=False: the
+        # recursion hooks ride in strategy_options instead
+        widget_spec(
+            strategy="divide-conquer",
+            splitter=None,
+            strategy_options=dict(
+                should_divide=lambda a, k, d: False,
+                divide=lambda a, k: [],
+                merge=sum,
+            ),
+        ).validate()
+
+    def test_max_in_flight_must_be_positive(self):
+        with pytest.raises(DeploymentError, match="max_in_flight"):
+            widget_spec(max_in_flight=0).validate()
+        widget_spec(max_in_flight=1).validate()
+        widget_spec(max_in_flight=None).validate()
+
+    def test_overflow_policy_names_are_validated(self):
+        with pytest.raises(DeploymentError, match="overflow policy"):
+            widget_spec(overflow="panic").validate()
+        for policy in ("block", "fail", "shed-oldest"):
+            widget_spec(max_in_flight=2, overflow=policy).validate()
+
+    def test_timeout_must_be_positive_seconds(self):
+        with pytest.raises(DeploymentError, match="timeout"):
+            widget_spec(timeout=0).validate()
+        with pytest.raises(DeploymentError, match="timeout"):
+            widget_spec(timeout=-1.5).validate()
+        widget_spec(timeout=0.5).validate()
+
     def test_middleware_needs_cluster(self):
         with pytest.raises(DeploymentError, match="needs a cluster"):
             widget_spec(middleware="rmi").validate()

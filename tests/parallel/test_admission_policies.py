@@ -1,0 +1,380 @@
+"""Admission control end to end: overlapped submissions beyond
+``max_in_flight`` observably block / fail / shed per policy, on all five
+partition strategies and both execution backends.
+
+Thread-backend tests hold every in-flight call on a class gate so the
+table is provably full when the policy fires; sim-backend tests rely on
+the driver process submitting without yielding (slots are acquired
+synchronously in ``submit``), which makes the overflow deterministic
+without gates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import ParallelApp, StackSpec
+from repro.cluster import paper_testbed
+from repro.errors import AdmissionRejected, CallShed
+from repro.parallel import WorkSplitter
+from repro.parallel.partition import CallPiece
+from repro.sim import Simulator
+
+STRATEGIES = ["farm", "dynamic-farm", "pipeline", "heartbeat", "divide-conquer"]
+
+
+def wait_until(cond, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if cond():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class Echo:
+    """Gated doubling worker (farm / dynamic-farm / pipeline target)."""
+
+    gate: threading.Event | None = None
+
+    def __init__(self, tag=0):
+        self.tag = tag
+
+    def bump(self, values):
+        if Echo.gate is not None:
+            Echo.gate.wait(5)
+        return [v * 2 for v in values]
+
+
+class Block:
+    """Gated heartbeat target: unit residual + no-op halo accessors."""
+
+    gate: threading.Event | None = None
+
+    def __init__(self, size=4):
+        self.size = size
+
+    def step(self, iterations):
+        if Block.gate is not None:
+            Block.gate.wait(5)
+        return 1.0
+
+    def get_boundary(self, side):
+        return 0.0
+
+    def set_boundary(self, side, data):
+        return None
+
+
+class Summer:
+    """Gated divide-and-conquer target."""
+
+    gate: threading.Event | None = None
+
+    def total(self, values):
+        if Summer.gate is not None:
+            Summer.gate.wait(5)
+        return sum(values)
+
+
+def _dnc_options():
+    return dict(
+        should_divide=lambda args, kwargs, depth: len(args[0]) > 4,
+        divide=lambda args, kwargs: [
+            CallPiece(0, (args[0][: len(args[0]) // 2],)),
+            CallPiece(1, (args[0][len(args[0]) // 2:],)),
+        ],
+        merge=sum,
+    )
+
+
+class Case:
+    """One strategy's target, spec fields, payloads, and expectations."""
+
+    def __init__(self, strategy):
+        self.strategy = strategy
+        if strategy in ("farm", "dynamic-farm", "pipeline"):
+            self.target, self.start_args = Echo, ()
+            self.fields = dict(
+                target=Echo,
+                work="bump",
+                splitter=WorkSplitter(duplicates=2, combine=lambda rs: rs[0]),
+                strategy=strategy,
+            )
+            factor = 4 if strategy == "pipeline" else 2
+            self.payload = lambda i: ([i, i + 10],)
+            self.expected = lambda i: [i * factor, (i + 10) * factor]
+        elif strategy == "heartbeat":
+            self.target, self.start_args = Block, (4,)
+            self.fields = dict(
+                target=Block,
+                work="step",
+                splitter=WorkSplitter(duplicates=2, combine=sum),
+                strategy="heartbeat",
+            )
+            self.payload = lambda i: (2,)
+            self.expected = lambda i: 2.0
+        else:  # divide-conquer
+            self.target, self.start_args = Summer, ()
+            self.fields = dict(
+                target=Summer,
+                work="total",
+                strategy="divide-conquer",
+                strategy_options=_dnc_options(),
+            )
+            self.payload = lambda i: (list(range(i, i + 8)),)
+            self.expected = lambda i: sum(range(i, i + 8))
+
+    def thread_app(self, **admission):
+        return ParallelApp(
+            StackSpec(backend="thread", **self.fields, **admission)
+        )
+
+    def sim_app(self, sim, **admission):
+        fields = dict(self.fields)
+        if self.strategy == "divide-conquer":
+            # branch workers are call-time clones, not exported servants
+            fields.update(backend="sim")
+            app = ParallelApp(StackSpec(**fields, **admission))
+        else:
+            fields.update(
+                middleware="mpp", cluster=paper_testbed(sim), backend="sim"
+            )
+            app = ParallelApp(StackSpec(**fields, **admission))
+        return app
+
+
+@pytest.fixture(autouse=True)
+def clear_gates():
+    Echo.gate = Block.gate = Summer.gate = None
+    yield
+    Echo.gate = Block.gate = Summer.gate = None
+
+
+class TestThreadPolicies:
+    """Gate-held overlap on real threads: the table is provably full."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_fail_rejects_beyond_max_in_flight(self, strategy):
+        case = Case(strategy)
+        app = case.thread_app(max_in_flight=2, overflow="fail")
+        case.target.gate = threading.Event()
+        with app:
+            app.start(*case.start_args)
+            futures = [app.submit(*case.payload(i)) for i in range(2)]
+            assert app.admitted == 2  # slots acquired synchronously
+            with pytest.raises(AdmissionRejected, match="2 calls already"):
+                app.submit(*case.payload(2))
+            assert app.admission.rejected == 1
+            case.target.gate.set()
+            results = [f.result(timeout=10) for f in futures]
+        assert results == [case.expected(i) for i in range(2)]
+        assert wait_until(lambda: app.admitted == 0)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_shed_oldest_cancels_oldest_in_flight_call(self, strategy):
+        case = Case(strategy)
+        app = case.thread_app(max_in_flight=1, overflow="shed-oldest")
+        case.target.gate = threading.Event()
+        with app:
+            app.start(*case.start_args)
+            oldest = app.submit(*case.payload(0))
+            newest = app.submit(*case.payload(1))  # sheds `oldest`
+            assert app.admission.shed_calls == 1
+            assert oldest.admission.cancelled
+            case.target.gate.set()
+            assert newest.result(timeout=10) == case.expected(1)
+            with pytest.raises(CallShed):
+                oldest.result(timeout=10)
+        assert wait_until(lambda: app.admitted == 0)
+        assert app.in_flight == 0  # shed tickets retired, none leaked
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_block_parks_submitter_until_a_slot_frees(self, strategy):
+        case = Case(strategy)
+        app = case.thread_app(max_in_flight=1, overflow="block")
+        case.target.gate = threading.Event()
+        second: dict = {}
+        with app:
+            app.start(*case.start_args)
+            first = app.submit(*case.payload(0))
+
+            def blocked_submitter():
+                second["future"] = app.submit(*case.payload(1))
+
+            thread = threading.Thread(target=blocked_submitter)
+            thread.start()
+            assert wait_until(lambda: app.admission.waiting == 1)
+            assert "future" not in second  # genuinely parked
+            case.target.gate.set()  # first call drains, hands its slot off
+            thread.join(timeout=10)
+            assert first.result(timeout=10) == case.expected(0)
+            assert second["future"].result(timeout=10) == case.expected(1)
+        assert app.admission.blocked == 1
+        assert wait_until(lambda: app.admitted == 0)
+
+
+class TestReleaseOrdering:
+    def test_slot_freed_before_the_future_resolves(self):
+        # regression: the slot used to be released only AFTER
+        # future.set_result, so a caller waking from result() could be
+        # spuriously rejected while the finished call still held its
+        # slot.  Release-before-resolve makes this loop deterministic.
+        case = Case("farm")
+        app = case.thread_app(max_in_flight=1, overflow="fail")
+        with app:
+            app.start()
+            for i in range(8):
+                future = app.submit(*case.payload(i))
+                assert future.result(timeout=10) == case.expected(i)
+                # the moment result() returns, the slot must be free
+                follow_up = app.submit(*case.payload(i))
+                assert follow_up.result(timeout=10) == case.expected(i)
+
+
+class TestMapUnderAdmission:
+    """map() reflects each unit's admission outcome in its own future —
+    a rejected unit never strands the group or the in-flight work."""
+
+    def test_rejected_map_units_fail_their_own_futures(self):
+        case = Case("farm")
+        app = case.thread_app(max_in_flight=2, overflow="fail")
+        Echo.gate = threading.Event()
+        with app:
+            app.start(*case.start_args)
+            group = app.map([case.payload(i)[0] for i in range(4)])
+            assert len(group) == 4  # every handle reachable
+            Echo.gate.set()
+            results = []
+            for i, future in enumerate(group):
+                try:
+                    results.append(future.result(timeout=10))
+                except AdmissionRejected:
+                    results.append("rejected")
+            # the first two units dispatched; the overflow units were
+            # rejected individually, not lost
+            assert results[:2] == [case.expected(0), case.expected(1)]
+            assert results[2:] == ["rejected", "rejected"]
+        assert wait_until(lambda: app.admitted == 0)
+
+    def test_rejected_packs_fail_their_own_futures(self):
+        class Service:
+            gate: threading.Event | None = None
+
+            def __init__(self, tag=0):
+                self.tag = tag
+
+            def handle(self, x):
+                if Service.gate is not None:
+                    Service.gate.wait(5)
+                return x + 1
+
+        app = ParallelApp(
+            StackSpec(
+                target=Service,
+                work="handle",
+                splitter=WorkSplitter(duplicates=2, combine=lambda rs: rs[0]),
+                strategy="farm",
+                backend="thread",
+                max_in_flight=1,
+                overflow="fail",
+            )
+        )
+        Service.gate = threading.Event()
+        try:
+            with app:
+                app.start()
+                group = app.map(list(range(4)), pack=2)  # 2 packs, 1 slot
+                assert len(group) == 4
+                Service.gate.set()
+                outcomes = []
+                for future in group:
+                    try:
+                        outcomes.append(future.result(timeout=10))
+                    except AdmissionRejected:
+                        outcomes.append("rejected")
+                assert outcomes == [1, 2, "rejected", "rejected"]
+        finally:
+            Service.gate = None
+
+
+class TestSimPolicies:
+    """The same three policies on the simulated cluster: slots are
+    acquired synchronously by the (non-yielding) driver, so overflow is
+    deterministic without gates."""
+
+    def _drive(self, case, policy, body):
+        sim = Simulator()
+        app = case.sim_app(
+            sim,
+            max_in_flight=1 if policy != "fail" else 2,
+            overflow=policy,
+        )
+        driver_sim = app.sim if app.spec.cluster is None else sim
+        out: dict = {}
+        try:
+            with app:
+                driver_sim.spawn(lambda: body(app, out), name="admission-driver")
+                driver_sim.run()
+        finally:
+            driver_sim.shutdown()
+            if driver_sim is not sim:
+                sim.shutdown()
+        return app, out
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_fail_rejects_beyond_max_in_flight(self, strategy):
+        case = Case(strategy)
+
+        def body(app, out):
+            app.start(*case.start_args)
+            futures = [app.submit(*case.payload(i)) for i in range(2)]
+            try:
+                app.submit(*case.payload(2))
+            except AdmissionRejected:
+                out["rejected"] = True
+            out["results"] = [f.result() for f in futures]
+
+        app, out = self._drive(case, "fail", body)
+        assert out["rejected"]
+        assert out["results"] == [case.expected(i) for i in range(2)]
+        assert app.admission.rejected == 1
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_shed_oldest_cancels_oldest_in_flight_call(self, strategy):
+        case = Case(strategy)
+
+        def body(app, out):
+            app.start(*case.start_args)
+            oldest = app.submit(*case.payload(0))
+            newest = app.submit(*case.payload(1))
+            out["newest"] = newest.result()
+            try:
+                oldest.result()
+            except CallShed:
+                out["shed"] = True
+
+        app, out = self._drive(case, "shed-oldest", body)
+        assert out["shed"]
+        assert out["newest"] == case.expected(1)
+        assert app.admission.shed_calls == 1
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_block_parks_submitter_until_a_slot_frees(self, strategy):
+        case = Case(strategy)
+
+        def body(app, out):
+            app.start(*case.start_args)
+            first = app.submit(*case.payload(0))
+            # this admit parks the driver process until the first call
+            # completes and hands its slot over
+            second = app.submit(*case.payload(1))
+            out["results"] = [first.result(), second.result()]
+
+        app, out = self._drive(case, "block", body)
+        assert out["results"] == [case.expected(i) for i in range(2)]
+        assert app.admission.blocked == 1
+        assert app.admission.peak_admitted == 1  # never two slots at once

@@ -94,6 +94,53 @@ class TestResultCollector:
                 collector.wait(timeout=1)
             assert info.value is first
 
+    def test_fail_racing_timed_wait_reports_failure_not_timeout(self):
+        # regression (lock-ordering): a fail() latching exactly as a
+        # timed wait() gives up used to surface as a bare TimeoutError
+        # ("collector got n/m results") — the interleaving is forced
+        # deterministically by latching the failure from inside the
+        # event wait itself, then reporting the wait as timed out
+        with use_backend(ThreadBackend()):
+            collector = ResultCollector(3)
+            collector.deposit("partial")
+            boom = ValueError("worker exploded mid-wait")
+            real_event = collector._done
+
+            class RacingEvent:
+                def set(self, value=None):
+                    pass  # swallow fail()'s wakeup: the timeout "wins"
+
+                def wait(self, timeout=None):
+                    collector.fail(boom)  # latches during the wait window
+                    return False  # ...and the timed wait "times out"
+
+            collector._done = RacingEvent()
+            try:
+                with pytest.raises(ValueError) as info:
+                    collector.wait(timeout=0.01)
+            finally:
+                collector._done = real_event
+            assert info.value is boom
+
+    def test_late_deposits_after_failure_latch_are_dropped(self):
+        # regression (lock-ordering): deposits completing after the
+        # failure latch used to keep counting toward `expected`,
+        # delivering partial results for a call that already failed
+        with use_backend(ThreadBackend()):
+            collector = ResultCollector(2)
+            collector.deposit("first")
+            boom = RuntimeError("latched")
+            collector.fail(boom)
+            collector.deposit("straggler-1")
+            collector.deposit("straggler-2")
+            assert len(collector) == 1  # stragglers dropped, not counted
+            with pytest.raises(RuntimeError) as info:
+                collector.wait(timeout=1)
+            assert info.value is boom
+            # and an untimed wait after the latch fails the same way
+            with pytest.raises(RuntimeError):
+                collector.wait()
+
 
 def weave_counter():
     class Counter:

@@ -1,0 +1,200 @@
+"""Admission-control units: deadlines, the bounded slot table, and the
+three overflow policies, plus the envelope→ticket linkage."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionRejected, CallShed, DeadlineExceeded
+from repro.parallel.partition.base import DispatchContext
+from repro.runtime import (
+    AdmissionController,
+    Deadline,
+    ThreadBackend,
+    current_envelope,
+    use_backend,
+    use_envelope,
+)
+
+
+class TestDeadline:
+    def test_counts_down_on_the_given_clock(self):
+        clock = {"t": 100.0}
+        deadline = Deadline(5.0, clock=lambda: clock["t"])
+        assert not deadline.expired
+        assert deadline.remaining() == 5.0
+        clock["t"] = 104.0
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock["t"] = 106.0
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_deadline_exceeded_with_context(self):
+        clock = {"t": 0.0}
+        deadline = Deadline(1.0, clock=lambda: clock["t"])
+        deadline.check("early")  # within budget: no-op
+        clock["t"] = 2.0
+        with pytest.raises(DeadlineExceeded, match="1.0s exceeded mid-hop"):
+            deadline.check("mid-hop", trace={"spans": []})
+
+    def test_backend_clocks_feed_deadlines(self):
+        backend = ThreadBackend()
+        deadline = Deadline(60.0, clock=backend.now)
+        assert not deadline.expired
+        assert 59.0 < deadline.remaining() <= 60.0
+
+
+class TestPolicies:
+    def controller(self, limit, policy):
+        return AdmissionController(
+            limit=limit, policy=policy, backend=ThreadBackend(), name="t"
+        )
+
+    def test_unbounded_controller_never_blocks(self):
+        ctrl = AdmissionController(backend=ThreadBackend())
+        slots = [ctrl.admit(name=f"c{i}") for i in range(64)]
+        assert ctrl.admitted == 64
+        for slot in slots:
+            slot.release()
+        assert ctrl.admitted == 0
+        assert ctrl.peak_admitted == 64
+
+    def test_fail_policy_rejects_beyond_limit(self):
+        ctrl = self.controller(2, "fail")
+        first, second = ctrl.admit(name="a"), ctrl.admit(name="b")
+        with pytest.raises(AdmissionRejected, match="2 calls already"):
+            ctrl.admit(name="c")
+        assert ctrl.rejected == 1
+        first.release()
+        third = ctrl.admit(name="c")  # a freed slot admits again
+        assert ctrl.admitted == 2
+        second.release(), third.release()
+
+    def test_release_is_idempotent(self):
+        ctrl = self.controller(1, "fail")
+        slot = ctrl.admit(name="a")
+        slot.release()
+        slot.release()  # double release must not free a phantom slot
+        b = ctrl.admit(name="b")
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit(name="c")
+        b.release()
+
+    def test_shed_oldest_cancels_the_oldest_live_call(self):
+        ctrl = self.controller(2, "shed-oldest")
+        oldest = ctrl.admit(name="oldest")
+        middle = ctrl.admit(name="middle")
+        newest = ctrl.admit(name="newest")  # sheds `oldest`, admits
+        assert oldest.cancelled
+        assert isinstance(oldest.cancel_cause, CallShed)
+        assert "oldest" in str(oldest.cancel_cause)
+        assert not middle.cancelled and not newest.cancelled
+        assert ctrl.shed_calls == 1
+        assert ctrl.admitted == 2
+
+    def test_shed_cancellation_reaches_an_attached_ticket(self):
+        ctrl = self.controller(1, "shed-oldest")
+        with use_backend(ThreadBackend()):
+            slot = ctrl.admit(name="victim")
+            ctx = DispatchContext("victim.call", expected=2)
+            slot.attach(ctx)
+            assert slot.ticket_id == ctx.context_id
+            ctrl.admit(name="newcomer")
+            assert ctx.cancelled
+            with pytest.raises(CallShed):
+                ctx.wait(timeout=1)  # the latched collector fails fast
+
+    def test_cancel_before_attach_cancels_ticket_at_attach_time(self):
+        ctrl = self.controller(1, "shed-oldest")
+        with use_backend(ThreadBackend()):
+            slot = ctrl.admit(name="early-victim")
+            ctrl.admit(name="newcomer")  # shed before any ticket opened
+            assert slot.cancelled
+            ctx = DispatchContext("late.call")
+            slot.attach(ctx)  # the race is closed at attach time
+            assert ctx.cancelled
+            with pytest.raises(CallShed):
+                ctx.check_deadline()
+
+    def test_block_policy_hands_slot_to_fifo_waiter(self):
+        ctrl = self.controller(1, "block")
+        held = ctrl.admit(name="holder")
+        order: list[str] = []
+
+        def blocked_submitter():
+            slot = ctrl.admit(name="waiter")
+            order.append("admitted")
+            slot.release()
+
+        thread = threading.Thread(target=blocked_submitter)
+        thread.start()
+        deadline = time.time() + 2
+        while ctrl.waiting < 1 and time.time() < deadline:
+            time.sleep(0.005)
+        assert ctrl.waiting == 1
+        assert order == []  # genuinely parked
+        held.release()  # direct hand-off wakes the waiter
+        thread.join(timeout=2)
+        assert order == ["admitted"]
+        assert ctrl.admitted == 0
+
+    def test_blocked_admission_gives_up_when_deadline_drains(self):
+        ctrl = self.controller(1, "block")
+        held = ctrl.admit(name="holder")
+        deadline = Deadline(0.05, clock=time.monotonic)
+        with pytest.raises(AdmissionRejected, match="ran out of deadline"):
+            ctrl.admit(deadline=deadline, name="impatient")
+        assert ctrl.waiting == 0  # the timed-out waiter was dequeued
+        held.release()
+
+    def test_delivered_slot_cannot_be_cancelled_or_shed(self):
+        # check-then-act closure: finish() atomically closes the slot
+        # for delivery, so a shed racing completion is a no-op — and a
+        # cancel that won first makes finish() return the cause
+        ctrl = self.controller(1, "shed-oldest")
+        done = ctrl.admit(name="done")
+        assert done.finish() is None
+        ctrl.admit(name="newcomer")  # must not shed the delivered call
+        assert not done.cancelled
+        shed_first = AdmissionController(
+            limit=None, backend=ThreadBackend()
+        ).admit(name="victim")
+        shed_first.cancel(CallShed("gone"))
+        cause = shed_first.finish()
+        assert isinstance(cause, CallShed)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="max_in_flight"):
+            AdmissionController(limit=0)
+        with pytest.raises(ValueError, match="overflow policy"):
+            AdmissionController(limit=1, policy="panic")
+
+
+class TestEnvelope:
+    def test_envelope_is_ambient_and_nests(self):
+        ctrl = AdmissionController(backend=ThreadBackend())
+        outer, inner = ctrl.admit(name="outer"), ctrl.admit(name="inner")
+        assert current_envelope() is None
+        with use_envelope(outer):
+            assert current_envelope() is outer
+            with use_envelope(inner):
+                assert current_envelope() is inner
+            assert current_envelope() is outer
+        assert current_envelope() is None
+
+    def test_none_envelope_is_a_passthrough(self):
+        with use_envelope(None):
+            assert current_envelope() is None
+
+    def test_attach_adopts_the_slot_deadline(self):
+        ctrl = AdmissionController(backend=ThreadBackend())
+        deadline = Deadline(30.0, clock=time.monotonic)
+        slot = ctrl.admit(deadline=deadline, name="timed")
+        with use_backend(ThreadBackend()):
+            ctx = DispatchContext("timed.call")
+            slot.attach(ctx)
+            assert ctx.deadline is deadline
+            ctx.check_deadline()  # plenty of budget: no-op

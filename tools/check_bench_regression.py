@@ -1,23 +1,30 @@
 #!/usr/bin/env python3
-"""CI gate for the overlapped-submit benchmark pair.
+"""CI gate over EVERY committed benchmark pair.
 
 Reads ``benchmarks/BENCH_dispatch.json`` (after ``make bench-smoke``
-appended the current run) and compares the **pair ratio**
+appended the current run) and, for each pair declared in
+``tools/bench_gates.json``, compares the **within-run mean ratio**
 
-    mean(test_submit_overlapped_pipeline) / mean(test_submit_serial_pipeline)
+    mean(numerator bench) / mean(denominator bench)
 
 of the latest run against the committed trajectory (the median ratio of
-all earlier runs that contain the pair).  Using the within-run ratio —
-not absolute means — keeps the gate meaningful across machines of
-different speeds: a regression means overlapped submissions lost ground
-*relative to serial ones on the same box*, i.e. the per-call dispatch
-contexts stopped overlapping.
+all earlier runs that contain the pair).  Using within-run ratios — not
+absolute means — keeps the gate meaningful across machines of different
+speeds: a regression means the optimised side lost ground *relative to
+its baseline on the same box*.
 
-Fails (exit 1) when the current ratio exceeds the baseline by more than
-``BENCH_REGRESSION_THRESHOLD`` (default 0.25 = 25%).  Exits 0 with a
-notice when the trajectory has no earlier run with the pair (first run
-after the pair landed) or the JSON is missing (fresh checkout without a
-bench run).
+A pair fails when its current ratio exceeds ``baseline * (1 +
+max_regression)`` (per-pair threshold from the config;
+``BENCH_REGRESSION_THRESHOLD`` overrides ALL thresholds when set).  A
+pair whose benches are missing from the latest run fails too — a gate
+that silently stops measuring is worse than a red one.  Pairs with no
+earlier baseline are skipped with a notice (first run after the pair
+lands).
+
+Every failing pair is reported as a GitHub Actions ``::error``
+annotation naming the pair (so the regression is visible on the PR
+without opening the log) in addition to the human-readable verdict and
+the non-zero exit code.
 """
 
 from __future__ import annotations
@@ -28,29 +35,110 @@ import statistics
 import sys
 from pathlib import Path
 
-OVERLAPPED = "test_submit_overlapped_pipeline"
-SERIAL = "test_submit_serial_pipeline"
+TOOLS_DIR = Path(__file__).resolve().parent
+DEFAULT_CONFIG = TOOLS_DIR / "bench_gates.json"
 
 
 def results_path() -> Path:
     override = os.environ.get("REPRO_BENCH_JSON")
     if override:
         return Path(override)
-    return Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_dispatch.json"
+    return TOOLS_DIR.parent / "benchmarks" / "BENCH_dispatch.json"
 
 
-def pair_ratio(run: dict) -> float | None:
-    """The overlapped/serial mean ratio of one run, or None."""
+def config_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_GATES")
+    if override:
+        return Path(override)
+    return DEFAULT_CONFIG
+
+
+def pair_ratio(run: dict, numerator: str, denominator: str) -> float | None:
+    """The numerator/denominator mean ratio of one run, or None."""
     benches = run.get("benchmarks", {})
-    overlapped = benches.get(OVERLAPPED, {}).get("mean")
-    serial = benches.get(SERIAL, {}).get("mean")
-    if not overlapped or not serial:
+    num = benches.get(numerator, {}).get("mean")
+    den = benches.get(denominator, {}).get("mean")
+    if not num or not den:
         return None
-    return overlapped / serial
+    return num / den
+
+
+def annotate_error(title: str, message: str) -> None:
+    """Emit a GitHub Actions error annotation (a harmless plain line
+    anywhere else)."""
+    print(f"::error title={title}::{message}")
+
+
+def check_pair(pair: dict, runs: list[dict], override: float | None) -> str:
+    """Gate one pair; returns 'ok', 'skip', or 'fail' (already printed)."""
+    name = pair["name"]
+    numerator, denominator = pair["numerator"], pair["denominator"]
+    threshold = override if override is not None else float(
+        pair.get("max_regression", 0.25)
+    )
+    current = pair_ratio(runs[-1], numerator, denominator)
+    if current is None:
+        print(
+            f"bench-check[{name}]: latest run lacks the "
+            f"{numerator}/{denominator} pair — did bench-smoke run "
+            f"bench_aop_dispatch.py?"
+        )
+        annotate_error(
+            f"bench pair missing: {name}",
+            f"the latest bench run did not record {numerator} / "
+            f"{denominator}; the gate cannot measure this pair",
+        )
+        return "fail"
+    prior = [
+        r
+        for r in (
+            pair_ratio(run, numerator, denominator) for run in runs[:-1]
+        )
+        if r is not None
+    ]
+    if not prior:
+        print(
+            f"bench-check[{name}]: no committed baseline yet "
+            f"(current ratio {current:.3f}) — skipping"
+        )
+        return "skip"
+    baseline = statistics.median(prior)
+    limit = baseline * (1.0 + threshold)
+    verdict = "OK" if current <= limit else "REGRESSION"
+    print(
+        f"bench-check[{name}]: ratio {current:.3f} vs baseline "
+        f"{baseline:.3f} (median of {len(prior)} runs), limit "
+        f"{limit:.3f} [+{threshold:.0%}] -> {verdict}"
+    )
+    if current > limit:
+        meaning = pair.get("meaning", "the optimised side lost ground")
+        print(f"bench-check[{name}]: {meaning}")
+        annotate_error(
+            f"bench regression: {name}",
+            f"pair ratio {current:.3f} exceeded limit {limit:.3f} "
+            f"(baseline {baseline:.3f} +{threshold:.0%}) — {meaning}",
+        )
+        return "fail"
+    return "ok"
 
 
 def main() -> int:
-    threshold = float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.25"))
+    override_env = os.environ.get("BENCH_REGRESSION_THRESHOLD")
+    override = float(override_env) if override_env else None
+    config_file = config_path()
+    if not config_file.exists():
+        annotate_error(
+            "bench gate config missing",
+            f"{config_file} not found — the regression gate has no pairs",
+        )
+        return 1
+    pairs = json.loads(config_file.read_text()).get("pairs", [])
+    if not pairs:
+        annotate_error(
+            "bench gate config empty",
+            f"{config_file} declares no pairs — the gate gates nothing",
+        )
+        return 1
     path = results_path()
     if not path.exists():
         print(f"bench-check: {path} not found (no bench run?) — skipping")
@@ -59,35 +147,14 @@ def main() -> int:
     if not runs:
         print("bench-check: trajectory has no runs — skipping")
         return 0
-    current = pair_ratio(runs[-1])
-    if current is None:
-        print(
-            f"bench-check: latest run lacks the {OVERLAPPED}/{SERIAL} pair "
-            f"— did bench-smoke run bench_aop_dispatch.py?"
-        )
-        return 1
-    prior = [r for r in (pair_ratio(run) for run in runs[:-1]) if r is not None]
-    if not prior:
-        print(
-            f"bench-check: no committed baseline for the pair yet "
-            f"(current ratio {current:.3f}) — skipping"
-        )
-        return 0
-    baseline = statistics.median(prior)
-    limit = baseline * (1.0 + threshold)
-    verdict = "OK" if current <= limit else "REGRESSION"
+    verdicts = [check_pair(pair, runs, override) for pair in pairs]
+    failed = verdicts.count("fail")
     print(
-        f"bench-check: overlapped/serial ratio {current:.3f} "
-        f"vs baseline {baseline:.3f} (median of {len(prior)} runs), "
-        f"limit {limit:.3f} [+{threshold:.0%}] -> {verdict}"
+        f"bench-check: {len(pairs)} pairs gated — "
+        f"{verdicts.count('ok')} ok, {verdicts.count('skip')} skipped, "
+        f"{failed} failed"
     )
-    if current > limit:
-        print(
-            "bench-check: overlapped submissions regressed vs serial — "
-            "per-call dispatch contexts are likely no longer overlapping"
-        )
-        return 1
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
