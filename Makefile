@@ -5,7 +5,7 @@
 PY ?= python
 PYPATH := PYTHONPATH=src
 
-.PHONY: test stress bench-smoke bench-check bench-dispatch lint
+.PHONY: test stress test-proc bench-smoke bench-check bench-dispatch bench-proc lint
 
 ## tier-1 test suite (the driver's acceptance gate)
 test:
@@ -24,6 +24,25 @@ stress:
 			tests/parallel/test_admission_policies.py \
 			tests/parallel/test_deadlines.py || exit 1; \
 	done
+
+## out-of-process backend subset: worker lifecycle + crash fail-fast,
+## the wire-format round-trips, and the overlap/admission/deadline
+## matrix on resident worker processes.  CI wraps this in a hard
+## timeout-minutes: a hang here means a pipe wait without a liveness
+## check, and must fail fast instead of stalling the job.
+test-proc:
+	$(PYPATH) $(PY) -m pytest -q -p no:cacheprovider \
+		tests/runtime/test_procbackend.py \
+		tests/middleware/test_serialize_roundtrip.py \
+		tests/parallel/test_process_backend_matrix.py
+
+## process-backend benchmark pairs only: thread-vs-process on the
+## CPU-bound farm split and one-marshal-per-pack across the pipe.
+## Appends to benchmarks/BENCH_dispatch.json like bench-smoke.
+bench-proc:
+	REPRO_BENCH_MAXIMUM=200000 REPRO_BENCH_PACKS=8 \
+		$(PYPATH) $(PY) -m pytest benchmarks/bench_aop_dispatch.py -q \
+		-k "cpu_farm or map_pack8_process or map_unpacked_process"
 
 ## quick benchmark pass: dispatch overhead only, small workload knobs.
 ## Covers the full decision tree: inert, single-/all-around, the

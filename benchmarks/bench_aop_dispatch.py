@@ -642,6 +642,205 @@ def test_submit_respawn_dynfarm(benchmark):
         app.shutdown()
 
 
+# ---------------------------------------------------------------------------
+# Out-of-process execution: thread-vs-process on CPU-bound splits, and
+# one-marshal-per-pack across the pipe
+# ---------------------------------------------------------------------------
+
+CPU_WORKERS = 4
+CPU_SPAN = 200_000
+
+
+class Burner:
+    """Pure-Python CPU burn — GIL-bound on threads, genuinely parallel
+    across resident worker processes.  Module-level so the servant
+    pickles by reference into forked workers."""
+
+    def __init__(self, tag=0):
+        self.tag = tag
+
+    def burn(self, span):
+        lo, hi = span
+        total = 0
+        for i in range(lo, hi):
+            total += i * i
+        return total
+
+
+def _burn_pieces(args, kwargs):
+    from repro.parallel.partition import CallPiece
+
+    lo, hi = args[0]
+    step = (hi - lo) // CPU_WORKERS
+    spans = [
+        (lo + i * step, hi if i == CPU_WORKERS - 1 else lo + (i + 1) * step)
+        for i in range(CPU_WORKERS)
+    ]
+    return [CallPiece(i, (span,)) for i, span in enumerate(spans)]
+
+
+CPU_EXPECTED = sum(i * i for i in range(CPU_SPAN))
+
+
+def make_cpu_farm_app(backend):
+    from repro.api import ParallelApp, StackSpec
+    from repro.parallel import WorkSplitter
+
+    return ParallelApp(
+        StackSpec(
+            target=Burner,
+            work="burn",
+            splitter=WorkSplitter(
+                duplicates=CPU_WORKERS, split=_burn_pieces, combine=sum
+            ),
+            strategy="farm",
+            backend=backend,
+        )
+    )
+
+
+def _best_cpu_round(app, rounds=3):
+    import time
+
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        assert app.submit((0, CPU_SPAN)).result(timeout=60) == CPU_EXPECTED
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_submit_cpu_farm_process(benchmark):
+    """One CPU-bound call split 4 ways across resident worker PROCESSES:
+    the payoff bench for out-of-process execution.  On a >= 4-core
+    machine the process farm must beat the thread farm >= 2x (asserted;
+    single-core CI boxes skip the speedup assert but still track the
+    pair's trajectory ratio via tools/bench_gates.json)."""
+    import os
+
+    app = make_cpu_farm_app("process")
+    try:
+        app.deploy()
+        app.start()
+
+        def call():
+            return app.submit((0, CPU_SPAN)).result(timeout=60)
+
+        assert benchmark(call) == CPU_EXPECTED
+        if (os.cpu_count() or 1) >= 4:
+            thread_app = make_cpu_farm_app("thread")
+            try:
+                thread_app.deploy()
+                thread_app.start()
+                speedup = _best_cpu_round(thread_app) / _best_cpu_round(app)
+            finally:
+                thread_app.undeploy()
+                thread_app.shutdown()
+            assert speedup >= 2.0, (
+                f"process farm only {speedup:.2f}x over threads on "
+                f"{os.cpu_count()} cores — the GIL is back in the loop"
+            )
+    finally:
+        app.undeploy()
+        app.shutdown()
+
+
+def test_submit_cpu_farm_thread(benchmark):
+    """The same CPU-bound 4-way split on the THREAD backend — every
+    piece contends for one GIL: the denominator of the speedup pair."""
+    app = make_cpu_farm_app("thread")
+    try:
+        app.deploy()
+        app.start()
+
+        def call():
+            return app.submit((0, CPU_SPAN)).result(timeout=60)
+
+        assert benchmark(call) == CPU_EXPECTED
+    finally:
+        app.undeploy()
+        app.shutdown()
+
+
+class ProcService:
+    """Pack-bench servant (module-level: pickles by reference)."""
+
+    def handle(self, x):
+        return x + 1
+
+
+def make_pack_process_app():
+    from repro.api import ParallelApp, StackSpec
+
+    return ParallelApp(
+        StackSpec(
+            target=ProcService,
+            work="handle",
+            strategy="none",
+            concurrency=False,
+            middleware="process",
+        )
+    )
+
+
+def test_map_pack8_process(benchmark):
+    """`app.map(pack=8)` across the process boundary: the whole pack is
+    ONE marshalled request envelope (serializer.messages delta asserted)
+    — communication packing carried over the real pipe transport."""
+    app = make_pack_process_app()
+    payload = list(range(PACK))
+    expected = [x + 1 for x in payload]
+    try:
+        app.deploy()
+        app.start()
+        serializer = app.middleware.serializer
+        before_msgs = serializer.messages
+        before_batched = app.middleware.batched_calls
+        assert app.map(payload, pack=True).results() == expected
+        # one encode for the whole pack (replies are billed to the
+        # sender, i.e. the worker): one marshal per pack, not per item
+        assert serializer.messages - before_msgs == 1
+        assert app.middleware.batched_calls - before_batched == 1
+
+        def loop():
+            out = None
+            for _ in range(N // (PACK * 16)):
+                out = app.map(payload, pack=True).results()
+            return out
+
+        assert benchmark(loop) == expected
+    finally:
+        app.undeploy()
+        app.shutdown()
+
+
+def test_map_unpacked_process(benchmark):
+    """The same 8 payloads item by item through the same process-backed
+    service — one marshal and one pipe round-trip per item: the cost
+    pack routing removes from the real transport."""
+    app = make_pack_process_app()
+    payload = list(range(PACK))
+    expected = [x + 1 for x in payload]
+    try:
+        app.deploy()
+        app.start()
+        serializer = app.middleware.serializer
+        before = serializer.messages
+        assert app.map(payload).results() == expected
+        assert serializer.messages - before == PACK  # one per item
+
+        def loop():
+            out = None
+            for _ in range(N // (PACK * 16)):
+                out = app.map(payload).results()
+            return out
+
+        assert benchmark(loop) == expected
+    finally:
+        app.undeploy()
+        app.shutdown()
+
+
 def test_submit_roundtrip_pack8(benchmark):
     """The same 8-item pack with a reply wait (oneway off): one request
     message + one reply per pack — the cost the oneway path removes."""

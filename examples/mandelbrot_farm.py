@@ -2,13 +2,21 @@
 """Farm strategy on the declarative API: Mandelbrot rendering.
 
 The core renderer is plain sequential code; the whole parallel
-deployment is one :class:`~repro.api.spec.StackSpec` (the farm + the
-thread backend) and the run is ``app.start`` + ``app.submit`` — a
-future-returning call on the woven renderer.  The parallel image is
+deployment is one :class:`~repro.api.spec.StackSpec` (the farm + a
+chosen execution backend) and the run is ``app.start`` + ``app.submit``
+— a future-returning call on the woven renderer.  The parallel image is
 verified identical to the sequential one and printed as ASCII art.
 
 Run:  python examples/mandelbrot_farm.py
+      python examples/mandelbrot_farm.py --backend process
+
+``--backend process`` keeps the SAME spec and application code but
+moves each farm worker into a resident worker process (true multi-core
+rendering): the scene ships once at export, each band request is one
+pickled envelope, and results come back over the pipe.
 """
+
+import argparse
 
 import numpy as np
 
@@ -30,13 +38,26 @@ def ascii_art(image: np.ndarray, max_iter: int) -> str:
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution backend: 'thread' (one interpreter) or "
+        "'process' (farm workers in resident worker processes)",
+    )
+    args = parser.parse_args()
+
     scene = MandelbrotScene(width=76, height=48, max_iter=60)
 
     print("sequential render (core functionality)...")
     sequential = MandelbrotRenderer(scene).render_all()
 
-    print("parallel render (farm of 4 workers, 12 bands, thread backend)...")
-    app = ParallelApp(mandelbrot_spec(workers=4, bands=12, backend="thread"))
+    print(
+        f"parallel render (farm of 4 workers, 12 bands, "
+        f"{args.backend} backend)..."
+    )
+    app = ParallelApp(mandelbrot_spec(workers=4, bands=12, backend=args.backend))
     print(f"  {app.describe()}")
     with app:
         app.start(scene)

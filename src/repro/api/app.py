@@ -88,15 +88,32 @@ class ParallelApp:
             self._plug(conc)
             self.async_aspect = conc.async_aspect  # type: ignore[attr-defined]
 
+        # -- execution backend (before distribution: the process bundle
+        # parks its workers on the app's backend, and backend='process'
+        # auto-promotes middleware 'none' → 'process') -----------------
+        self.backend = self._resolve_backend(spec)
+
         # -- distribution --------------------------------------------------
-        bundle = MIDDLEWARES.get(spec.middleware)
+        middleware_name = spec.middleware
+        if (
+            middleware_name == "none"
+            and getattr(self.backend, "name", "") == "process"
+        ):
+            # backend='process' without a middleware is inert (servants
+            # would never leave the parent); the promotion is what makes
+            # the one-knob spec change deliver out-of-process execution
+            middleware_name = "process"
+        bundle = MIDDLEWARES.get(middleware_name)
+        bundle_kwargs = dict(spec.middleware_options)
+        if getattr(bundle, "wants_backend", False):
+            bundle_kwargs.setdefault("backend", self.backend)
         self.middleware, self.extra_middleware, dist_module = bundle(
             spec.cluster,
             creation,
             work,
             placement=spec.placement,
             oneway=spec.oneway,
-            **spec.middleware_options,
+            **bundle_kwargs,
         )
         if dist_module is not None:
             self._plug(dist_module)
@@ -116,8 +133,6 @@ class ParallelApp:
                     ParallelModule(f"optimisation-{index}", concern, [extra])
                 )
 
-        # -- execution backend ---------------------------------------------
-        self.backend = self._resolve_backend(spec)
         #: the simulator driving a sim-backend app (None on threads)
         self.sim = getattr(self.backend, "sim", None)
         #: bounded admission table — submit()/map() acquire a slot per
@@ -136,7 +151,10 @@ class ParallelApp:
     def _resolve_backend(spec: StackSpec) -> ExecutionBackend:
         backend = spec.backend
         if backend is None:
-            backend = "sim" if spec.cluster is not None else "thread"
+            if spec.middleware == "process":
+                backend = "process"
+            else:
+                backend = "sim" if spec.cluster is not None else "thread"
         if isinstance(backend, str):
             return BACKENDS.get(backend)(cluster=spec.cluster)
         if not isinstance(backend, ExecutionBackend):

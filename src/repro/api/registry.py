@@ -81,6 +81,22 @@ class Registry:
     def __init__(self, kind: str):
         self.kind = kind
         self._entries: dict[str, Any] = {}
+        #: lazy loader for the built-in entries — cleared before it runs
+        #: so a bootstrap that registers entries cannot recurse
+        self._bootstrap: Callable[[], None] | None = None
+
+    def ensure(self) -> None:
+        """Run the pending bootstrap (if any) exactly once.
+
+        Lookups and listings call this first so an
+        :class:`UnknownNameError` always carries the FULL built-in
+        catalogue — historically ``BACKENDS.get("typo")`` before any
+        ``repro.runtime`` import reported "registered: (none)", which
+        pointed users at a packaging problem instead of their typo.
+        """
+        bootstrap, self._bootstrap = self._bootstrap, None
+        if bootstrap is not None:
+            bootstrap()
 
     def register(
         self, name: str, entry: Any = None, *, replace: bool = False
@@ -108,6 +124,7 @@ class Registry:
 
     def unregister(self, name: str) -> Any:
         """Remove and return the entry under ``name``."""
+        self.ensure()
         if name not in self._entries:
             raise UnknownNameError(self.kind, name, self.names())
         return self._entries.pop(name)
@@ -116,6 +133,7 @@ class Registry:
         """The entry under ``name``; raises :class:`UnknownNameError`
         (with the full catalogue and a nearest-match suggestion) when
         absent."""
+        self.ensure()
         try:
             return self._entries[name]
         except KeyError:
@@ -123,9 +141,11 @@ class Registry:
 
     def names(self) -> tuple[str, ...]:
         """Registered names, sorted."""
+        self.ensure()
         return tuple(sorted(self._entries))
 
     def __contains__(self, name: str) -> bool:
+        self.ensure()
         return name in self._entries
 
     def __iter__(self) -> Iterator[str]:
@@ -162,3 +182,20 @@ def register_backend(name: str, factory: Callable | None = None, **kw: Any) -> A
     """Register an execution-backend factory (decorator form when
     ``factory`` is omitted)."""
     return BACKENDS.register(name, factory, **kw)
+
+
+def _builtin_bootstrap() -> None:
+    """Import every package whose modules self-register built-ins.
+
+    Installed as each registry's ``_bootstrap`` so the catalogues are
+    complete from the first lookup, however the caller reached them.
+    The imports are the same ones :func:`repro.api.spec.
+    _ensure_builtin_registrations` performs on the facade path.
+    """
+    import repro.api.spec  # noqa: F401 - registers middleware "none"
+    import repro.parallel  # noqa: F401 - strategies + distribution bundles
+    import repro.runtime  # noqa: F401 - thread/sim/process backends
+
+
+for _registry in (STRATEGIES, MIDDLEWARES, BACKENDS):
+    _registry._bootstrap = _builtin_bootstrap

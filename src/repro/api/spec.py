@@ -264,11 +264,16 @@ class StackSpec:
                 f"timeout must be a positive number of seconds "
                 f"(or None for no deadline), got {self.timeout!r}"
             )
+        # the process-stack cross-checks run first: "rmi over the process
+        # backend" should say THAT, not fall into the generic cluster rule
+        self._validate_process_rules()
         if self.middleware != "none" and self.cluster is None:
-            raise DeploymentError(
-                f"middleware {self.middleware!r} needs a cluster "
-                f"(e.g. repro.cluster.paper_testbed(Simulator()))"
-            )
+            bundle = MIDDLEWARES.get(self.middleware)
+            if getattr(bundle, "requires_cluster", True):
+                raise DeploymentError(
+                    f"middleware {self.middleware!r} needs a cluster "
+                    f"(e.g. repro.cluster.paper_testbed(Simulator()))"
+                )
         if self.oneway and self.middleware == "none":
             raise DeploymentError(
                 "oneway methods need a distribution middleware "
@@ -297,6 +302,46 @@ class StackSpec:
         # wildcard work pattern is deployable, it just cannot back
         # submit(), which raises its own targeted error on first use.
         return self
+
+    def _validate_process_rules(self) -> None:
+        """Cross-checks for the real out-of-process stack.
+
+        The process backend/middleware run actual OS worker processes, so
+        every *simulation-only* knob (cluster topologies, placement
+        policies — both describe virtual nodes) is a contradiction worth
+        failing on eagerly, as is mixing the process middleware with a
+        backend that cannot host its workers.
+        """
+        backend_name = self.backend if isinstance(self.backend, str) else getattr(
+            self.backend, "name", None
+        )
+        uses_process = self.middleware == "process" or backend_name == "process"
+        if not uses_process:
+            return
+        if self.cluster is not None:
+            raise DeploymentError(
+                "the process stack runs real OS worker processes and "
+                "cannot attach to a simulated cluster; drop cluster= or "
+                "use backend='sim' with middleware 'rmi'/'mpp'"
+            )
+        if self.placement is not None:
+            raise DeploymentError(
+                "placement policies choose simulated nodes; the process "
+                "stack places one resident worker process per servant "
+                "(the OS schedules them) — drop placement="
+            )
+        if self.middleware == "process" and backend_name not in (None, "process"):
+            raise DeploymentError(
+                f"middleware 'process' needs backend='process' (or "
+                f"backend=None for auto-resolution), got "
+                f"backend={backend_name!r}"
+            )
+        if backend_name == "process" and self.middleware not in ("none", "process"):
+            raise DeploymentError(
+                f"backend 'process' pairs only with middleware 'process' "
+                f"(auto-promoted from 'none'); middleware "
+                f"{self.middleware!r} is a simulated transport"
+            )
 
     # -- convenience --------------------------------------------------------
 

@@ -1,6 +1,7 @@
 """Distribution middlewares: simulated Java RMI, simulated MPP message
-passing, and a zero-cost in-process transport, plus placement policies,
-serialisation accounting and node context."""
+passing, a zero-cost in-process transport, and the real out-of-process
+pipe transport, plus placement policies, serialisation accounting and
+node context."""
 
 from repro.middleware.base import Middleware, MiddlewareCosts, RemoteRef, SimMiddleware
 from repro.middleware.context import (
@@ -11,6 +12,7 @@ from repro.middleware.context import (
 )
 from repro.middleware.local import LocalMiddleware
 from repro.middleware.mpp import MPP_COSTS, CommWorld, MppMiddleware
+from repro.middleware.proc import ProcMiddleware
 from repro.middleware.placement import (
     BlockPlacement,
     FixedPlacement,
@@ -34,6 +36,7 @@ __all__ = [
     "MPP_COSTS",
     "CommWorld",
     "LocalMiddleware",
+    "ProcMiddleware",
     "NameRegistry",
     "PlacementPolicy",
     "RoundRobin",

@@ -51,7 +51,44 @@ from repro.runtime.dispatch import (
 from repro.runtime.simbackend import SimBackend
 from repro.sim import Channel, Simulator
 
-__all__ = ["MiddlewareCosts", "RemoteRef", "Middleware", "SimMiddleware"]
+__all__ = [
+    "MiddlewareCosts",
+    "RemoteRef",
+    "Middleware",
+    "SimMiddleware",
+    "perform_request",
+]
+
+
+def perform_request(
+    table: MethodTable,
+    obj: Any,
+    method: str,
+    args: Any,
+    kwargs: Any,
+    batch: bool = False,
+) -> tuple[str, Any]:
+    """Execute one servant request; returns ``("ok", result)`` or
+    ``("error", exc)``.
+
+    The shared server-side dispatch step of every transport — the
+    simulated middlewares' per-request activities and the process
+    backend's resident workers both call it: execution runs under the
+    ``server_dispatch`` marker so every parallelisation aspect steps
+    aside (crucial in a forked worker, which inherits the parent's woven
+    classes and deployed aspects), and method resolution goes through
+    the servant's compiled :class:`~repro.aop.plan.MethodTable`.  For
+    batched requests ``args`` holds the pack's piece views.
+    """
+    try:
+        with server_dispatch():
+            if batch:
+                result = table.invoke_batch(obj, method, args)
+            else:
+                result = table.invoke(obj, method, args, kwargs or {})
+        return ("ok", result)
+    except Exception as exc:  # noqa: BLE001 - shipped to the client
+        return ("error", exc)
 
 
 @dataclass(frozen=True)
@@ -397,20 +434,15 @@ class SimMiddleware(Middleware):
         with use_node(servant.node):
             # unmarshal on the servant's CPU
             servant.node.execute(self.costs.unmarshal_time(request.size))
-            try:
-                with use_dispatch(context), server_dispatch():
-                    if request.batch:
-                        result = servant.table.invoke_batch(
-                            servant.obj, request.method, request.args
-                        )
-                    else:
-                        result = servant.table.invoke(
-                            servant.obj, request.method, request.args,
-                            request.kwargs,
-                        )
-                outcome: tuple[str, Any] = ("ok", result)
-            except Exception as exc:  # noqa: BLE001 - shipped to the client
-                outcome = ("error", exc)
+            with use_dispatch(context):
+                outcome = perform_request(
+                    servant.table,
+                    servant.obj,
+                    request.method,
+                    request.args,
+                    request.kwargs,
+                    batch=request.batch,
+                )
             if request.oneway:
                 return
             wire_result, size = self.serializer.pack(outcome[1])

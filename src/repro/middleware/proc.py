@@ -1,0 +1,268 @@
+"""Process middleware: real out-of-process invocation over pipes.
+
+The third concrete middleware, and the first one that is not simulated:
+``export`` ships a pickled servant into a resident worker process owned
+by the :class:`~repro.runtime.procbackend.ProcessBackend` (one worker
+per servant — the literal "each servant's MethodTable in a resident
+worker process"), and ``invoke``/``invoke_batch`` carry
+:class:`~repro.middleware.serialize.RequestEnvelope` frames across the
+pipe.
+
+Dispatch-ticket semantics match :class:`~repro.middleware.local.LocalMiddleware`
+on the client side (the invoke runs on the caller's activity, so the
+originating :class:`~repro.parallel.partition.base.DispatchContext` is
+ambient — ``attribute_remote`` and deadline checks need no wire round
+trip) *and* :class:`~repro.middleware.base.SimMiddleware` on the wire
+(``context_id`` travels in every envelope and echoes in the reply, so
+frames stay attributable however many calls share a worker).
+
+Deadlines and shedding are enforced **during** the reply wait: the poll
+loop calls the ambient ticket's ``check_deadline`` between frames, so an
+expired or shed call unwinds mid-wait.  Its eventual reply is identified
+by ``call_id`` and discarded by the next caller on that worker — an
+abandoned call never desynchronises the pipe.  A worker found dead
+raises :class:`~repro.errors.WorkerCrashed` (a
+:class:`~repro.errors.RemoteError`), which the skeletons' failure paths
+turn into a fail-fast ``ResultCollector.fail``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.aop.plan import piece_view
+from repro.errors import MiddlewareError, RemoteError, WorkerCrashed
+from repro.middleware.base import Middleware, RemoteRef
+from repro.middleware.serialize import ExportEnvelope, RequestEnvelope, Serializer
+from repro.runtime.dispatch import current_dispatch, dispatch_id
+from repro.runtime.procbackend import ProcessBackend, ProcWorker
+
+__all__ = ["ProcMiddleware"]
+
+
+class _Export:
+    """Parent-side record for one exported servant."""
+
+    __slots__ = ("worker", "ref", "local")
+
+    def __init__(self, worker: ProcWorker, ref: RemoteRef, local: Any):
+        self.worker = worker
+        self.ref = ref
+        #: the parent-side twin the client code holds — its state does
+        #: NOT track the remote copy (value semantics, like RMI)
+        self.local = local
+
+
+class ProcMiddleware(Middleware):
+    """Export / invoke over resident worker processes."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        backend: ProcessBackend | None = None,
+        copy_payloads: bool = True,
+    ):
+        if backend is not None and not isinstance(backend, ProcessBackend):
+            raise MiddlewareError(
+                f"ProcMiddleware needs a ProcessBackend to park its "
+                f"workers on, got {type(backend).__name__}"
+            )
+        self.backend = backend if backend is not None else ProcessBackend()
+        # copy mode is meaningless here (pickling IS the copy); the
+        # serializer exists for its accounting: messages == marshalling
+        # passes, the invariant the pack-amortisation bench asserts
+        self.serializer = Serializer(copy=copy_payloads)
+        self._servants: dict[int, _Export] = {}
+        self._call_ids = itertools.count(1)
+        self.calls = 0
+        self.oneway_calls = 0
+        self.batched_calls = 0
+        self.worker_crashes = 0
+
+    # -- export -------------------------------------------------------------
+
+    def export(self, obj: Any, node: Any = None) -> RemoteRef:
+        """Ship ``obj`` into a fresh resident worker process.
+
+        Waits for the worker's export acknowledgement: a servant that
+        cannot materialise in the child (unpicklable state, a class a
+        spawn-started child cannot import) fails HERE, at deploy time,
+        not on the first invocation.
+        """
+        ref = RemoteRef(
+            node.node_id if node is not None else -1,
+            self.name,
+            type(obj).__name__,
+        )
+        # encode BEFORE forking: an unpicklable servant fails with no
+        # worker process to clean up (nothing to leak)
+        frame = self.serializer.encode(
+            ExportEnvelope(ref.object_id, obj, type(obj).__name__)
+        )
+        worker = self.backend.new_worker()
+        try:
+            with worker.lock:
+                worker.send(frame)
+                reply = self.serializer.decode(worker.recv())
+        except BaseException:
+            worker.stop()
+            raise
+        if reply.outcome == "error":
+            worker.stop()
+            raise MiddlewareError(
+                f"exporting {type(obj).__name__} to worker process "
+                f"{worker.name} failed: {reply.payload}"
+            )
+        self._servants[ref.object_id] = _Export(worker, ref, obj)
+        if node is not None:
+            node.place(obj)
+        return ref
+
+    def servant_of(self, ref: RemoteRef) -> Any:
+        """The parent-side twin behind a ref (observability only: the
+        authoritative state lives in the worker process)."""
+        export = self._servants.get(ref.object_id)
+        if export is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        return export.local
+
+    def worker_of(self, ref: RemoteRef) -> ProcWorker:
+        """The resident worker hosting a ref (fault-injection hook)."""
+        export = self._servants.get(ref.object_id)
+        if export is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        return export.worker
+
+    # -- invoke -------------------------------------------------------------
+
+    def invoke(
+        self,
+        ref: RemoteRef,
+        method: str,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        oneway: bool = False,
+    ) -> Any:
+        export = self._require(ref)
+        self.calls += 1
+        if oneway:
+            self.oneway_calls += 1
+        envelope = RequestEnvelope(
+            next(self._call_ids),
+            ref.object_id,
+            method,
+            tuple(args),
+            dict(kwargs or {}),
+            oneway=oneway,
+            context_id=dispatch_id(),
+        )
+        reply = self._round_trip(export, envelope)
+        if oneway:
+            return None
+        if reply.outcome == "error":
+            raise self._remote_error(ref, method, reply.payload)
+        return reply.payload
+
+    def invoke_batch(
+        self, ref: RemoteRef, method: str, pieces: Any, oneway: bool = False
+    ) -> list:
+        """Ship a whole pack as ONE envelope/reply pair: one marshalling
+        pass, one pipe frame, one
+        :meth:`~repro.aop.plan.MethodTable.invoke_batch` dispatch — the
+        per-frame pickling overhead is paid once per pack, not per item
+        (the process-backend face of communication packing)."""
+        export = self._require(ref)
+        self.calls += 1
+        self.batched_calls += 1
+        if oneway:
+            self.oneway_calls += 1
+        views = [
+            (tuple(args), dict(kwargs))
+            for args, kwargs in map(piece_view, pieces)
+        ]
+        envelope = RequestEnvelope(
+            next(self._call_ids),
+            ref.object_id,
+            method,
+            views,
+            None,
+            oneway=oneway,
+            batch=True,
+            context_id=dispatch_id(),
+        )
+        reply = self._round_trip(export, envelope)
+        if oneway:
+            return [None] * len(views)
+        if reply.outcome == "error":
+            raise self._remote_error(ref, method, reply.payload, batch=True)
+        return list(reply.payload)
+
+    def _require(self, ref: RemoteRef) -> _Export:
+        export = self._servants.get(ref.object_id)
+        if export is None:
+            raise MiddlewareError(f"unknown ref {ref!r}")
+        return export
+
+    def _round_trip(self, export: _Export, envelope: RequestEnvelope) -> Any:
+        """One request/reply over the servant's worker pipe.
+
+        The ambient dispatch ticket (this invoke runs on the caller's
+        activity) is consulted before the send and between reply polls:
+        a shed or deadline-expired call raises its cancellation cause
+        mid-wait.  ``attribute_remote`` is bumped like the local
+        middleware's — the servant-side execution happens on behalf of
+        the ambient call.  Stale frames from calls that abandoned their
+        wait are recognised by ``call_id`` and dropped.
+        """
+        context = current_dispatch()
+
+        def check() -> None:
+            if context is not None and hasattr(context, "check_deadline"):
+                context.check_deadline("awaiting a process-backend reply")
+
+        if context is not None and hasattr(context, "attribute_remote"):
+            context.attribute_remote()
+        check()  # don't ship work for a call that is already cancelled
+        frame = self.serializer.encode(envelope)  # names a culprit field
+        worker = export.worker
+        try:
+            with worker.lock:
+                worker.send(frame)
+                if envelope.oneway:
+                    return None
+                while True:
+                    reply = self.serializer.decode(worker.recv(check=check))
+                    if reply.call_id in (envelope.call_id, -1):
+                        return reply
+                    # a previous caller's abandoned reply: discard
+        except WorkerCrashed:
+            self.worker_crashes += 1
+            raise
+
+    def _remote_error(
+        self, ref: RemoteRef, method: str, payload: Any, batch: bool = False
+    ) -> RemoteError:
+        kind = "remote batched invocation" if batch else "remote invocation"
+        error = RemoteError(
+            f"{kind} {ref.type_name}.{method} failed in worker process: "
+            f"{payload}",
+            cause=payload,
+        )
+        # keep the rendered worker-side traceback reachable on the
+        # client-facing error, not only on the (possibly re-wrapped) cause
+        remote_tb = getattr(payload, "remote_traceback", None)
+        if remote_tb is not None:
+            error.remote_traceback = remote_tb  # type: ignore[attr-defined]
+        return error
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every resident worker this middleware exported to
+        (idempotent; reached from ``on_undeploy``/``ParallelApp.__exit__``
+        and backstopped by the backend's ``atexit`` hook)."""
+        for export in self._servants.values():
+            export.worker.stop()
+        self._servants.clear()

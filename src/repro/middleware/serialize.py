@@ -1,9 +1,20 @@
-"""Serialisation with byte-size accounting.
+"""Serialisation with byte-size accounting and the process wire format.
 
 Every remote call pays twice: CPU time to (de)serialise and wire time
 proportional to payload size.  This module measures payload sizes and —
 in *copy* mode — actually round-trips payloads through pickle so remote
 objects observe value semantics (like Java RMI), not shared references.
+
+Beyond the simulated middlewares' accounting, this module is also the
+**real wire format** of the out-of-process backend
+(:mod:`repro.runtime.procbackend`): :class:`RequestEnvelope` /
+:class:`ReplyEnvelope` are the frames that actually cross the process
+boundary, carrying the originating dispatch-ticket id (``context_id``)
+so per-call collector routing, deadlines and admission accounting keep
+working across it.  :func:`encode_envelope` names the offending *field*
+when a payload refuses to pickle — a submit with an unpicklable argument
+fails with a targeted :class:`~repro.errors.SerializationError` at the
+send site, never a hang on a reply that cannot exist.
 
 Two pitfalls handled here:
 
@@ -17,6 +28,7 @@ from __future__ import annotations
 
 import copy
 import pickle
+import traceback
 from typing import Any
 
 import numpy as np
@@ -24,9 +36,21 @@ import numpy as np
 from repro.aop.cflow import bypassing_construction
 from repro.errors import SerializationError
 
-__all__ = ["Serializer", "measure_size"]
+__all__ = [
+    "Serializer",
+    "measure_size",
+    "dumps",
+    "loads",
+    "RequestEnvelope",
+    "ReplyEnvelope",
+    "ExportEnvelope",
+    "encode_envelope",
+    "decode_envelope",
+    "exception_payload",
+]
 
 _HEADER_BYTES = 64  # envelope / framing overhead per message
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 
 def measure_size(payload: Any) -> int:
@@ -57,6 +81,185 @@ def _body_size(payload: Any) -> int:
         raise SerializationError(f"cannot size {type(payload).__name__}") from exc
 
 
+def dumps(payload: Any) -> bytes:
+    """Pickle ``payload`` for real transport (process boundary)."""
+    try:
+        return pickle.dumps(payload, protocol=_PROTOCOL)
+    except SerializationError:
+        raise
+    except Exception as exc:  # noqa: BLE001
+        raise SerializationError(
+            f"cannot pickle {type(payload).__name__} for transport: {exc}"
+        ) from exc
+
+
+def loads(data: bytes) -> Any:
+    """Unpickle a transported payload.
+
+    Runs under the construction bypass: instances of woven classes
+    materialise without re-running initialization advice (the servant
+    copy must not re-trigger duplication or create-remote logic).
+    """
+    try:
+        with bypassing_construction():
+            return pickle.loads(data)
+    except SerializationError:
+        raise
+    except Exception as exc:  # noqa: BLE001
+        raise SerializationError(
+            f"cannot unpickle wire payload: {exc}"
+        ) from exc
+
+
+class RequestEnvelope:
+    """One invocation crossing the process boundary.
+
+    For batched requests ``args`` holds the pack's piece views
+    (``(args, kwargs)`` pairs) and ``kwargs`` is unused — the whole pack
+    is ONE envelope, so it pays one marshalling pass and one wire frame
+    (the process-backend face of communication packing).
+    """
+
+    kind = "request"
+
+    __slots__ = (
+        "call_id",
+        "object_id",
+        "method",
+        "args",
+        "kwargs",
+        "oneway",
+        "batch",
+        "context_id",
+    )
+
+    def __init__(
+        self,
+        call_id: int,
+        object_id: int,
+        method: str,
+        args: Any = (),
+        kwargs: Any = None,
+        oneway: bool = False,
+        batch: bool = False,
+        context_id: int | None = None,
+    ):
+        self.call_id = call_id
+        self.object_id = object_id
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.oneway = oneway
+        self.batch = batch
+        #: originating per-call dispatch ticket id — travels the wire as
+        #: an id (tickets are process-local objects) and echoes back in
+        #: the reply, so the caller side re-associates work with the call
+        self.context_id = context_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RequestEnvelope #{self.call_id} obj{self.object_id}."
+            f"{self.method} batch={self.batch} ctx={self.context_id}>"
+        )
+
+
+class ReplyEnvelope:
+    """The reply frame: ``outcome`` is ``"ok"`` or ``"error"`` (payload
+    then carries the exception, see :func:`exception_payload`)."""
+
+    kind = "reply"
+
+    __slots__ = ("call_id", "outcome", "payload", "context_id")
+
+    def __init__(
+        self,
+        call_id: int,
+        outcome: str,
+        payload: Any = None,
+        context_id: int | None = None,
+    ):
+        self.call_id = call_id
+        self.outcome = outcome
+        self.payload = payload
+        self.context_id = context_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReplyEnvelope #{self.call_id} {self.outcome}>"
+
+
+class ExportEnvelope:
+    """Ships one servant instance into its resident worker process."""
+
+    kind = "export"
+
+    __slots__ = ("object_id", "servant", "type_name")
+
+    def __init__(self, object_id: int, servant: Any, type_name: str = ""):
+        self.object_id = object_id
+        self.servant = servant
+        self.type_name = type_name or type(servant).__name__
+
+
+def encode_envelope(envelope: Any) -> bytes:
+    """Pickle an envelope, naming the offending field on failure.
+
+    A request whose argument cannot pickle (an open file, a lambda, a
+    thread lock smuggled into a payload) must fail at the *send site*
+    with an error that says which field is at fault — not crash the
+    worker's decode loop and hang the caller on a reply.
+    """
+    try:
+        return pickle.dumps(envelope, protocol=_PROTOCOL)
+    except Exception as exc:  # noqa: BLE001 - re-raised with a culprit
+        for slot in getattr(type(envelope), "__slots__", ()):
+            value = getattr(envelope, slot, None)
+            try:
+                pickle.dumps(value, protocol=_PROTOCOL)
+            except Exception:  # noqa: BLE001 - this slot is the culprit
+                raise SerializationError(
+                    f"{type(envelope).__name__}.{slot} cannot cross the "
+                    f"process boundary: {type(value).__name__} is not "
+                    f"picklable ({exc})"
+                ) from exc
+        raise SerializationError(
+            f"cannot pickle {type(envelope).__name__} for transport: {exc}"
+        ) from exc
+
+
+def decode_envelope(data: bytes) -> Any:
+    """Materialise a wire frame (construction bypass, see :func:`loads`)."""
+    return loads(data)
+
+
+def exception_payload(exc: BaseException) -> BaseException:
+    """Make ``exc`` shippable as an error-reply payload.
+
+    The remote traceback is rendered to text and attached as
+    ``remote_traceback`` (traceback objects never pickle; their text
+    does), so the client-side failure stays debuggable.  An exception
+    that itself refuses to pickle degrades to a
+    :class:`~repro.errors.SerializationError` carrying the rendered
+    traceback — the error always crosses the boundary.
+    """
+    text = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    try:
+        exc.remote_traceback = text  # type: ignore[attr-defined]
+    except Exception:  # noqa: BLE001 - exotic __slots__ exceptions
+        pass
+    try:
+        pickle.dumps(exc, protocol=_PROTOCOL)
+        return exc
+    except Exception:  # noqa: BLE001 - degrade, never lose the error
+        degraded = SerializationError(
+            f"remote call failed with unpicklable "
+            f"{type(exc).__name__}: {exc}\n--- remote traceback ---\n{text}"
+        )
+        degraded.remote_traceback = text  # type: ignore[attr-defined]
+        return degraded
+
+
 class Serializer:
     """Copy/reference serialisation with cumulative accounting."""
 
@@ -81,6 +284,21 @@ class Serializer:
     def unpack(self, wire: Any) -> Any:
         """Materialise a transported payload on the receiving side."""
         return wire
+
+    def encode(self, envelope: Any) -> bytes:
+        """Pickle an envelope for the REAL wire (process boundary) with
+        the same cumulative accounting as :meth:`pack` — ``messages``
+        counts marshalling passes, which is what the pack-amortisation
+        bench asserts on (one marshal per pack)."""
+        data = encode_envelope(envelope)
+        self.messages += 1
+        self.bytes_out += _HEADER_BYTES + len(data)
+        return data
+
+    def decode(self, data: bytes) -> Any:
+        """Materialise a received wire frame (not counted: accounting
+        charges the sender, matching :meth:`pack`)."""
+        return decode_envelope(data)
 
     def clone(self, payload: Any) -> Any:
         """Standalone deep copy with woven-class safety (used to build

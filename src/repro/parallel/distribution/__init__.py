@@ -9,6 +9,10 @@ from repro.parallel.distribution.mpp_aspect import (
     MppDistributionAspect,
     mpp_distribution_module,
 )
+from repro.parallel.distribution.proc_aspect import (
+    ProcDistributionAspect,
+    proc_distribution_module,
+)
 from repro.parallel.distribution.rmi_aspect import (
     RmiDistributionAspect,
     rmi_distribution_module,
@@ -22,4 +26,6 @@ __all__ = [
     "mpp_distribution_module",
     "HybridDistributionAspect",
     "hybrid_distribution_module",
+    "ProcDistributionAspect",
+    "proc_distribution_module",
 ]

@@ -1,0 +1,102 @@
+"""Process distribution aspect: create-and-redirect over real processes.
+
+The same create-and-redirect pattern as the RMI/MPP aspects, but the
+middleware underneath is :class:`~repro.middleware.proc.ProcMiddleware`,
+whose export genuinely ships the servant into another OS process.  Two
+deliberate differences from the simulated aspects:
+
+* ``make_servant`` is the identity — the simulated middlewares deep-copy
+  the object to fake value semantics, but here pickling across the pipe
+  IS the copy, and cloning first would pay it twice;
+* there is no placement policy and no cluster: workers are homogeneous
+  OS processes, one per servant, placed by the operating system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.api.registry import register_middleware
+from repro.middleware.proc import ProcMiddleware
+from repro.parallel.composition import ParallelModule
+from repro.parallel.concern import Concern
+from repro.parallel.distribution.base import DistributionAspect
+
+__all__ = ["ProcDistributionAspect", "proc_distribution_module", "proc_bundle"]
+
+
+class ProcDistributionAspect(DistributionAspect):
+    """Distribution over resident worker processes."""
+
+    def __init__(
+        self,
+        middleware: ProcMiddleware,
+        placement: Any = None,
+        remote_new: str | None = None,
+        remote_calls: str | None = None,
+        name_prefix: str = "Proc",
+        oneway: Iterable[str] = (),
+    ):
+        super().__init__(
+            middleware,
+            placement,
+            remote_new=remote_new,
+            remote_calls=remote_calls,
+            name_prefix=name_prefix,
+        )
+        self.oneway_methods = frozenset(oneway)
+
+    def make_servant(self, obj: Any) -> Any:
+        """Identity: the pickle crossing the pipe at export is the value
+        copy; a parent-side clone first would serialise twice."""
+        return obj
+
+
+def proc_distribution_module(
+    middleware: ProcMiddleware,
+    remote_new: str,
+    remote_calls: str,
+    placement: Any = None,
+    name: str = "distribution-process",
+    **kwargs: Any,
+) -> ParallelModule:
+    aspect = ProcDistributionAspect(
+        middleware,
+        placement,
+        remote_new=remote_new,
+        remote_calls=remote_calls,
+        **kwargs,
+    )
+    module = ParallelModule(name, Concern.DISTRIBUTION, [aspect])
+    module.aspect = aspect  # type: ignore[attr-defined]
+    return module
+
+
+@register_middleware("process")
+def proc_bundle(
+    cluster: Any,
+    creation: str,
+    work: str,
+    placement: Any = None,
+    oneway: Iterable[str] = (),
+    backend: Any = None,
+    **options: Any,
+) -> tuple[ProcMiddleware, None, ParallelModule]:
+    """Registry entry: process middleware + its distribution module.
+
+    ``backend`` (a :class:`~repro.runtime.procbackend.ProcessBackend`)
+    arrives from :class:`~repro.api.app.ParallelApp` because this bundle
+    sets ``wants_backend`` — the middleware parks its workers on the
+    app's backend so teardown and leak accounting see one worker list.
+    """
+    middleware = ProcMiddleware(backend=backend)
+    module = proc_distribution_module(
+        middleware, creation, work, placement=placement, oneway=oneway, **options
+    )
+    return middleware, None, module
+
+
+#: this middleware runs on the local machine: no cluster required
+proc_bundle.requires_cluster = False  # type: ignore[attr-defined]
+#: ask ParallelApp to pass its resolved backend into the bundle call
+proc_bundle.wants_backend = True  # type: ignore[attr-defined]

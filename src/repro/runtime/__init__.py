@@ -24,6 +24,7 @@ from repro.runtime.dispatch import (
     use_dispatch,
 )
 from repro.runtime.futures import Future, FutureGroup
+from repro.runtime.procbackend import ProcessBackend, ProcWorker
 from repro.runtime.simbackend import SimBackend, SimTask
 from repro.runtime.threads import ThreadBackend, ThreadTask
 
@@ -37,6 +38,8 @@ __all__ = [
     "ThreadTask",
     "SimBackend",
     "SimTask",
+    "ProcessBackend",
+    "ProcWorker",
     "Future",
     "FutureGroup",
     "ActiveObject",

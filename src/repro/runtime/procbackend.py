@@ -1,0 +1,341 @@
+"""Out-of-process execution backend: resident servant worker processes.
+
+Every other backend runs in one interpreter under one GIL, so CPU-bound
+farm/pipeline runs gain nothing from extra cores.  This backend is the
+"as fast as the hardware allows" substrate ROADMAP names: caller-side
+activities stay OS threads (the :class:`~repro.runtime.threads.ThreadBackend`
+primitives and wall clock are inherited unchanged — deadlines and
+admission waits mean the same thing), while **servant execution** moves
+into resident `multiprocessing` worker processes, one per exported
+servant, each holding the servant's compiled
+:class:`~repro.aop.plan.MethodTable`.
+
+The process boundary deliberately lives at the *middleware* layer
+(:class:`~repro.middleware.proc.ProcMiddleware`), not at ``spawn()``:
+closures cannot cross processes, but the middleware request path already
+ships picklable envelopes with a ``context_id`` — exactly what PR 3-5
+laid down for the simulated transports.  What crosses the boundary:
+
+* at export — one :class:`~repro.middleware.serialize.ExportEnvelope`
+  carrying the pickled servant (value semantics: pickling IS the copy);
+* per call — one :class:`~repro.middleware.serialize.RequestEnvelope`
+  (a whole pack is ONE envelope) and one reply frame;
+* never — dispatch tickets, locks, futures, or aspects.  Tickets travel
+  as ids and all collector/deadline bookkeeping stays caller-side.
+
+Worker lifecycle: forked lazily at export, resident until the
+middleware's ``shutdown`` (reached from ``on_undeploy`` /
+``ParallelApp.__exit__``), with an ``atexit`` backstop and daemon
+processes so an orphaned run cannot leak children.  A worker found dead
+while a reply is pending raises :class:`~repro.errors.WorkerCrashed`
+(pid + exit code in the message) instead of hanging — in-flight splits
+fail fast through their collectors.
+
+Forked children inherit the parent's *woven* classes and deployed
+aspects; the worker loop therefore executes every request under the
+``server_dispatch`` marker (via
+:func:`~repro.middleware.base.perform_request`), which is what makes
+the inherited parallelisation advice step aside — the same contract the
+simulated middlewares' servant activities follow.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+from typing import Any, Callable
+
+from repro.api.registry import register_backend
+from repro.errors import BackendError, WorkerCrashed
+from repro.runtime.threads import ThreadBackend
+
+__all__ = ["ProcessBackend", "ProcWorker", "STOP_FRAME"]
+
+#: raw stop frame — recognised by the worker loop BEFORE unpickling, so
+#: shutdown never depends on a healthy codec
+STOP_FRAME = b"__repro_proc_stop__"
+
+
+def _start_method() -> str:
+    """``fork`` where available (the child inherits ``sys.modules``, so
+    test-module servant classes resolve without being importable by
+    path), ``spawn`` otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _worker_main(conn: Any) -> None:
+    """Child entry point: host servants, serve envelope requests.
+
+    One request at a time (per-servant workers make the pipe the
+    serialisation point); replies echo the request's ``call_id`` and
+    ``context_id`` so an abandoned call's late reply is identified and
+    discarded by the parent instead of desynchronising the stream.
+    Imports are deferred: the parent-side import graph stays acyclic
+    and a spawn-started child pays them once here.
+    """
+    from repro.aop.plan import MethodTable
+    from repro.errors import MiddlewareError, SerializationError
+    from repro.middleware.base import perform_request
+    from repro.middleware.serialize import (
+        ExportEnvelope,
+        ReplyEnvelope,
+        decode_envelope,
+        encode_envelope,
+        exception_payload,
+    )
+
+    servants: dict[int, tuple[Any, MethodTable]] = {}
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError):
+            return  # the parent is gone: nothing left to serve
+        if data == STOP_FRAME:
+            return
+        try:
+            envelope = decode_envelope(data)
+        except Exception as exc:  # noqa: BLE001 - reported, loop survives
+            # call_id -1: "whatever you were waiting for" — the parent
+            # treats it as the pending call's (fatal) reply
+            conn.send_bytes(
+                encode_envelope(
+                    ReplyEnvelope(-1, "error", exception_payload(exc))
+                )
+            )
+            continue
+        if isinstance(envelope, ExportEnvelope):
+            try:
+                servants[envelope.object_id] = (
+                    envelope.servant,
+                    MethodTable(type(envelope.servant)),
+                )
+                outcome: tuple[str, Any] = ("ok", envelope.object_id)
+            except Exception as exc:  # noqa: BLE001 - export ack carries it
+                outcome = ("error", exception_payload(exc))
+            conn.send_bytes(
+                encode_envelope(ReplyEnvelope(0, outcome[0], outcome[1]))
+            )
+            continue
+        entry = servants.get(envelope.object_id)
+        if entry is None:
+            outcome = (
+                "error",
+                MiddlewareError(
+                    f"worker hosts no servant #{envelope.object_id}"
+                ),
+            )
+        else:
+            obj, table = entry
+            outcome = perform_request(
+                table,
+                obj,
+                envelope.method,
+                envelope.args,
+                envelope.kwargs,
+                batch=envelope.batch,
+            )
+        if envelope.oneway:
+            continue  # fire-and-forget: executed, no reply frame
+        if outcome[0] == "error":
+            outcome = ("error", exception_payload(outcome[1]))
+        reply = ReplyEnvelope(
+            envelope.call_id,
+            outcome[0],
+            outcome[1],
+            context_id=envelope.context_id,
+        )
+        try:
+            frame = encode_envelope(reply)
+        except SerializationError as exc:
+            # an unpicklable RESULT degrades to a targeted error reply —
+            # the caller gets a SerializationError, never a hang
+            frame = encode_envelope(
+                ReplyEnvelope(
+                    envelope.call_id,
+                    "error",
+                    exception_payload(exc),
+                    context_id=envelope.context_id,
+                )
+            )
+        conn.send_bytes(frame)
+
+
+class ProcWorker:
+    """One resident worker process plus its parent-side plumbing.
+
+    Mirrors the shape of the thread-level
+    :class:`~repro.parallel.concurrency.asynchronous.PooledSpawner`'s
+    pinned workers: a long-lived activity fed through a private channel
+    (here a duplex pipe), serialised by a parent-side lock, torn down by
+    a sentinel.  The reply wait polls so it can interleave liveness and
+    cooperative-cancellation checks — a dead worker raises
+    :class:`~repro.errors.WorkerCrashed` instead of blocking forever.
+    """
+
+    #: reply-poll granularity (also the cadence of deadline/death checks)
+    POLL_INTERVAL = 0.02
+
+    def __init__(self, index: int, name: str = "proc.worker"):
+        self.index = index
+        self.name = f"{name}{index}"
+        ctx = multiprocessing.get_context(_start_method())
+        self.conn, child_conn = ctx.Pipe()
+        #: serialises request/reply round-trips on the shared pipe
+        self.lock = threading.Lock()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=self.name,
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # the parent keeps only its own end
+        self._stopped = False
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    # -- request/reply ------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        if not self.process.is_alive():
+            raise WorkerCrashed(self._obituary("before a send"))
+        try:
+            self.conn.send_bytes(data)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(
+                self._obituary(f"during a send ({exc})")
+            ) from exc
+
+    def recv(self, check: Callable[[], None] | None = None) -> bytes:
+        """Block for the next reply frame.
+
+        ``check`` is the cooperative cancellation hook called between
+        polls — the middleware passes the ambient ticket's
+        ``check_deadline`` so a per-call deadline expires *during* the
+        reply wait, not after it.
+        """
+        while True:
+            try:
+                if self.conn.poll(self.POLL_INTERVAL):
+                    return self.conn.recv_bytes()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashed(
+                    self._obituary("awaiting its reply")
+                ) from exc
+            if not self.process.is_alive():
+                # drain a reply that raced the death
+                if self.conn.poll(0):
+                    return self.conn.recv_bytes()
+                raise WorkerCrashed(self._obituary("awaiting its reply"))
+            if check is not None:
+                check()
+
+    def _obituary(self, when: str) -> str:
+        # reap first so the exit code is populated, not a stale None
+        self.process.join(0.2)
+        return (
+            f"worker process {self.name} (pid {self.pid}) died {when} "
+            f"(exitcode {self.process.exitcode}); its in-flight splits "
+            f"fail fast instead of hanging"
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL the worker (fault-injection hook for death tests)."""
+        self.process.kill()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful stop: sentinel, join, escalate to terminate."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self.process.is_alive():
+            try:
+                self.conn.send_bytes(STOP_FRAME)
+            except (BrokenPipeError, OSError):
+                pass  # already dying; the join/terminate below settles it
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.process.is_alive() else "dead"
+        return f"<ProcWorker {self.name} pid={self.pid} {state}>"
+
+
+class ProcessBackend(ThreadBackend):
+    """Thread-backed caller side + resident servant worker processes.
+
+    Subclassing :class:`~repro.runtime.threads.ThreadBackend` is the
+    point, not a shortcut: submissions, admission waits, collectors and
+    futures all live in the parent and need real-thread semantics on the
+    wall clock (``now`` is inherited ``time.monotonic``, so ``timeout=``
+    means wall seconds exactly as on threads).  The processes this
+    backend adds host *servants*, reached through
+    :class:`~repro.middleware.proc.ProcMiddleware` — never through
+    ``spawn()``, which cannot ship closures across a process boundary.
+    """
+
+    name = "process"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: every worker ever started, in export order (index == position)
+        self.workers: list[ProcWorker] = []
+        self._workers_lock = threading.Lock()
+        self._atexit_armed = False
+
+    def new_worker(self) -> ProcWorker:
+        """Fork one resident worker process and track it for teardown."""
+        with self._workers_lock:
+            worker = ProcWorker(len(self.workers))
+            self.workers.append(worker)
+            if not self._atexit_armed:
+                # backstop only: the middleware's shutdown is the real
+                # teardown path; daemon processes close the last gap
+                atexit.register(self.stop_workers)
+                self._atexit_armed = True
+        return worker
+
+    def stop_workers(self) -> None:
+        """Stop every live worker (idempotent)."""
+        with self._workers_lock:
+            workers = list(self.workers)
+        for worker in workers:
+            worker.stop()
+
+    @property
+    def live_workers(self) -> int:
+        """Worker processes currently alive (leak observability)."""
+        return sum(1 for worker in self.workers if worker.alive)
+
+
+@register_backend("process")
+def _make_process_backend(cluster: Any = None, sim: Any = None) -> ProcessBackend:
+    """Registry factory for the out-of-process backend.
+
+    Rejects simulated clusters eagerly: real OS processes cannot run on
+    virtual time or simulated nodes — simulated distribution is the sim
+    backend's job.
+    """
+    if cluster is not None:
+        raise BackendError(
+            "backend 'process' runs real OS worker processes and cannot "
+            "attach to a simulated cluster; use backend='sim' with "
+            "middleware 'rmi'/'mpp' for simulated distribution"
+        )
+    return ProcessBackend()

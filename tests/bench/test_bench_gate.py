@@ -105,6 +105,8 @@ class TestMultiPairGate:
             "overlapped-pipeline",
             "pack-routed-farm-map",
             "resident-pool-dynfarm",
+            "cpu-farm-process",
+            "pack-marshal-process",
         }
         for pair in committed:
             assert 0 < pair["max_regression"] <= 1.0

@@ -1,0 +1,335 @@
+"""The out-of-process backend: worker lifecycle, registry wiring, and
+the fail-fast contract when a resident worker dies with calls in
+flight.  The worker-death regression is the headline: killing a worker
+mid-split must latch the call's collector with a useful traceback,
+undeploy cleanly, and leak no child processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.api import ParallelApp, StackSpec
+from repro.api.registry import BACKENDS
+from repro.errors import (
+    BackendError,
+    DeploymentError,
+    MiddlewareError,
+    RemoteError,
+    SerializationError,
+    WorkerCrashed,
+)
+from repro.middleware.proc import ProcMiddleware
+from repro.runtime.procbackend import ProcessBackend, ProcWorker
+from repro.parallel import WorkSplitter
+from repro.parallel.partition import CallPiece
+
+
+def wait_until(cond, timeout=10.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if cond():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+def _wait_gate(path, timeout=10.0):
+    if path is None:
+        return
+    deadline = time.time() + timeout
+    while time.time() < deadline and not os.path.exists(path):
+        time.sleep(0.01)
+
+
+class Doubler:
+    def bump(self, values):
+        return [v * 2 for v in values]
+
+
+class GatedDoubler:
+    gate_path: str | None = None
+
+    def bump(self, values):
+        _wait_gate(GatedDoubler.gate_path)
+        return [v * 2 for v in values]
+
+
+class Faulty:
+    def explode(self, x):
+        raise ValueError(f"deliberate failure on {x}")
+
+
+class UnpicklableResult:
+    def make(self):
+        return lambda: None  # lambdas never pickle
+
+
+@pytest.fixture(autouse=True)
+def clear_gates():
+    GatedDoubler.gate_path = None
+    yield
+    GatedDoubler.gate_path = None
+
+
+class TestProcessBackendBasics:
+    def test_registry_resolves_process_backend(self):
+        backend = BACKENDS.get("process")(cluster=None)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.name == "process"
+
+    def test_factory_rejects_simulated_clusters(self):
+        with pytest.raises(BackendError, match="simulated cluster"):
+            BACKENDS.get("process")(cluster=object())
+
+    def test_spec_rejects_cluster_and_placement(self):
+        with pytest.raises(DeploymentError, match="simulated cluster"):
+            StackSpec(
+                target=Doubler,
+                work="bump",
+                strategy="none",
+                backend="process",
+                cluster=object(),
+            ).validate()
+        with pytest.raises(DeploymentError, match="placement"):
+            StackSpec(
+                target=Doubler,
+                work="bump",
+                strategy="none",
+                backend="process",
+                placement=object(),
+            ).validate()
+
+    def test_spec_rejects_mismatched_pairings(self):
+        with pytest.raises(DeploymentError, match="backend='process'"):
+            StackSpec(
+                target=Doubler,
+                work="bump",
+                strategy="none",
+                middleware="process",
+                backend="thread",
+            ).validate()
+        with pytest.raises(DeploymentError, match="simulated transport"):
+            StackSpec(
+                target=Doubler,
+                work="bump",
+                strategy="none",
+                middleware="rmi",
+                backend="process",
+            ).validate()
+
+    def test_backend_auto_resolves_from_process_middleware(self):
+        app = ParallelApp(
+            StackSpec(
+                target=Doubler,
+                work="bump",
+                strategy="none",
+                middleware="process",
+            )
+        )
+        try:
+            assert isinstance(app.backend, ProcessBackend)
+        finally:
+            app.shutdown()
+
+    def test_wall_clock_semantics_inherited_from_threads(self):
+        backend = ProcessBackend()
+        t0 = backend.now()
+        time.sleep(0.01)
+        assert backend.now() - t0 >= 0.005  # monotonic wall seconds
+
+
+class TestProcMiddlewareDirect:
+    def test_export_invoke_roundtrip(self):
+        middleware = ProcMiddleware()
+        try:
+            ref = middleware.export(Doubler())
+            assert middleware.invoke(ref, "bump", ([1, 2],)) == [2, 4]
+            assert middleware.calls == 1
+        finally:
+            middleware.shutdown()
+
+    def test_remote_exception_carries_remote_traceback(self):
+        middleware = ProcMiddleware()
+        try:
+            ref = middleware.export(Faulty())
+            with pytest.raises(RemoteError) as err:
+                middleware.invoke(ref, "explode", (7,))
+            assert "deliberate failure on 7" in str(err.value)
+            assert isinstance(err.value.cause, ValueError)
+            assert "deliberate failure" in err.value.cause.remote_traceback
+        finally:
+            middleware.shutdown()
+
+    def test_unpicklable_argument_fails_at_send_site(self):
+        middleware = ProcMiddleware()
+        try:
+            ref = middleware.export(Doubler())
+            with pytest.raises(
+                SerializationError, match="RequestEnvelope.args"
+            ):
+                middleware.invoke(ref, "bump", (lambda: None,))
+            # the worker never saw the bad frame: still serving fine
+            assert middleware.invoke(ref, "bump", ([3],)) == [6]
+        finally:
+            middleware.shutdown()
+
+    def test_unpicklable_result_degrades_to_error_reply(self):
+        middleware = ProcMiddleware()
+        try:
+            ref = middleware.export(UnpicklableResult())
+            with pytest.raises(RemoteError) as err:
+                middleware.invoke(ref, "make", ())
+            assert isinstance(err.value.cause, SerializationError)
+            # and the worker survives to serve the next call
+            with pytest.raises(RemoteError):
+                middleware.invoke(ref, "make", ())
+        finally:
+            middleware.shutdown()
+
+    def test_unpicklable_servant_fails_at_export(self):
+        middleware = ProcMiddleware()
+        bad = Doubler()
+        bad.handle = lambda: None  # instance state that refuses to pickle
+        try:
+            with pytest.raises(SerializationError):
+                middleware.export(bad)
+            # the servant is encoded BEFORE the fork: the failed export
+            # left no worker process behind to leak
+            assert middleware.backend.workers == []
+        finally:
+            middleware.shutdown()
+        assert not multiprocessing.active_children()
+
+    def test_one_worker_per_servant(self):
+        middleware = ProcMiddleware()
+        try:
+            refs = [middleware.export(Doubler()) for _ in range(3)]
+            assert len(middleware.backend.workers) == 3
+            pids = {middleware.worker_of(ref).pid for ref in refs}
+            assert len(pids) == 3  # genuinely distinct processes
+            assert os.getpid() not in pids
+        finally:
+            middleware.shutdown()
+        assert middleware.backend.live_workers == 0
+
+
+class TestWorkerCrash:
+    def test_dead_worker_raises_instead_of_hanging(self):
+        middleware = ProcMiddleware()
+        try:
+            ref = middleware.export(Doubler())
+            worker = middleware.worker_of(ref)
+            worker.kill()
+            wait_until(lambda: not worker.alive)
+            with pytest.raises(WorkerCrashed) as err:
+                middleware.invoke(ref, "bump", ([1],))
+            message = str(err.value)
+            assert str(worker.pid) in message
+            assert "exitcode" in message
+            assert middleware.worker_crashes == 1
+        finally:
+            middleware.shutdown()
+
+    def test_crash_mid_reply_wait_raises(self, tmp_path):
+        gate = str(tmp_path / "gate")
+        GatedDoubler.gate_path = gate
+        middleware = ProcMiddleware()
+        try:
+            ref = middleware.export(GatedDoubler())
+            worker = middleware.worker_of(ref)
+            import threading
+
+            outcome: dict = {}
+
+            def call():
+                try:
+                    outcome["result"] = middleware.invoke(ref, "bump", ([1],))
+                except Exception as exc:  # noqa: BLE001 - inspected below
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=call)
+            thread.start()
+            wait_until(lambda: worker.alive and thread.is_alive())
+            time.sleep(0.1)  # let the request reach the parked worker
+            worker.kill()
+            thread.join(timeout=10)
+            assert not thread.is_alive(), "reply wait hung on a dead worker"
+            assert isinstance(outcome.get("error"), WorkerCrashed)
+            assert "awaiting its reply" in str(outcome["error"])
+        finally:
+            middleware.shutdown()
+
+    def test_worker_death_mid_split_fails_fast_and_cleans_up(self, tmp_path):
+        """The regression: kill a resident worker mid-split; the call's
+        collector latches the failure (useful message, not a hang), the
+        deployment undeploys cleanly, and no child process leaks."""
+        gate = str(tmp_path / "gate")
+        GatedDoubler.gate_path = gate
+        app = ParallelApp(
+            StackSpec(
+                target=GatedDoubler,
+                work="bump",
+                # a REAL two-piece data split: each pinned dispatcher
+                # parks one piece at its own worker, so the victim is
+                # guaranteed to hold an in-flight call when killed
+                splitter=WorkSplitter(
+                    duplicates=2,
+                    split=lambda args, kwargs: [
+                        CallPiece(0, (args[0][:1],)),
+                        CallPiece(1, (args[0][1:],)),
+                    ],
+                    combine=lambda rs: [v for r in rs for v in r],
+                ),
+                strategy="dynamic-farm",
+                backend="process",
+            )
+        )
+        with app:
+            app.start()
+            doomed = app.submit([1, 11])
+            workers = app.middleware.backend.workers
+            # wait until BOTH workers have a round-trip in flight (the
+            # parent-side pipe lock is held for the whole round-trip and
+            # the servants are parked on the gate) — the demand-driven
+            # queue would otherwise be free to route every piece to the
+            # survivor and mask the crash
+            assert wait_until(lambda: all(w.lock.locked() for w in workers))
+            victim = workers[0]
+            victim.kill()
+            open(gate, "w").close()  # release the survivor promptly
+            with pytest.raises(RemoteError) as err:
+                doomed.result(timeout=20)
+            message = str(err.value)
+            assert str(victim.pid) in message
+            assert "fail fast" in message  # the obituary, not a timeout
+        # clean undeploy: every worker (dead and alive) is stopped...
+        assert wait_until(lambda: app.backend.live_workers == 0)
+        # ...and nothing leaked at the OS level
+        assert wait_until(lambda: not multiprocessing.active_children())
+
+    def test_stop_is_idempotent_and_safe_after_death(self):
+        worker = ProcWorker(0)
+        assert worker.alive
+        worker.kill()
+        wait_until(lambda: not worker.alive)
+        worker.stop()
+        worker.stop()  # second stop is a no-op
+        assert not worker.alive
+
+
+class TestRegistryCatalogue:
+    def test_unknown_backend_lists_full_catalogue(self):
+        # historically this error listed only whatever had been imported
+        # so far; the registry bootstrap now guarantees the full set
+        from repro.api.registry import UnknownNameError
+
+        with pytest.raises(UnknownNameError) as err:
+            BACKENDS.get("does-not-exist")
+        for name in ("thread", "sim", "process"):
+            assert name in err.value.known
+        assert "process" in str(err.value)
