@@ -5,7 +5,7 @@
 PY ?= python
 PYPATH := PYTHONPATH=src
 
-.PHONY: test stress test-proc bench-smoke bench-check bench-dispatch bench-proc lint
+.PHONY: test stress stress-faults test-proc bench-smoke bench-check bench-dispatch bench-proc lint
 
 ## tier-1 test suite (the driver's acceptance gate)
 test:
@@ -23,6 +23,25 @@ stress:
 			tests/parallel/test_dispatch_contexts.py \
 			tests/parallel/test_admission_policies.py \
 			tests/parallel/test_deadlines.py || exit 1; \
+	done
+
+## fault-injection stress: rerun the whole fault matrix 5x — the
+## tests/faults suites (schedule determinism, retry-collector
+## properties, kill-and-replace recovery, golden trace) plus the fault
+## parametrisations of the thread and process dispatch matrices.  Kills
+## and respawns are timing-sensitive by construction; 5 rounds with the
+## cache disabled surface interleavings a single run hides.  CI wraps
+## this in a hard timeout-minutes so a lost wakeup (a hang, not a
+## failure) still fails the job fast.
+stress-faults:
+	@for i in 1 2 3 4 5; do \
+		echo "--- fault stress round $$i/5 ---"; \
+		$(PYPATH) $(PY) -m pytest -q -p no:cacheprovider \
+			tests/faults || exit 1; \
+		$(PYPATH) $(PY) -m pytest -q -p no:cacheprovider \
+			tests/parallel/test_dispatch_contexts.py \
+			tests/parallel/test_process_backend_matrix.py \
+			-k "FaultMatrix" || exit 1; \
 	done
 
 ## out-of-process backend subset: worker lifecycle + crash fail-fast,

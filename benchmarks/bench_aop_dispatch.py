@@ -867,3 +867,96 @@ def test_submit_roundtrip_pack8(benchmark):
         app.undeploy()
         app.shutdown()
         sim.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: farm throughput under 1-in-50 worker kills with the
+# retry plane absorbing them, vs the clean (retry off, no faults) farm
+# ---------------------------------------------------------------------------
+
+FAULT_SUBMITS = 4
+
+
+def make_fault_farm_app(faulted):
+    """A thread-backend static farm with trivial per-piece work; the
+    faulted variant kills the dispatched-to worker on every 50th piece
+    dispatch and arms a retry policy so every kill is absorbed by a
+    re-dispatch — the pair prices the whole recovery plane (fault-plane
+    consultation + retry bookkeeping + occasional re-dispatch)."""
+    from repro.api import ParallelApp, StackSpec
+    from repro.faults import FaultEvent, FaultSchedule, RetryPolicy
+    from repro.parallel import WorkSplitter
+    from repro.runtime import ThreadBackend
+
+    class Service:
+        def __init__(self, tag=0):
+            self.tag = tag
+
+        def handle(self, x):
+            return x + 1
+
+    fields = dict(
+        target=Service,
+        work="handle",
+        splitter=WorkSplitter(duplicates=4, combine=lambda rs: rs[0]),
+        strategy="farm",
+        backend=ThreadBackend(),
+    )
+    schedule = None
+    if faulted:
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", site="dispatch", every=50)],
+            name="bench-kills",
+        )
+        fields.update(faults=schedule, retry=RetryPolicy(max_attempts=3))
+    return schedule, ParallelApp(StackSpec(**fields))
+
+
+def test_submit_faulted_farm_retry(benchmark):
+    """Farm throughput with a 1-in-50 ``kill_worker`` schedule and retry
+    ON: every kill is recovered by re-dispatching the piece to the next
+    worker (invariant: the schedule genuinely fired, and every
+    submission still succeeded).  CI gates this pair's ratio
+    (faulted/clean) via tools/check_bench_regression.py."""
+    schedule, app = make_fault_farm_app(faulted=True)
+    try:
+        app.deploy()
+        app.start()
+
+        def round_trip():
+            futures = [app.submit(i) for i in range(FAULT_SUBMITS)]
+            return [f.result() for f in futures]
+
+        # warm past the first 50-dispatch kill mark so the invariant
+        # below holds even under --benchmark-disable's single round
+        for _ in range(1 + 50 // FAULT_SUBMITS):
+            assert round_trip() == [i + 1 for i in range(FAULT_SUBMITS)]
+        assert schedule.fired_count() >= 1, "the kill schedule never fired"
+        result = benchmark(round_trip)
+        assert result == [i + 1 for i in range(FAULT_SUBMITS)]
+    finally:
+        app.undeploy()
+        app.shutdown()
+
+
+def test_submit_clean_farm(benchmark):
+    """The same farm with no fault schedule and no retry policy — the
+    clean throughput the faulted run is gated against (the fast path of
+    ``fire_fault`` is one truthiness check, so the gap is the price of
+    actual kills plus retry bookkeeping, not of the instrumentation)."""
+    _, app = make_fault_farm_app(faulted=False)
+    try:
+        app.deploy()
+        app.start()
+
+        def round_trip():
+            futures = [app.submit(i) for i in range(FAULT_SUBMITS)]
+            return [f.result() for f in futures]
+
+        assert round_trip() == [i + 1 for i in range(FAULT_SUBMITS)]
+        assert benchmark(round_trip) == [
+            i + 1 for i in range(FAULT_SUBMITS)
+        ]
+    finally:
+        app.undeploy()
+        app.shutdown()

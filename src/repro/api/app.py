@@ -41,6 +41,7 @@ from repro.errors import (
     DeploymentError,
     FutureError,
 )
+from repro.faults.schedule import install_faults, remove_faults
 from repro.middleware.context import use_node
 from repro.parallel.composition import Composition, ParallelModule
 from repro.parallel.concern import Concern
@@ -146,6 +147,9 @@ class ParallelApp:
             name=self.composition.name,
         )
         self._submissions = 0
+        #: the spec's fault schedule while installed on the fault plane
+        #: (deploy installs it, undeploy removes it)
+        self._faults_active: Any = None
 
     @staticmethod
     def _resolve_backend(spec: StackSpec) -> ExecutionBackend:
@@ -172,12 +176,20 @@ class ParallelApp:
     # -- lifecycle ----------------------------------------------------------
 
     def deploy(self) -> "ParallelApp":
-        """Weave the target and deploy every module."""
+        """Weave the target and deploy every module.  A spec-level fault
+        schedule goes live on the ambient fault plane here and comes
+        down at :meth:`undeploy` — the deployment's lifetime IS the
+        schedule's."""
         self.composition.deploy(self.weaver, targets=[self.spec.target])
+        if self.spec.faults is not None and self._faults_active is None:
+            self._faults_active = install_faults(self.spec.faults)
         return self
 
     def undeploy(self) -> None:
         """Undeploy every module (the target class stays woven)."""
+        if self._faults_active is not None:
+            remove_faults(self._faults_active)
+            self._faults_active = None
         self.composition.undeploy()
 
     def shutdown(self) -> None:
@@ -366,7 +378,7 @@ class ParallelApp:
         # acquire before dispatching: this is where backpressure (block),
         # rejection (fail) and shedding happen — in the submitter
         slot = self.admission.admit(
-            deadline=deadline, name=f"submit.{method}"
+            deadline=deadline, name=f"submit.{method}", retry=self.spec.retry
         )
         self._submissions += 1
         future = Future(
@@ -570,7 +582,9 @@ class ParallelApp:
             # keeping every handle in the returned group reachable
             try:
                 slot = self.admission.admit(
-                    deadline=self._deadline(timeout), name=f"map.pack.{method}"
+                    deadline=self._deadline(timeout),
+                    name=f"map.pack.{method}",
+                    retry=self.spec.retry,
                 )
             except AdmissionError as exc:
                 for offset in range(len(chunk)):
@@ -685,6 +699,14 @@ class AppBuilder:
     def timeout(self, seconds: float) -> "AppBuilder":
         """Set the spec-level default per-call deadline."""
         return self._set(timeout=seconds)
+
+    def retry(self, policy: Any) -> "AppBuilder":
+        """Attach the per-call piece retry policy (a RetryPolicy)."""
+        return self._set(retry=policy)
+
+    def faults(self, schedule: Any) -> "AppBuilder":
+        """Install a fault-injection schedule for the deployment (tests)."""
+        return self._set(faults=schedule)
 
     def named(self, name: str) -> "AppBuilder":
         """Set the composition's display name."""

@@ -132,6 +132,15 @@ class StackSpec:
     #: overrides per call; None = no deadline).  Measured on the
     #: backend's clock: wall time on threads, virtual time on sim.
     timeout: float | None = None
+    #: per-call retry policy (a :class:`repro.faults.RetryPolicy`):
+    #: failed pieces are re-dispatched to healthy workers up to
+    #: ``max_attempts`` times before the original failure latches
+    #: (None = fail-fast, the pre-fault behaviour)
+    retry: Any = None
+    #: fault-injection schedule (a :class:`repro.faults.FaultSchedule`)
+    #: installed on the ambient fault plane for the deployment's
+    #: lifetime — a TEST knob, never set in production specs
+    faults: Any = None
 
     # -- derived views ------------------------------------------------------
 
@@ -263,6 +272,20 @@ class StackSpec:
             raise DeploymentError(
                 f"timeout must be a positive number of seconds "
                 f"(or None for no deadline), got {self.timeout!r}"
+            )
+        # duck-checks, not isinstance: the knobs accept any object with
+        # the policy/schedule protocol (test doubles included)
+        if self.retry is not None and not (
+            hasattr(self.retry, "max_attempts") and hasattr(self.retry, "retryable")
+        ):
+            raise DeploymentError(
+                f"StackSpec.retry must be a RetryPolicy-like object "
+                f"(max_attempts + retryable(exc)), got {self.retry!r}"
+            )
+        if self.faults is not None and not hasattr(self.faults, "fire"):
+            raise DeploymentError(
+                f"StackSpec.faults must be a FaultSchedule-like object "
+                f"(with a fire(site, index) method), got {self.faults!r}"
             )
         # the process-stack cross-checks run first: "rmi over the process
         # backend" should say THAT, not fall into the generic cluster rule

@@ -185,6 +185,41 @@ class RegistryError(MiddlewareError):
     """Name-server lookup/bind failure (unknown or duplicate name)."""
 
 
+# ---------------------------------------------------------------------------
+# Fault injection (deterministic failure schedules — repro.faults)
+# ---------------------------------------------------------------------------
+
+
+class InjectedFault(ReproError):
+    """Base class for failures raised by the fault-injection layer.
+
+    Schedules (:class:`~repro.faults.FaultSchedule`) deliver
+    ``raise_in_piece`` events as this class directly; the more specific
+    subclasses mark the two structured misbehaviours.  Retry policies
+    treat the whole family as retryable by default.
+    """
+
+
+class WorkerKilled(InjectedFault):
+    """An injected fault killed the worker a piece was routed to.
+
+    On the thread backend this is the *simulation* of a worker death
+    (the piece fails before running, best-effort flagging); on the
+    process backend the resident worker really is SIGKILLed and the
+    failure surfaces as :class:`WorkerCrashed` instead.
+    """
+
+
+class ReplyDropped(InjectedFault):
+    """An injected fault discarded a completed call's reply.
+
+    The work ran — possibly with side effects — but the caller never
+    sees the result, modelling a lost response message.  Re-dispatch
+    therefore needs reply deduplication on the collector (keyed
+    deposits) to keep exactly-once result delivery.
+    """
+
+
 class SerializationError(MiddlewareError):
     """An object could not be (de)serialised for transport."""
 

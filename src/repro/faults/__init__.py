@@ -1,0 +1,43 @@
+"""Deterministic fault injection and retry policies.
+
+The runtime's correctness claims (overlap, admission, deadlines) assume
+workers never die and replies never vanish.  This package makes failure
+a first-class *test axis*: a seeded :class:`FaultSchedule` of
+``kill_worker`` / ``drop_reply`` / ``delay_reply`` / ``raise_in_piece``
+events fires at the dispatch boundaries every skeleton already shares —
+:func:`~repro.parallel.partition.base.dispatch_piece`, the
+:class:`~repro.parallel.concurrency.asynchronous.PooledSpawner` worker
+loops, and :class:`~repro.middleware.proc.ProcMiddleware`'s reply wait
+— while :class:`RetryPolicy` supplies the recovery semantics that make
+those faults survivable (re-dispatch to a healthy worker instead of
+latching failure).
+
+See ``docs/ARCHITECTURE.md`` ("Fault injection and retry") for the hook
+point diagram and lifecycle.
+"""
+
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultEvent,
+    FaultSchedule,
+    current_faults,
+    fire_fault,
+    install_faults,
+    remove_faults,
+    use_faults,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultEvent",
+    "FaultSchedule",
+    "RetryPolicy",
+    "current_faults",
+    "fire_fault",
+    "install_faults",
+    "remove_faults",
+    "use_faults",
+]

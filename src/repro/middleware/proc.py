@@ -29,10 +29,13 @@ turn into a fail-fast ``ResultCollector.fail``.
 from __future__ import annotations
 
 import itertools
+import threading
+import time
 from typing import Any
 
 from repro.aop.plan import piece_view
-from repro.errors import MiddlewareError, RemoteError, WorkerCrashed
+from repro.errors import MiddlewareError, RemoteError, ReplyDropped, WorkerCrashed
+from repro.faults.schedule import fire_fault
 from repro.middleware.base import Middleware, RemoteRef
 from repro.middleware.serialize import ExportEnvelope, RequestEnvelope, Serializer
 from repro.runtime.dispatch import current_dispatch, dispatch_id
@@ -63,6 +66,7 @@ class ProcMiddleware(Middleware):
         self,
         backend: ProcessBackend | None = None,
         copy_payloads: bool = True,
+        respawn: bool = True,
     ):
         if backend is not None and not isinstance(backend, ProcessBackend):
             raise MiddlewareError(
@@ -80,6 +84,11 @@ class ProcMiddleware(Middleware):
         self.oneway_calls = 0
         self.batched_calls = 0
         self.worker_crashes = 0
+        #: refill a crashed servant's worker from the parent-side twin so
+        #: a retried piece finds a healthy process behind the same ref
+        self.respawn = respawn
+        self.worker_respawns = 0
+        self._refill_lock = threading.Lock()
 
     # -- export -------------------------------------------------------------
 
@@ -227,6 +236,18 @@ class ProcMiddleware(Middleware):
         check()  # don't ship work for a call that is already cancelled
         frame = self.serializer.encode(envelope)  # names a culprit field
         worker = export.worker
+        # the "proc" fault site: consulted once per round trip, indexed
+        # by the resident worker.  kill_worker SIGKILLs the real process
+        # and lets the send/recv below surface the genuine WorkerCrashed
+        # (the full obituary path, not a synthetic error); delay_reply
+        # stalls the round trip; drop_reply completes the call in the
+        # worker but discards the matched reply on the way back.
+        event = fire_fault("proc", worker.index)
+        if event is not None:
+            if event.kind == "kill_worker":
+                worker.kill()
+            elif event.kind == "delay_reply":
+                time.sleep(event.delay)
         try:
             with worker.lock:
                 worker.send(frame)
@@ -235,11 +256,59 @@ class ProcMiddleware(Middleware):
                 while True:
                     reply = self.serializer.decode(worker.recv(check=check))
                     if reply.call_id in (envelope.call_id, -1):
+                        if event is not None and event.kind == "drop_reply":
+                            raise ReplyDropped(
+                                f"injected reply drop on worker "
+                                f"{worker.name} (call {envelope.call_id})"
+                            )
                         return reply
                     # a previous caller's abandoned reply: discard
         except WorkerCrashed:
             self.worker_crashes += 1
+            if self.respawn:
+                self._refill(export, worker)
             raise
+
+    def _refill(self, export: _Export, dead: ProcWorker) -> None:
+        """Replace a crashed servant worker: re-export the parent-side
+        twin into a fresh process behind the SAME ref, so the retry that
+        follows the :class:`~repro.errors.WorkerCrashed` finds a healthy
+        resident.  The twin carries deploy-time state (value semantics) —
+        mid-run servant mutations die with the process, which is the
+        honest recovery contract for state that only lived remotely.
+
+        Best-effort and idempotent: concurrent crashed calls on one
+        worker race here, the identity check makes the first one refill
+        and the rest keep the already-fresh worker.
+        """
+        with self._refill_lock:
+            if export.worker is not dead:
+                return  # another caller already refilled this servant
+            try:
+                frame = self.serializer.encode(
+                    ExportEnvelope(
+                        export.ref.object_id,
+                        export.local,
+                        export.ref.type_name,
+                    )
+                )
+                fresh = self.backend.new_worker()
+                try:
+                    with fresh.lock:
+                        fresh.send(frame)
+                        reply = self.serializer.decode(fresh.recv())
+                    if reply.outcome == "error":
+                        fresh.stop()
+                        return  # leave the export dead; callers keep failing
+                except BaseException:
+                    fresh.stop()
+                    raise
+                export.worker = fresh
+                self.worker_respawns += 1
+            except Exception:  # noqa: BLE001 - refill is best-effort
+                return
+            finally:
+                dead.stop()  # reap the corpse (idempotent)
 
     def _remote_error(
         self, ref: RemoteRef, method: str, payload: Any, batch: bool = False

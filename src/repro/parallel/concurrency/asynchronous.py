@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import Any, Callable
 
 from repro.aop import abstract_pointcut, around, pointcut
+from repro.faults.schedule import fire_fault
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.runtime.backend import ExecutionBackend, current_backend
 from repro.runtime.dispatch import bind_dispatch, shield_dispatch
@@ -60,9 +62,18 @@ class PooledSpawner:
     is recorded (``task_failures``) and the loop serves the next task —
     errors belong to the enqueueing call, which observes them through
     its own ticket/collector, never to the pool.
+
+    Fault axis: each pulled task first consults the ambient
+    :class:`~repro.faults.FaultSchedule` at site ``"pool"`` (index = the
+    resident's position).  A ``kill_worker`` event — or an explicit
+    :meth:`kill` — terminates the resident *before* the task runs; the
+    pulled task is re-enqueued (no piece is lost) and a replacement
+    resident is spawned on the same queue (``killed`` / ``replacements``
+    counters), so an in-flight split completes on the refilled pool.
     """
 
     _STOP = object()
+    _KILL = object()
 
     def __init__(self, size: int, pinned: bool = False):
         if size < 1:
@@ -78,6 +89,10 @@ class PooledSpawner:
         self._cursor = itertools.count()
         self.executed = 0
         self.task_failures = 0
+        #: residents terminated by a fault event or an explicit kill()
+        self.killed = 0
+        #: replacement residents spawned after kills
+        self.replacements = 0
 
     @property
     def started(self) -> bool:
@@ -108,7 +123,9 @@ class PooledSpawner:
                     # call's dispatch, and a worker must not pin (or leak to
                     # later tasks) that call's ticket for its whole lifetime
                     backend.spawn(
-                        shield_dispatch(lambda q=queue: self._worker(q)),
+                        shield_dispatch(
+                            lambda q=queue, i=i: self._worker(q, i)
+                        ),
                         name=f"pool.worker{i}",
                         daemon=True,
                     )
@@ -124,16 +141,57 @@ class PooledSpawner:
         # each task to the ticket of the call that enqueued it instead
         queue.put(bind_dispatch(task))
 
-    def _worker(self, queue: Any) -> None:
+    def _worker(self, queue: Any, index: int) -> None:
         while True:
             task = queue.get()
             if task is self._STOP:
                 return
+            if task is self._KILL:
+                self._die(queue, index, requeue=None)
+                return
+            event = fire_fault("pool", index)
+            if event is not None and event.kind == "kill_worker":
+                # the resident dies BEFORE running the task; the pulled
+                # task goes back on the queue so no piece is lost — the
+                # replacement resident (or a shared-queue sibling) runs it
+                self._die(queue, index, requeue=task)
+                return
+            if event is not None and event.kind == "delay_reply":
+                time.sleep(event.delay)
             try:
                 task()
             except Exception:  # noqa: BLE001 - the call observes its own error
                 self.task_failures += 1
             self.executed += 1
+
+    def _die(self, queue: Any, index: int, requeue: Any) -> None:
+        """Terminate resident ``index``: count the kill, put back the
+        task it pulled (if any), and spawn a replacement on its queue."""
+        self.killed += 1
+        if requeue is not None:
+            queue.put(requeue)
+        self._respawn(queue, index)
+
+    def _respawn(self, queue: Any, index: int) -> None:
+        backend = self._backend
+        if backend is None:  # pool already torn down
+            return
+        self.replacements += 1
+        backend.spawn(
+            shield_dispatch(lambda q=queue, i=index: self._worker(q, i)),
+            name=f"pool.worker{index}.respawn",
+            daemon=True,
+        )
+
+    def kill(self, index: int = 0) -> None:
+        """Deliver a kill token to resident ``index`` (any resident on
+        the shared queue when not pinned).  The resident terminates at
+        its next pull and is immediately replaced — the test face of the
+        ``kill_worker`` fault event."""
+        if self._queues is None:
+            raise RuntimeError("pool not started")
+        queue = self._queues[index % self.size if self.pinned else 0]
+        queue.put(self._KILL)
 
     def stop(self) -> None:
         if self._queues is not None:

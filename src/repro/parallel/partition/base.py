@@ -21,17 +21,30 @@ provides the shared machinery:
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.aop import abstract_pointcut, pointcut
 from repro.aop.plan import CtorPack, batched_entry
-from repro.errors import AdviceError, DeadlineExceeded
+from repro.errors import (
+    AdviceError,
+    DeadlineExceeded,
+    InjectedFault,
+    ReplyDropped,
+    WorkerKilled,
+)
+from repro.faults.schedule import fire_fault
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.runtime.admission import current_envelope
 from repro.runtime.backend import current_backend
-from repro.runtime.dispatch import next_dispatch_id, register_dispatch, use_dispatch
+from repro.runtime.dispatch import (
+    next_dispatch_id,
+    register_dispatch,
+    use_dispatch,
+    use_piece,
+)
 from repro.runtime.futures import Future
 
 __all__ = [
@@ -43,6 +56,8 @@ __all__ = [
     "DispatchContextOwner",
     "PartitionAspect",
     "dispatch_piece",
+    "dispatch_with_retry",
+    "piece_key",
     "piece_results",
 ]
 
@@ -84,18 +99,97 @@ class PackedPiece(CallPiece):
         return f"<PackedPiece #{self.index} x{len(self.items)}>"
 
 
-def dispatch_piece(target: Any, name: str, piece: CallPiece) -> Any:
+def dispatch_piece(
+    target: Any, name: str, piece: CallPiece, worker_index: int | None = None
+) -> Any:
     """Send one split piece into ``target``'s woven entry point.
 
     Plain pieces go through the compiled plan installed as the class
     attribute (fetched per piece, so an aspect (un)plugged mid-split
     applies to the remaining pieces); packs go through the compiled
     batched entry — one advice pass for the whole pack.
+
+    This is the ``"dispatch"`` fault-injection site: an installed
+    :class:`~repro.faults.FaultSchedule` is consulted once per piece
+    (keyed by ``worker_index`` when the strategy routes to a known
+    worker).  ``raise_in_piece``/``kill_worker`` fail the piece before
+    the call, ``delay_reply`` stalls it, and ``drop_reply`` runs the
+    call but discards its outcome — so recovery needs keyed deposits to
+    stay exactly-once.  The piece is made ambient for the duration of
+    the call (:func:`~repro.runtime.dispatch.current_piece`), which is
+    how forwarding advice hops away attributes tail results to it.
     """
+    event = fire_fault("dispatch", worker_index)
+    if event is not None:
+        where = f"worker {worker_index}" if worker_index is not None else "dispatch"
+        if event.kind == "raise_in_piece":
+            raise InjectedFault(
+                f"injected failure in piece #{piece.index} ({where})"
+            )
+        if event.kind == "kill_worker":
+            raise WorkerKilled(
+                f"injected worker death under piece #{piece.index} ({where})"
+            )
+        if event.kind == "delay_reply":
+            time.sleep(event.delay)
     items = getattr(piece, "items", None)
-    if items is not None:
-        return batched_entry(target, name)(items)
-    return getattr(target, name)(*piece.args, **piece.kwargs)
+    with use_piece(piece):
+        if items is not None:
+            outcome = batched_entry(target, name)(items)
+        else:
+            outcome = getattr(target, name)(*piece.args, **piece.kwargs)
+    if event is not None and event.kind == "drop_reply":
+        raise ReplyDropped(
+            f"injected reply drop for piece #{piece.index} ({where})"
+        )
+    return outcome
+
+
+def dispatch_with_retry(
+    ctx: "DispatchContext | None",
+    pick_worker: Callable[[int], tuple[Any, int | None]],
+    name: str,
+    piece: CallPiece,
+) -> Any:
+    """Dispatch ``piece``, re-dispatching to a (possibly different)
+    worker on retryable failure, per the ticket's adopted
+    :class:`~repro.faults.RetryPolicy`.
+
+    ``pick_worker(attempt)`` returns ``(worker, index)`` for the given
+    zero-based attempt — strategies rotate to a healthy neighbour
+    (farm), hand the piece back to the pool (dynamic farm), or clone a
+    fresh branch worker (divide & conquer).  Without an armed policy
+    this is exactly :func:`dispatch_piece` — one attempt, failures
+    propagate.  With one, future-valued outcomes are resolved *inside*
+    the protected region so a concurrency-mode worker failure is caught
+    (and retried) here rather than surfacing at gather time.
+    """
+    policy = getattr(ctx, "retry_policy", None) if ctx is not None else None
+    attempt = 0
+    while True:
+        worker, index = pick_worker(attempt)
+        try:
+            outcome = dispatch_piece(worker, name, piece, worker_index=index)
+            if policy is not None and isinstance(outcome, Future):
+                outcome = outcome.result()
+            return outcome
+        except Exception as exc:
+            attempt += 1
+            if (
+                policy is None
+                or not policy.retryable(exc)
+                or attempt >= policy.max_attempts
+            ):
+                raise
+            ctx.record_retry(piece, exc, attempt)
+            ctx.check_deadline("retrying a failed piece")
+            policy.pause(attempt)
+
+
+def piece_key(piece: CallPiece | None) -> Any:
+    """The deposit-deduplication key for a piece (``None`` when there is
+    no ambient piece — an unkeyed deposit, never deduplicated)."""
+    return None if piece is None else piece.index
 
 
 def piece_results(piece: CallPiece, outcome: Any) -> list:
@@ -200,6 +294,16 @@ class ResultCollector:
     latched failure — never a bare ``TimeoutError`` and never a partial
     result list — and a straggler :meth:`deposit` arriving after the
     latch is dropped instead of completing a call that already failed.
+
+    Retry/re-dispatch (:meth:`arm_retry`): with a
+    :class:`~repro.faults.RetryPolicy` armed and a ``redispatch``
+    callable installed, a *keyed* :meth:`fail` does not latch — it
+    charges the piece's attempt ledger and hands the piece back for
+    re-dispatch, latching the piece's ORIGINAL failure only once its
+    attempts are exhausted.  Keyed deposits deduplicate, so a dropped
+    reply whose work actually completed (and deposits late) cannot
+    double-count against a retry's deposit — exactly one result per
+    piece, whatever the interleaving.
     """
 
     def __init__(self, expected: int, backend: Any = None):
@@ -209,24 +313,98 @@ class ResultCollector:
         self._failure: BaseException | None = None
         self._lock = backend.make_lock(name="collector.lock")
         self._done = backend.make_event(name="collector.done")
+        #: recovery plane (absent unless arm_retry is called)
+        self.retry: Any = None
+        self.redispatch: Callable[[CallPiece], Any] | None = None
+        #: re-dispatches performed on behalf of this call
+        self.retries = 0
+        #: keys already holding a deposited result (dedup)
+        self._seen: set = set()
+        #: key -> failed attempts so far
+        self._attempts: dict = {}
+        #: key -> first failure (the one that latches on exhaustion)
+        self._first_failure: dict = {}
         if expected == 0:
             self._done.set()
 
-    def deposit(self, item: Any) -> None:
+    def arm_retry(
+        self,
+        policy: Any,
+        redispatch: Callable[[CallPiece], Any] | None = None,
+    ) -> None:
+        """Install the call's retry policy (and optionally the
+        re-dispatch hook — strategies that recover by re-feeding, like
+        the pipeline, install theirs separately before dispatching)."""
+        self.retry = policy
+        if redispatch is not None:
+            self.redispatch = redispatch
+
+    @property
+    def failed(self) -> bool:
+        """Whether a failure has latched (the call is lost)."""
+        return self._failure is not None
+
+    def deposit(self, item: Any, key: Any = None) -> None:
         with self._lock:
             if self._failure is not None:
                 return  # the call already failed: drop the late deposit
+            if key is not None:
+                if key in self._seen:
+                    return  # duplicate delivery (retry after a late reply)
+                self._seen.add(key)
             self._items.append(item)
             complete = len(self._items) >= self.expected
         if complete:
             self._done.set()
 
-    def fail(self, exc: BaseException) -> None:
-        """Latch a worker-side failure and release every waiter."""
+    def _latch(self, exc: BaseException) -> None:
         with self._lock:
             if self._failure is None:
                 self._failure = exc
         self._done.set()
+
+    def fail(
+        self,
+        exc: BaseException,
+        piece: CallPiece | None = None,
+        key: Any = None,
+    ) -> None:
+        """Latch a worker-side failure and release every waiter — unless
+        a retry policy is armed, the failure names its ``piece``, and
+        the piece has attempts left, in which case the piece is handed
+        back to ``redispatch`` instead.  Exhausted pieces latch their
+        FIRST recorded failure (the original traceback), not the last."""
+        retry = self.retry
+        if (
+            retry is None
+            or piece is None
+            or self.redispatch is None
+            or not retry.retryable(exc)
+        ):
+            self._latch(exc)
+            return
+        if key is None:
+            key = piece.index
+        with self._lock:
+            if self._failure is not None:
+                return
+            if key in self._seen:
+                return  # a result for this piece already landed
+            failures = self._attempts.get(key, 0) + 1
+            self._attempts[key] = failures
+            self._first_failure.setdefault(key, exc)
+            exhausted = failures >= retry.max_attempts
+            original = self._first_failure[key]
+            if not exhausted:
+                self.retries += 1
+        if exhausted:
+            self._latch(original)
+            return
+        try:
+            retry.pause(failures)
+            self.redispatch(piece)
+        except BaseException as redispatch_exc:  # noqa: BLE001 - must latch
+            self._latch(redispatch_exc)
 
     def wait(self, timeout: float | None = None) -> list[Any]:
         finished = self._done.wait(timeout)
@@ -291,6 +469,8 @@ class DispatchContext:
         "hops",
         "remote_dispatches",
         "deadline",
+        "retry_policy",
+        "retries",
         "cancelled",
         "cancel_cause",
         "spans",
@@ -318,6 +498,10 @@ class DispatchContext:
         self.remote_dispatches = 0
         #: per-call deadline (adopted from the admission slot, if any)
         self.deadline = None
+        #: per-call retry policy (adopted from the admission slot)
+        self.retry_policy = None
+        #: piece re-dispatches performed on behalf of this call
+        self.retries = 0
         self.cancelled = False
         self.cancel_cause: BaseException | None = None
         #: span timeline: {"name", "start", "end"} dicts on the
@@ -367,6 +551,26 @@ class DispatchContext:
         at attach time; a no-op for deadline-less submissions)."""
         if deadline is not None:
             self.deadline = deadline
+
+    def adopt_retry(self, policy: Any) -> None:
+        """Take on the submission's retry policy (set by the admission
+        slot at attach time) and arm the collector with it, so keyed
+        failures re-dispatch instead of latching."""
+        if policy is None:
+            return
+        self.retry_policy = policy
+        if self.collector is not None:
+            self.collector.arm_retry(policy)
+
+    def record_retry(self, piece: CallPiece, exc: BaseException, attempt: int) -> None:
+        """Account one piece re-dispatch on the ticket (counter + a span
+        timeline marker naming the piece, the attempt and the cause)."""
+        with self._lock:
+            self.retries += 1
+        self.mark(
+            f"retry[piece={getattr(piece, 'index', None)} "
+            f"attempt={attempt} cause={type(exc).__name__}]"
+        )
 
     def cancel(self, exc: BaseException) -> None:
         """Cancel this call: latch the cause, mark the span timeline,
@@ -440,6 +644,7 @@ class DispatchContext:
                 "items": self.items,
                 "hops": self.hops,
                 "remote_dispatches": self.remote_dispatches,
+                "retries": self.retries,
                 "cancelled": self.cancelled,
                 "deadline": (
                     None if self.deadline is None else self.deadline.budget
@@ -449,15 +654,22 @@ class DispatchContext:
 
     # -- collector face -----------------------------------------------------
 
-    def deposit(self, item: Any) -> None:
-        self.collector.deposit(item)
+    def deposit(self, item: Any, key: Any = None) -> None:
+        self.collector.deposit(item, key=key)
 
-    def fail(self, exc: BaseException) -> None:
+    def fail(
+        self,
+        exc: BaseException,
+        piece: CallPiece | None = None,
+        key: Any = None,
+    ) -> None:
         """Latch a worker failure so waiters fail fast (no-op without a
         collector: strategies that gather via futures propagate the
-        exception through the future instead)."""
+        exception through the future instead).  Naming the failing
+        ``piece`` routes the failure through the collector's retry
+        plane when one is armed."""
         if self.collector is not None:
-            self.collector.fail(exc)
+            self.collector.fail(exc, piece=piece, key=key)
 
     def wait(self, timeout: float | None = None) -> list[Any]:
         return self.collector.wait(timeout)

@@ -37,7 +37,7 @@ from repro.parallel.concern import LAYER, Concern, ParallelAspect
 from repro.parallel.partition.base import (
     CallPiece,
     DispatchContextOwner,
-    dispatch_piece,
+    dispatch_with_retry,
     piece_results,
 )
 from repro.runtime.dispatch import current_dispatch
@@ -152,10 +152,23 @@ class DivideAndConquerAspect(DispatchContextOwner, ParallelAspect):
                     ctx.record(piece)
                 worker = self.make_worker(jp.target)
                 self.remember_branch(worker)
+
+                def pick(attempt: int, first=worker, proto=jp.target):
+                    # attempt 0 uses the branch clone just built; a retry
+                    # abandons the (possibly poisoned) clone and recurses
+                    # on a FRESH clone of the prototype
+                    if attempt == 0:
+                        return first, None
+                    fresh = self.make_worker(proto)
+                    self.remember_branch(fresh)
+                    return fresh, None
+
                 # recurse through the branch worker's compiled plan entry;
                 # a divide() returning PackedPiece groups recurses through
                 # the compiled batched entry (one advice pass per pack)
-                outcomes.append(dispatch_piece(worker, jp.name, piece))
+                outcomes.append(
+                    dispatch_with_retry(ctx, pick, jp.name, piece)
+                )
         except BaseException as exc:
             if ctx is not None:
                 ctx.fail(exc)

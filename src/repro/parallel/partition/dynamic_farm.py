@@ -21,15 +21,16 @@ import threading
 from typing import Any
 
 from repro.aop import around
-from repro.aop.plan import BatchJoinPoint, batched_entry
+from repro.aop.plan import BatchJoinPoint
 from repro.api.registry import register_strategy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
 from repro.parallel.concurrency.asynchronous import PooledSpawner
 from repro.parallel.partition.base import (
+    PackedPiece,
     PartitionAspect,
     WorkSplitter,
-    dispatch_piece,
+    dispatch_with_retry,
     piece_results,
 )
 from repro.runtime.backend import current_backend
@@ -129,6 +130,18 @@ class DynamicFarmAspect(PartitionAspect):
             }
             state_lock = threading.Lock()
 
+            workers = self.workers
+
+            def pick_from(index: int):
+                # attempt 0 stays on the pulling dispatcher's own worker;
+                # retries rotate to the neighbours (a killed worker's
+                # piece lands on a healthy one)
+                def pick(attempt: int):
+                    pos = (index + attempt) % len(workers)
+                    return workers[pos], pos
+
+                return pick
+
             def worker_loop(worker: Any, index: int) -> None:
                 # Calls from here must skip this advice but still traverse
                 # synchronisation/distribution — flagged per-thread.  Each
@@ -146,8 +159,8 @@ class DynamicFarmAspect(PartitionAspect):
                         ok, piece = queue.try_get()
                         if not ok:
                             break
-                        results[piece.index] = dispatch_piece(
-                            worker, method_name, piece
+                        results[piece.index] = dispatch_with_retry(
+                            ctx, pick_from(index), method_name, piece
                         )
                         # ledger unit is ITEMS (a k-item pack counts k),
                         # matching route_pack's charge so the demand-aware
@@ -229,14 +242,21 @@ class DynamicFarmAspect(PartitionAspect):
             # pick-and-charge atomically so overlapped packs spread out
             index = min(self.served, key=lambda i: self.served[i])
             self.served[index] += len(pieces)
-        worker = self.workers[index]
+        workers = self.workers
+
+        def pick(attempt: int):
+            pos = (index + attempt) % len(workers)
+            return workers[pos], pos
+
         with self.dispatch_scope(
             f"dynamic-farm.pack.{jp.name}", backend=current_backend()
         ) as ctx:
             ctx.record_pack(len(pieces))
             with ctx.span("dispatch"):
                 ctx.check_deadline("routing the pack")
-                return batched_entry(worker, jp.name)(pieces)
+                return dispatch_with_retry(
+                    ctx, pick, jp.name, PackedPiece(index, pieces)
+                )
 
 
 @register_strategy("dynamic-farm")

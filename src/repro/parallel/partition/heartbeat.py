@@ -27,11 +27,16 @@ from __future__ import annotations
 from typing import Any
 
 from repro.aop import around
-from repro.aop.plan import batched_entry, bound_entry
+from repro.aop.plan import batched_entry
 from repro.api.registry import register_strategy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import Concern
-from repro.parallel.partition.base import CallPiece, PartitionAspect, WorkSplitter
+from repro.parallel.partition.base import (
+    CallPiece,
+    PartitionAspect,
+    WorkSplitter,
+    dispatch_with_retry,
+)
 from repro.runtime.futures import Future
 
 __all__ = ["HeartbeatAspect", "heartbeat_module"]
@@ -97,15 +102,23 @@ class HeartbeatAspect(PartitionAspect):
                 ctx.check_deadline(f"starting heartbeat iteration {beat}")
                 with self._dispatch_lock:
                     self.iterations += 1
-                # compiled plan entries re-fetched per iteration (one step
-                # entry per worker, batched accessor entries per exchange):
-                # keeps the per-work-item chain walk gone while preserving
-                # per-iteration granularity of "(un)plug on the fly"
-                steps = [bound_entry(worker, jp.name) for worker in self.workers]
                 with ctx.span(f"compute[{beat}]"):
-                    # 1. compute phase: one step on every block (possibly async)
-                    outcomes = [step(1) for step in steps]
-                    ctx.record_pack(len(steps))  # one step per block this beat
+                    # 1. compute phase: one step on every block (possibly
+                    # async).  Each step is a fault-instrumented piece
+                    # dispatch; a retry stays on the SAME block index — a
+                    # block's state lives with its worker, so recovery
+                    # means a refilled worker for that index (the process
+                    # middleware re-exports on crash), never a neighbour
+                    outcomes = [
+                        dispatch_with_retry(
+                            ctx,
+                            lambda attempt, w=worker, i=index: (w, i),
+                            jp.name,
+                            CallPiece(index, (1,)),
+                        )
+                        for index, worker in enumerate(self.workers)
+                    ]
+                    ctx.record_pack(len(outcomes))  # one step per block
                     results = [
                         o.result() if isinstance(o, Future) else o
                         for o in outcomes

@@ -39,20 +39,39 @@ from repro.aop.plan import BatchJoinPoint, batched_entry, piece_view
 from repro.api.registry import register_strategy
 from repro.parallel.composition import ParallelModule
 from repro.parallel.concern import LAYER, Concern, ParallelAspect
+from repro.parallel.concurrency.asynchronous import PooledSpawner
 from repro.parallel.partition.base import (
     CallPiece,
+    PackedPiece,
     PartitionAspect,
     WorkSplitter,
     dispatch_piece,
+    piece_key,
 )
 from repro.runtime.backend import current_backend
-from repro.runtime.dispatch import current_dispatch
+from repro.runtime.dispatch import (
+    current_dispatch,
+    current_piece,
+    shield_dispatch,
+    use_dispatch,
+)
 
 __all__ = ["PipelineSplitAspect", "PipelineForwardAspect", "pipeline_module"]
 
 
 class PipelineSplitAspect(PartitionAspect):
-    """Blocks 1 (duplication) and 2 (call split) of Figure 8."""
+    """Blocks 1 (duplication) and 2 (call split) of Figure 8.
+
+    ``resident_pool=True`` feeds head pieces through long-lived pinned
+    feeder activities (one per stage, a
+    :class:`~repro.parallel.concurrency.asynchronous.PooledSpawner`)
+    instead of feeding inline — the resident shape the fault tests kill
+    and replace mid-split.  When the call's ticket carries a
+    :class:`~repro.faults.RetryPolicy`, the collector's re-dispatch hook
+    re-feeds a failed piece into the head stage, and the tail's keyed
+    deposits keep delivery exactly-once even when a dropped reply's
+    journey later completes.
+    """
 
     routes_packs = True
     #: NOT oneway-capable: stage-to-stage forwarding needs every hop's
@@ -60,12 +79,25 @@ class PipelineSplitAspect(PartitionAspect):
     #: — StackSpec.validate() rejects such oneway declarations
     oneway_packs = False
 
-    def __init__(self, splitter: WorkSplitter, creation=None, work=None):
+    def __init__(
+        self,
+        splitter: WorkSplitter,
+        creation=None,
+        work=None,
+        resident_pool: bool = False,
+    ):
         super().__init__(splitter, creation, work)
         #: id(stage) -> next stage (None at the tail) — the paper's
         #: ``next`` HashMap
         self.next: dict[int, Any] = {}
         self.first: Any = None
+        #: long-lived head-feeder activities (opt-in)
+        self.resident_pool = resident_pool
+        self._pool: PooledSpawner | None = None
+        #: per-thread re-entry flag: pooled feeds and retry re-feeds
+        #: re-enter the woven call from activities where jp.from_advice
+        #: is False
+        self._internal = threading.local()
 
     # -- block 1: object duplication ----------------------------------------
 
@@ -87,15 +119,29 @@ class PipelineSplitAspect(PartitionAspect):
                 stages[index + 1] if index + 1 < len(stages) else None
             )
         self.first = stages[0]
+        if self._pool is not None:  # re-duplication: retire the old pool
+            self._pool.stop()
+            self._pool = None
+        if self.resident_pool:
+            self._pool = PooledSpawner(len(stages), pinned=True)
         return self.first  # the first pipeline element goes back to the client
+
+    def on_undeploy(self) -> None:
+        """Retire the deployment's resident feeder activities."""
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool = None
 
     # -- block 2: method call split ----------------------------------------
 
     @around("work")
     def split(self, jp):
-        # Core-functionality calls only: forwarded (advice-made) calls
-        # and servant-side execution pass through untouched.
-        if self.passthrough(jp) or jp.from_advice:
+        # Core-functionality calls only: forwarded (advice-made) calls,
+        # pooled feeds / retry re-feeds (per-thread flag) and
+        # servant-side execution pass through untouched.
+        if self.passthrough(jp) or getattr(self._internal, "active", False):
+            return jp.proceed()
+        if jp.from_advice:
             return jp.proceed()
         head = self.first if self.first is not None else jp.target
         if isinstance(jp, BatchJoinPoint):
@@ -109,7 +155,9 @@ class PipelineSplitAspect(PartitionAspect):
         with self.dispatch_scope(
             f"pipeline.{jp.name}", expected=expected, backend=current_backend()
         ) as ctx:
+            self._arm_refeed(ctx, head, jp.name)
             with ctx.span("dispatch"):
+                pool = self._pool
                 for piece in pieces:
                     # re-enters the chain through the head stage's compiled
                     # plan entry; packs enter through the compiled batched
@@ -117,12 +165,67 @@ class PipelineSplitAspect(PartitionAspect):
                     # spawned per-call activities, so the tail deposits into
                     # THIS call's collector however many splits are in flight.
                     ctx.check_deadline("feeding the pipeline head")
-                    dispatch_piece(head, jp.name, ctx.record(piece))
+                    if ctx.collector.failed:
+                        break  # the call is lost: stop feeding it
+                    piece = ctx.record(piece)
+                    if pool is not None:
+                        pool.spawn(
+                            current_backend(),
+                            lambda p=piece: self._feed(ctx, head, jp.name, p),
+                            index=piece.index % len(self.instances),
+                        )
+                    else:
+                        self._feed(ctx, head, jp.name, piece)
             with ctx.span("gather"):
                 results = ctx.gather()
             with ctx.span("merge"):
                 combined = self.splitter.combine(results)
         return combined
+
+    def _feed(self, ctx: Any, head: Any, name: str, piece: CallPiece) -> None:
+        """Feed one piece into the head stage, routing a feed-side
+        failure through the collector's retry plane (latch when none is
+        armed) instead of aborting the whole call's feed loop."""
+        flagged = self._pool is not None and getattr(
+            self._internal, "active", False
+        ) is False
+        if flagged:
+            # pooled feeds arrive on resident activities where
+            # jp.from_advice is False — keep this aspect out of the way
+            self._internal.active = True
+        try:
+            if not ctx.cancelled:
+                dispatch_piece(head, name, piece)
+        except Exception as exc:
+            ctx.fail(exc, piece=piece)
+        finally:
+            if flagged:
+                self._internal.active = False
+
+    def _arm_refeed(self, ctx: Any, head: Any, name: str) -> None:
+        """Install the collector's re-dispatch hook: a failed piece is
+        re-fed into the head stage on a fresh activity running under the
+        originating ticket (the hook may be invoked from deep inside an
+        unwinding stage activity, so the re-feed never runs inline)."""
+        if ctx.retry_policy is None or ctx.collector is None:
+            return
+        backend = current_backend()
+
+        def refeed(piece: CallPiece) -> None:
+            def run() -> None:
+                self._internal.active = True
+                try:
+                    with use_dispatch(ctx):
+                        if not ctx.cancelled:
+                            dispatch_piece(head, name, piece)
+                except Exception as exc:  # noqa: BLE001 - routed to collector
+                    ctx.fail(exc, piece=piece)
+                finally:
+                    self._internal.active = False
+
+            backend.spawn(shield_dispatch(run), name="pipeline.refeed")
+
+        ctx.collector.redispatch = refeed
 
     def route_pack(self, jp: BatchJoinPoint, head: Any) -> list:
         """Top-level pack routing: feed a whole submitted pack into the
@@ -131,18 +234,21 @@ class PipelineSplitAspect(PartitionAspect):
 
         One advice pass (and, under distribution, one message) per
         inter-stage hop for the whole pack; results come back in piece
-        order because the tail deposits a pack's results item by item.
+        order because the tail deposits a pack's results item by item
+        (keyed per item, so a retried pack cannot double-deposit).
         """
         pieces = tuple(jp.args[0])
+        pack = PackedPiece(0, pieces)
         with self.dispatch_scope(
             f"pipeline.pack.{jp.name}",
             expected=len(pieces),
             backend=current_backend(),
         ) as ctx:
+            self._arm_refeed(ctx, head, jp.name)
             ctx.record_pack(len(pieces))
             with ctx.span("dispatch"):
                 ctx.check_deadline("feeding the pipeline head")
-                batched_entry(head, jp.name)(pieces)
+                self._feed(ctx, head, jp.name, pack)
             with ctx.span("gather"):
                 return ctx.gather()
 
@@ -222,11 +328,16 @@ class PipelineForwardAspect(ParallelAspect):
                 # per forward
                 return getattr(nxt, jp.name)(*args, **kwargs)
             if ctx is not None and ctx.collector is not None:
-                ctx.deposit(result)
+                # keyed by the originating head piece (carried here as
+                # the ambient piece): a retried piece whose first
+                # journey also completes deposits once, not twice
+                ctx.deposit(result, key=piece_key(current_piece()))
             return result
         except BaseException as exc:
             if ctx is not None:
-                ctx.fail(exc)
+                # naming the ambient piece routes the failure through
+                # the collector's retry plane when one is armed
+                ctx.fail(exc, piece=current_piece())
             raise
 
     def _forward_batch(self, jp, results, nxt, ctx):
@@ -253,8 +364,13 @@ class PipelineForwardAspect(ParallelAspect):
                 items.append(CallPiece(index, args, kwargs))
             return batched_entry(nxt, jp.name)(items)
         if ctx is not None and ctx.collector is not None:
-            for result in results:
-                ctx.deposit(result)
+            pack = current_piece()
+            base = getattr(pack, "index", None)
+            for offset, result in enumerate(results):
+                # per-item keys within the ambient pack: a retried pack
+                # deduplicates item by item
+                key = None if base is None else (base, offset)
+                ctx.deposit(result, key=key)
         return results
 
 
@@ -264,9 +380,17 @@ def pipeline_module(
     creation: str,
     work: str,
     name: str = "pipeline",
+    resident_pool: bool = False,
 ) -> ParallelModule:
-    """Build the pluggable pipeline-partition module (both aspects)."""
-    split_aspect = PipelineSplitAspect(splitter, creation=creation, work=work)
+    """Build the pluggable pipeline-partition module (both aspects).
+
+    ``resident_pool=True`` feeds head pieces through long-lived pinned
+    feeder activities (one per stage) — the shape the fault-injection
+    tests kill and replace mid-split.
+    """
+    split_aspect = PipelineSplitAspect(
+        splitter, creation=creation, work=work, resident_pool=resident_pool
+    )
     forward_aspect = PipelineForwardAspect(split_aspect)
     module = ParallelModule(name, Concern.PARTITION, [split_aspect, forward_aspect])
     module.coordinator = split_aspect  # type: ignore[attr-defined]

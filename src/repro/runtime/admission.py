@@ -117,6 +117,7 @@ class AdmissionSlot:
         "slot_id",
         "name",
         "deadline",
+        "retry",
         "cancelled",
         "cancel_cause",
         "delivered",
@@ -133,10 +134,13 @@ class AdmissionSlot:
         name: str,
         deadline: Deadline | None,
         controller: "AdmissionController | None" = None,
+        retry: Any = None,
     ):
         self.slot_id = slot_id
         self.name = name
         self.deadline = deadline
+        #: per-call retry policy handed to the ticket at attach time
+        self.retry = retry
         self.cancelled = False
         self.cancel_cause: BaseException | None = None
         #: the call's result was handed to its future — a later cancel
@@ -159,6 +163,8 @@ class AdmissionSlot:
             self.ticket_id = context.context_id
             cancelled, cause = self.cancelled, self.cancel_cause
         context.adopt_deadline(self.deadline)
+        if self.retry is not None and hasattr(context, "adopt_retry"):
+            context.adopt_retry(self.retry)
         if cancelled and cause is not None:
             context.cancel(cause)
 
@@ -218,12 +224,19 @@ class _BlockedSubmitter:
     herd, no lost wakeups through event clear/retry races).
     """
 
-    __slots__ = ("event", "name", "deadline", "slot")
+    __slots__ = ("event", "name", "deadline", "retry", "slot")
 
-    def __init__(self, event: Any, name: str, deadline: Deadline | None):
+    def __init__(
+        self,
+        event: Any,
+        name: str,
+        deadline: Deadline | None,
+        retry: Any = None,
+    ):
         self.event = event
         self.name = name
         self.deadline = deadline
+        self.retry = retry
         self.slot: AdmissionSlot | None = None
 
 
@@ -285,7 +298,10 @@ class AdmissionController:
     # -- admission ---------------------------------------------------------
 
     def admit(
-        self, deadline: Deadline | None = None, name: str = "call"
+        self,
+        deadline: Deadline | None = None,
+        name: str = "call",
+        retry: Any = None,
     ) -> AdmissionSlot:
         """Acquire one slot, applying the overflow policy when full.
 
@@ -303,13 +319,13 @@ class AdmissionController:
                 self.admitted_total += 1
                 self.peak_admitted = max(self.peak_admitted, self._live)
             return AdmissionSlot(
-                next(self._ids), name, deadline, controller=self
+                next(self._ids), name, deadline, controller=self, retry=retry
             )
         victim: AdmissionSlot | None = None
         waiter: _BlockedSubmitter | None = None
         with self._lock:
             if len(self._slots) < self.limit:
-                return self._admit_locked(name, deadline)
+                return self._admit_locked(name, deadline, retry)
             if self.policy == "fail":
                 self.rejected += 1
                 raise AdmissionRejected(
@@ -320,11 +336,11 @@ class AdmissionController:
                 victim = self._pick_victim_locked()
                 if victim is not None:
                     self.shed_calls += 1
-                slot = self._admit_locked(name, deadline)
+                slot = self._admit_locked(name, deadline, retry)
             else:  # block
                 self.blocked += 1
                 waiter = _BlockedSubmitter(
-                    self._make_event(), name, deadline
+                    self._make_event(), name, deadline, retry
                 )
                 self._waiters.append(waiter)
         if victim is not None:
@@ -340,9 +356,11 @@ class AdmissionController:
         return self._await_handoff(waiter)
 
     def _admit_locked(
-        self, name: str, deadline: Deadline | None
+        self, name: str, deadline: Deadline | None, retry: Any = None
     ) -> AdmissionSlot:
-        slot = AdmissionSlot(next(self._ids), name, deadline, controller=self)
+        slot = AdmissionSlot(
+            next(self._ids), name, deadline, controller=self, retry=retry
+        )
         self._slots[slot.slot_id] = slot
         self.admitted_total += 1
         self.peak_admitted = max(self.peak_admitted, len(self._slots))
@@ -391,7 +409,9 @@ class AdmissionController:
             self._slots.pop(slot.slot_id, None)
             while self._waiters and len(self._slots) < self.limit:
                 waiter = self._waiters.popleft()
-                waiter.slot = self._admit_locked(waiter.name, waiter.deadline)
+                waiter.slot = self._admit_locked(
+                    waiter.name, waiter.deadline, waiter.retry
+                )
                 handoffs.append(waiter)
         for waiter in handoffs:
             waiter.event.set()

@@ -44,12 +44,15 @@ __all__ = [
     "next_dispatch_id",
     "bind_dispatch",
     "shield_dispatch",
+    "current_piece",
+    "use_piece",
 ]
 
 
 class _DispatchState(threading.local):
     def __init__(self) -> None:
         self.stack: list[Any] = []
+        self.pieces: list[Any] = []
 
 
 _STATE = _DispatchState()
@@ -106,22 +109,52 @@ def use_dispatch(ticket: Any | None) -> Iterator[Any | None]:
         stack.pop()
 
 
+def current_piece() -> Any | None:
+    """The piece the current activity is dispatching, or ``None``.
+
+    Installed by ``dispatch_piece`` around the woven entry call, and
+    carried across activity boundaries by :func:`bind_dispatch` — so the
+    pipeline's forwarding advice, running hops and threads away from the
+    split, can still tell WHICH head piece a tail result belongs to
+    (keyed deposits, the dedup retry/re-dispatch needs)."""
+    pieces = _STATE.pieces
+    return pieces[-1] if pieces else None
+
+
+@contextmanager
+def use_piece(piece: Any | None) -> Iterator[Any | None]:
+    """Make ``piece`` the ambient in-flight piece for the block
+    (``None`` is a no-op pass-through, like :func:`use_dispatch`)."""
+    if piece is None:
+        yield None
+        return
+    pieces = _STATE.pieces
+    pieces.append(piece)
+    try:
+        yield piece
+    finally:
+        pieces.pop()
+
+
 def bind_dispatch(fn: Callable[[], Any]) -> Callable[[], Any]:
     """Capture the ambient ticket *now* and return a thunk running
     ``fn`` under it — the helper backends and spawners use so a spawned
     activity (or a pooled task executed much later, on a long-lived
     worker) still runs under the ticket of the call that created it.
+    The ambient piece rides along, so forwarding work spawned mid-piece
+    keeps its piece identity too.
 
     Thunks marked by :func:`shield_dispatch` pass through uncaptured.
     """
     if getattr(fn, "__dispatch_shielded__", False):
         return fn
     ticket = current_dispatch()
-    if ticket is None:
+    piece = current_piece()
+    if ticket is None and piece is None:
         return fn
 
     def bound() -> Any:
-        with use_dispatch(ticket):
+        with use_dispatch(ticket), use_piece(piece):
             return fn()
 
     return bound

@@ -107,6 +107,7 @@ class TestMultiPairGate:
             "resident-pool-dynfarm",
             "cpu-farm-process",
             "pack-marshal-process",
+            "fault-retry-farm",
         }
         for pair in committed:
             assert 0 < pair["max_regression"] <= 1.0

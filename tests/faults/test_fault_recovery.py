@@ -1,0 +1,262 @@
+"""End-to-end fault recovery: killed resident workers are replaced and
+the in-flight split completes by re-dispatch — no hang, no duplicate
+results — across the pool layer (thread backend), the dispatch layer,
+and the process middleware (real SIGKILLed worker processes).  Also the
+admission regression: a call that exhausts its retries and fails must
+release its in-flight slot.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import ParallelApp, StackSpec
+from repro.errors import InjectedFault, WorkerCrashed, WorkerKilled
+from repro.faults import FaultEvent, FaultSchedule, RetryPolicy
+from repro.parallel import WorkSplitter
+
+
+def wait_until(cond, timeout=10.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if cond():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class Echo:
+    """Doubling worker (farm / pipeline target)."""
+
+    def __init__(self, tag=0):
+        self.tag = tag
+
+    def bump(self, values):
+        return [v * 2 for v in values]
+
+
+def echo_spec(strategy, **overrides):
+    fields = dict(
+        target=Echo,
+        work="bump",
+        splitter=WorkSplitter(duplicates=2, combine=lambda rs: rs[0]),
+        strategy=strategy,
+        backend="thread",
+    )
+    fields.update(overrides)
+    return StackSpec(**fields)
+
+
+class TestPoolKillAndReplace:
+    """A killed resident pool activity is replaced and its pulled task
+    is re-enqueued — the split completes without even needing a retry
+    (no piece was lost, only the activity serving it)."""
+
+    def test_scheduled_pool_kill_farm_split_completes(self):
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", site="pool", index=0, on_call=1)]
+        )
+        app = ParallelApp(
+            echo_spec(
+                "farm",
+                strategy_options=dict(resident_pool=True),
+                faults=schedule,
+            )
+        )
+        with app:
+            app.start()
+            assert app.submit([1, 2, 3]).result(timeout=10) == [2, 4, 6]
+            pool = app.partition._pool
+            assert wait_until(lambda: pool.replacements == 1)
+            assert pool.killed == 1
+            assert schedule.fired_count() == 1
+            # the refilled pool keeps serving
+            assert app.submit([4]).result(timeout=10) == [8]
+        assert app.in_flight == 0
+
+    def test_scheduled_pool_kill_pipeline_split_completes(self):
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", site="pool", index=0, on_call=1)]
+        )
+        app = ParallelApp(
+            echo_spec(
+                "pipeline",
+                strategy_options=dict(resident_pool=True),
+                faults=schedule,
+            )
+        )
+        with app:
+            app.start()
+            # two stages double twice
+            assert app.submit([1, 2]).result(timeout=10) == [4, 8]
+            pool = app.partition._pool
+            assert wait_until(lambda: pool.replacements == 1)
+            assert pool.killed == 1
+            assert app.submit([3]).result(timeout=10) == [12]
+        assert app.in_flight == 0
+
+    def test_explicit_kill_is_replaced(self):
+        app = ParallelApp(
+            echo_spec("farm", strategy_options=dict(resident_pool=True))
+        )
+        with app:
+            app.start()
+            assert app.submit([1]).result(timeout=10) == [2]  # starts pool
+            pool = app.partition._pool
+            pool.kill(0)
+            assert wait_until(lambda: pool.replacements == 1)
+            assert pool.killed == 1
+            # the replacement resident serves worker 0's pieces
+            assert app.submit([5]).result(timeout=10) == [10]
+
+
+class TestDispatchRetry:
+    """Dispatch-site faults re-dispatch to a healthy worker when a
+    retry policy is armed, and fail fast when none is."""
+
+    def test_kill_without_retry_fails_the_call(self):
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", site="dispatch", on_call=1)]
+        )
+        app = ParallelApp(echo_spec("farm", faults=schedule))
+        with app:
+            app.start()
+            with pytest.raises(WorkerKilled):
+                app.submit([1, 2]).result(timeout=10)
+            # the deployment is not poisoned
+            assert app.submit([3]).result(timeout=10) == [6]
+        assert app.in_flight == 0
+
+    def test_kill_with_retry_lands_on_healthy_worker(self):
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", site="dispatch", on_call=1)]
+        )
+        app = ParallelApp(
+            echo_spec(
+                "farm", faults=schedule, retry=RetryPolicy(max_attempts=3)
+            )
+        )
+        with app:
+            app.start()
+            assert app.submit([1, 2]).result(timeout=10) == [2, 4]
+            assert schedule.fired_count() == 1
+        assert app.in_flight == 0
+
+    def test_dropped_reply_completed_work_deposits_once(self):
+        # drop_reply AFTER the piece ran: the pipeline tail already
+        # deposited (keyed), so the failure report finds the result
+        # landed and charges nothing — exactly one result, no refeed
+        schedule = FaultSchedule(
+            [FaultEvent("drop_reply", site="dispatch", on_call=1)]
+        )
+        app = ParallelApp(
+            echo_spec(
+                "pipeline", faults=schedule, retry=RetryPolicy(max_attempts=3)
+            )
+        )
+        with app:
+            app.start()
+            assert app.submit([1, 2]).result(timeout=10) == [4, 8]
+            assert schedule.fired_count() == 1
+        assert app.in_flight == 0
+
+    def test_pipeline_kill_refeeds_through_head(self):
+        # kill BEFORE the piece ran: the collector hands the piece to
+        # the refeed hook, which re-enters the head stage on a fresh
+        # activity under the originating ticket
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", site="dispatch", on_call=1)]
+        )
+        app = ParallelApp(
+            echo_spec(
+                "pipeline", faults=schedule, retry=RetryPolicy(max_attempts=3)
+            )
+        )
+        with app:
+            app.start()
+            assert app.submit([1, 2]).result(timeout=10) == [4, 8]
+        assert app.in_flight == 0
+
+
+class TestProcessRespawn:
+    """A genuinely SIGKILLed worker process raises ``WorkerCrashed``,
+    the middleware refills the export from the parent-side twin, and the
+    armed retry completes the split on a healthy worker."""
+
+    def test_proc_kill_respawns_and_split_completes(self):
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", site="proc", on_call=1)]
+        )
+        app = ParallelApp(
+            echo_spec(
+                "farm",
+                backend="process",
+                faults=schedule,
+                retry=RetryPolicy(max_attempts=3),
+            )
+        )
+        with app:
+            app.start()
+            assert app.submit([1, 2]).result(timeout=30) == [2, 4]
+            assert app.middleware.worker_crashes == 1
+            assert wait_until(lambda: app.middleware.worker_respawns == 1)
+            # the corpse was reaped and a fresh resident stands in
+            assert wait_until(lambda: app.backend.live_workers == 2)
+            # the refilled worker serves follow-up calls
+            assert app.submit([5]).result(timeout=30) == [10]
+        assert wait_until(lambda: app.admitted == 0)
+        assert wait_until(lambda: app.backend.live_workers == 0)
+
+    def test_proc_crash_without_respawn_or_retry_fails(self):
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", site="proc", on_call=1)]
+        )
+        app = ParallelApp(
+            echo_spec("farm", backend="process", faults=schedule)
+        )
+        app.middleware.respawn = False
+        with app:
+            app.start()
+            with pytest.raises(WorkerCrashed):
+                app.submit([1, 2]).result(timeout=30)
+            assert app.middleware.worker_respawns == 0
+        assert wait_until(lambda: app.admitted == 0)
+
+
+class TestAdmissionSlotRelease:
+    """Regression: a call whose retries exhaust (and which therefore
+    fails) must release its in-flight admission slot — a leaked slot
+    would wedge a ``max_in_flight=1`` deployment forever."""
+
+    def test_exhausted_retries_release_the_slot(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent("raise_in_piece", site="dispatch", on_call=1),
+                FaultEvent("raise_in_piece", site="dispatch", on_call=2),
+            ]
+        )
+        app = ParallelApp(
+            echo_spec(
+                "farm",
+                faults=schedule,
+                retry=RetryPolicy(max_attempts=2),
+                max_in_flight=1,
+                overflow="fail",
+            )
+        )
+        with app:
+            app.start()
+            doomed = app.submit([1, 2])
+            with pytest.raises(InjectedFault, match="injected failure"):
+                doomed.result(timeout=10)
+            assert schedule.fired_count() == 2  # both attempts consumed
+            assert wait_until(lambda: app.admitted == 0), "slot leaked"
+            assert app.in_flight == 0
+            # the single slot is genuinely free again: the next call is
+            # admitted (overflow="fail" would reject it if leaked) and
+            # completes normally
+            assert app.submit([3]).result(timeout=10) == [6]
+        assert wait_until(lambda: app.admitted == 0)
+        assert app.in_flight == 0

@@ -1,0 +1,94 @@
+"""Deterministic-seed regression: the same ``FaultSchedule(seed=N)``
+replayed over the same workload on the sim backend (virtual time,
+``concurrency=False`` so dispatch consultations are strictly
+sequential) produces the identical fired-event trace — across two
+in-process runs AND against the committed golden trace.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.api import ParallelApp, StackSpec
+from repro.cluster import paper_testbed
+from repro.faults import FaultEvent, FaultSchedule, RetryPolicy
+from repro.parallel import WorkSplitter
+from repro.sim import Simulator
+
+GOLDEN = pathlib.Path(__file__).with_name("golden_trace.json")
+
+SEED = 8
+SUBMITS = 6
+
+
+class Echo:
+    """Doubling worker."""
+
+    def __init__(self, tag=0):
+        self.tag = tag
+
+    def bump(self, values):
+        return [v * 2 for v in values]
+
+
+def make_schedule():
+    return FaultSchedule(
+        [FaultEvent("kill_worker", site="dispatch", on_call=2)],
+        seed=SEED,
+        rates={"delay_reply": 0.25},
+    )
+
+
+def run_workload(schedule):
+    """Six sequential submits through a farm on the simulated cluster;
+    returns the schedule's fired-event trace."""
+    sim = Simulator()
+    cluster = paper_testbed(sim)
+    app = ParallelApp(
+        StackSpec(
+            target=Echo,
+            work="bump",
+            splitter=WorkSplitter(duplicates=2, combine=lambda rs: rs[0]),
+            strategy="farm",
+            backend="sim",
+            middleware="mpp",
+            cluster=cluster,
+            concurrency=False,
+            faults=schedule,
+            retry=RetryPolicy(max_attempts=3),
+        )
+    )
+    results = []
+
+    def main():
+        app.start()
+        for i in range(SUBMITS):
+            results.append(app.submit([i]).result())
+
+    try:
+        with app:
+            sim.spawn(main, name="golden-driver")
+            sim.run()
+    finally:
+        sim.shutdown()
+    # the workload itself survived its faults (the kill was retried)
+    assert results == [[i * 2] for i in range(SUBMITS)]
+    return schedule.trace_snapshot()
+
+
+def test_same_seed_replays_identical_trace():
+    first = run_workload(make_schedule())
+    second = run_workload(make_schedule())
+    assert first == second
+    assert len(first) >= 1  # the explicit kill fired at minimum
+
+
+def test_trace_matches_committed_golden():
+    trace = run_workload(make_schedule())
+    golden = json.loads(GOLDEN.read_text())
+    assert trace == golden, (
+        "fault trace diverged from the committed golden trace — if the "
+        "schedule semantics changed intentionally, regenerate "
+        "tests/faults/golden_trace.json from trace_snapshot()"
+    )

@@ -1,0 +1,162 @@
+"""Unit tests for the fault plane: event matching, per-site and
+per-(site, index) counters, seeded rate draws, determinism of the
+trace, and the ambient install/remove/use plane."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import AdviceError
+from repro.faults import (
+    FaultEvent,
+    FaultSchedule,
+    current_faults,
+    fire_fault,
+    install_faults,
+    remove_faults,
+    use_faults,
+)
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_kind_and_site(self):
+        with pytest.raises(AdviceError, match="unknown fault kind"):
+            FaultEvent("explode")
+        with pytest.raises(AdviceError, match="unknown fault site"):
+            FaultEvent("kill_worker", site="disk")
+
+    def test_rejects_bad_counts_and_delay(self):
+        with pytest.raises(AdviceError, match="on_call"):
+            FaultEvent("kill_worker", on_call=0)
+        with pytest.raises(AdviceError, match="every"):
+            FaultEvent("kill_worker", every=0)
+        with pytest.raises(AdviceError, match="delay"):
+            FaultEvent("delay_reply", delay=-1.0)
+
+
+class TestExplicitEvents:
+    def test_on_call_fires_exactly_once(self):
+        schedule = FaultSchedule([FaultEvent("kill_worker", on_call=2)])
+        assert schedule.fire("dispatch") is None
+        event = schedule.fire("dispatch")
+        assert event is not None and event.kind == "kill_worker"
+        # consumed: the counter keeps advancing but the event never re-fires
+        for _ in range(5):
+            assert schedule.fire("dispatch") is None
+        assert schedule.fired_count() == 1
+
+    def test_every_fires_periodically(self):
+        schedule = FaultSchedule([FaultEvent("drop_reply", every=3)])
+        fired = [
+            schedule.fire("dispatch") is not None for _ in range(9)
+        ]
+        assert fired == [False, False, True] * 3
+
+    def test_index_pinned_event_counts_per_worker(self):
+        # "kill worker 1's second call" must NOT fire on worker 0's
+        # second call, however interleaved the consultations are
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", index=1, on_call=2)]
+        )
+        assert schedule.fire("dispatch", 0) is None  # w0 #1
+        assert schedule.fire("dispatch", 1) is None  # w1 #1
+        assert schedule.fire("dispatch", 0) is None  # w0 #2: wrong worker
+        event = schedule.fire("dispatch", 1)  # w1 #2: fires
+        assert event is not None and event.kind == "kill_worker"
+
+    def test_sites_count_independently(self):
+        schedule = FaultSchedule([FaultEvent("kill_worker", site="pool")])
+        assert schedule.fire("dispatch") is None  # wrong site
+        assert schedule.fire("proc") is None
+        assert schedule.fire("pool") is not None
+
+    def test_declaration_order_breaks_ties(self):
+        first = FaultEvent("drop_reply", on_call=1)
+        second = FaultEvent("kill_worker", on_call=1)
+        schedule = FaultSchedule([first, second])
+        assert schedule.fire("dispatch").kind == "drop_reply"
+        # the loser was not consumed: it fires on the next consultation
+        # (its on_call matched consultation 1 only, so it never fires)
+        assert schedule.fire("dispatch") is None
+        assert second.fired is False
+
+
+class TestSeededRates:
+    def test_same_seed_same_trace(self):
+        def run():
+            schedule = FaultSchedule(seed=7, rates={"kill_worker": 0.3})
+            for i in range(50):
+                schedule.fire("dispatch", i % 4)
+            return schedule.trace_snapshot()
+
+        first, second = run(), run()
+        assert first == second
+        assert len(first) > 0  # 30% over 50 draws: statistically certain
+
+    def test_different_seeds_diverge(self):
+        def run(seed):
+            schedule = FaultSchedule(seed=seed, rates={"drop_reply": 0.5})
+            for _ in range(40):
+                schedule.fire("dispatch")
+            return schedule.trace_snapshot()
+
+        assert run(1) != run(2)
+
+    def test_rates_reject_unknown_kind(self):
+        with pytest.raises(AdviceError, match="unknown fault kind"):
+            FaultSchedule(rates={"meltdown": 0.5})
+
+    def test_trace_rows_are_plain_data(self):
+        schedule = FaultSchedule([FaultEvent("kill_worker", on_call=1)])
+        schedule.fire("dispatch", 2)
+        row = schedule.trace_snapshot()[0]
+        assert row == [0, "dispatch", 2, 1, "kill_worker"]
+
+
+class TestAmbientPlane:
+    def test_fire_fault_without_schedule_is_none(self):
+        assert current_faults() is None
+        assert fire_fault("dispatch") is None
+
+    def test_install_and_remove(self):
+        schedule = FaultSchedule([FaultEvent("drop_reply", on_call=1)])
+        token = install_faults(schedule)
+        try:
+            assert current_faults() is schedule
+            assert fire_fault("dispatch").kind == "drop_reply"
+        finally:
+            remove_faults(token)
+        assert current_faults() is None
+        remove_faults(token)  # idempotent
+
+    def test_use_faults_nests_innermost_wins(self):
+        outer = FaultSchedule(name="outer")
+        inner = FaultSchedule(name="inner")
+        with use_faults(outer):
+            assert current_faults() is outer
+            with use_faults(inner):
+                assert current_faults() is inner
+            assert current_faults() is outer
+        assert current_faults() is None
+
+    def test_use_faults_none_is_passthrough(self):
+        with use_faults(None) as token:
+            assert token is None
+            assert current_faults() is None
+
+    def test_plane_is_visible_from_other_threads(self):
+        # the reason the plane is process-global: pool residents and
+        # spawned activities never share the installing thread
+        schedule = FaultSchedule(
+            [FaultEvent("kill_worker", site="pool", on_call=1)]
+        )
+        seen: list = []
+        with use_faults(schedule):
+            thread = threading.Thread(
+                target=lambda: seen.append(fire_fault("pool", 0))
+            )
+            thread.start()
+            thread.join(timeout=5)
+        assert seen and seen[0].kind == "kill_worker"

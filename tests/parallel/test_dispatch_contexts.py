@@ -20,9 +20,12 @@ from __future__ import annotations
 import threading
 import time
 
+import pytest
+
 from repro.aop.weaver import default_weaver
 from repro.api import ParallelApp, StackSpec
 from repro.cluster import paper_testbed
+from repro.faults import FaultEvent, FaultSchedule, RetryPolicy
 from repro.parallel import (
     Composition,
     WorkSplitter,
@@ -308,6 +311,78 @@ class TestFailFast:
             else:  # pragma: no cover - regression guard
                 raise AssertionError("forwarding exception was swallowed")
             assert app.in_flight == 0
+
+
+FAULTS = [None, "kill_worker", "drop_reply"]
+FAULT_STRATEGIES = [
+    "farm",
+    "dynamic-farm",
+    "pipeline",
+    "heartbeat",
+    "divide-conquer",
+]
+
+
+def _dnc_spec(**overrides):
+    fields = dict(
+        target=Summer,
+        work="total",
+        strategy="divide-conquer",
+        strategy_options=dict(
+            should_divide=lambda args, kwargs, depth: len(args[0]) > 4,
+            divide=lambda args, kwargs: [
+                CallPiece(0, (args[0][: len(args[0]) // 2],)),
+                CallPiece(1, (args[0][len(args[0]) // 2:],)),
+            ],
+            merge=sum,
+        ),
+        backend="thread",
+    )
+    fields.update(overrides)
+    return StackSpec(**fields)
+
+
+class TestThreadFaultMatrix:
+    """The overlap matrix's fault axis: every strategy, with a retry
+    policy armed, absorbs a first-dispatch ``kill_worker`` (fails before
+    the piece runs → re-dispatched to a healthy worker) and a
+    ``drop_reply`` (the piece RAN, its reply is lost → re-dispatch plus
+    keyed dedup keep exactly one result) — and the no-fault run stays
+    byte-identical to the plain suite."""
+
+    @pytest.mark.parametrize("strategy", FAULT_STRATEGIES)
+    @pytest.mark.parametrize("fault", FAULTS)
+    def test_strategy_completes_under_fault(self, strategy, fault):
+        schedule = (
+            FaultSchedule(
+                [FaultEvent(fault, site="dispatch", on_call=1)],
+                name=f"{strategy}-{fault}",
+            )
+            if fault
+            else None
+        )
+        retry = RetryPolicy(max_attempts=3)
+        if strategy == "heartbeat":
+            app = ParallelApp(block_spec(faults=schedule, retry=retry))
+            start_args, payloads, expected = (4,), [2, 2], [2.0, 2.0]
+        elif strategy == "divide-conquer":
+            app = ParallelApp(_dnc_spec(faults=schedule, retry=retry))
+            payloads = [list(range(i, i + 8)) for i in range(2)]
+            start_args, expected = (), [sum(p) for p in payloads]
+        else:
+            app = ParallelApp(echo_spec(strategy, faults=schedule, retry=retry))
+            factor = 4 if strategy == "pipeline" else 2
+            payloads = PAYLOADS[:2]
+            start_args = ()
+            expected = [[v * factor for v in p] for p in payloads]
+        with app:
+            app.start(*start_args)
+            futures = [app.submit(payload) for payload in payloads]
+            results = [f.result(timeout=15) for f in futures]
+        assert results == expected
+        assert app.in_flight == 0
+        if schedule is not None:
+            assert schedule.fired_count() >= 1  # the fault genuinely fired
 
 
 class TestSimOverlap:

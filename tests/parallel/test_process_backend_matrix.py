@@ -27,6 +27,7 @@ from repro.errors import (
     CallShed,
     DeadlineExceeded,
 )
+from repro.faults import FaultEvent, FaultSchedule, RetryPolicy
 from repro.parallel import WorkSplitter
 from repro.parallel.partition import CallPiece
 
@@ -306,6 +307,52 @@ class TestProcessDeadlines:
                 doomed.result(timeout=20)
             assert err.value.trace is not None
             open_gate()
+
+
+class TestProcessFaultMatrix:
+    """The fault axis on the process backend: every strategy, retry
+    armed, absorbs a first-call ``kill_worker`` (a real SIGKILLed worker
+    process: the crash surfaces as ``WorkerCrashed``, the middleware
+    refills the export, the retry completes the split) and a
+    ``drop_reply`` (the servant ran, the matched reply is discarded).
+
+    The fault site is ``"proc"`` (the middleware round trip) except for
+    divide-and-conquer, whose branch workers are call-time clones living
+    in the parent — its boundary is the ``"dispatch"`` site.  Heartbeat
+    rides along because its block servant is stateless, so a refilled
+    worker's deploy-time state is the correct recovery state.
+    """
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("fault", [None, "kill_worker", "drop_reply"])
+    def test_strategy_completes_under_fault(self, strategy, fault):
+        site = "dispatch" if strategy == "divide-conquer" else "proc"
+        schedule = (
+            FaultSchedule(
+                [FaultEvent(fault, site=site, on_call=1)],
+                name=f"{strategy}-{fault}",
+            )
+            if fault
+            else None
+        )
+        case = Case(strategy)
+        app = case.process_app(
+            faults=schedule, retry=RetryPolicy(max_attempts=3)
+        )
+        with app:
+            app.start(*case.start_args)
+            futures = [app.submit(*case.payload(i)) for i in range(2)]
+            results = [f.result(timeout=30) for f in futures]
+        assert results == [case.expected(i) for i in range(2)]
+        assert wait_until(lambda: app.admitted == 0)
+        assert app.in_flight == 0
+        if schedule is not None:
+            assert schedule.fired_count() >= 1
+            if fault == "kill_worker" and site == "proc":
+                # the crash was a real process death, and the export
+                # was refilled behind the same ref
+                assert app.middleware.worker_crashes >= 1
+                assert app.middleware.worker_respawns >= 1
 
 
 class TestProcessHygiene:
