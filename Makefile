@@ -5,7 +5,7 @@
 PY ?= python
 PYPATH := PYTHONPATH=src
 
-.PHONY: test stress stress-faults test-proc bench-smoke bench-check bench-dispatch bench-proc lint
+.PHONY: test stress stress-faults stress-tenancy test-proc bench-smoke bench-check bench-dispatch bench-proc lint
 
 ## tier-1 test suite (the driver's acceptance gate)
 test:
@@ -44,6 +44,19 @@ stress-faults:
 			-k "FaultMatrix" || exit 1; \
 	done
 
+## tenancy/traffic stress: rerun the cluster-scheduler suites (stride
+## hand-offs race real threads), the sim fairness scenarios, and the
+## traffic determinism tests 5x with the cache disabled.  CI wraps this
+## in a hard timeout-minutes so a lost hand-off wakeup (a hang, not a
+## failure) fails the job fast.
+stress-tenancy:
+	@for i in 1 2 3 4 5; do \
+		echo "--- tenancy stress round $$i/5 ---"; \
+		$(PYPATH) $(PY) -m pytest -q -p no:cacheprovider \
+			tests/tenancy tests/traffic \
+			tests/faults/test_shed_retry.py || exit 1; \
+	done
+
 ## out-of-process backend subset: worker lifecycle + crash fail-fast,
 ## the wire-format round-trips, and the overlap/admission/deadline
 ## matrix on resident worker processes.  CI wraps this in a hard
@@ -66,10 +79,14 @@ bench-proc:
 ## quick benchmark pass: dispatch overhead only, small workload knobs.
 ## Covers the full decision tree: inert, single-/all-around, the
 ## mixed-chain compiled-vs-interpreted pair and the batched pack-8
-## dispatch pair.  Appends stats to benchmarks/BENCH_dispatch.json.
+## dispatch pair — plus the committed tenancy overload scenarios, which
+## register their virtual-time metrics into the same trajectory.  Both
+## files run in ONE pytest invocation so the run record carries every
+## gated pair.  Appends stats to benchmarks/BENCH_dispatch.json.
 bench-smoke:
 	REPRO_BENCH_MAXIMUM=200000 REPRO_BENCH_PACKS=8 \
-		$(PYPATH) $(PY) -m pytest benchmarks/bench_aop_dispatch.py -q
+		$(PYPATH) $(PY) -m pytest -q \
+		benchmarks/bench_aop_dispatch.py benchmarks/bench_tenancy.py
 
 ## regression gate over ALL committed bench pairs: compares the latest
 ## BENCH_dispatch.json run's within-run pair ratios against the

@@ -29,12 +29,42 @@ from pathlib import Path
 
 _REPORTS: list[str] = []
 
+#: scenario-level scalars registered by benches (virtual-time p99s,
+#: shed counts, ...) — merged into the trajectory as pseudo-benches
+_METRICS: dict[str, float] = {}
+
 #: how many historical runs to keep in the JSON trajectory
 _KEEP_RUNS = 50
 
 
 def register_report(text: str) -> None:
     _REPORTS.append(text)
+
+
+def register_metric(name: str, value: float) -> None:
+    """Record one scenario scalar for the trajectory JSON.
+
+    The value lands in the run record shaped like a pytest-benchmark
+    entry (``mean = median = min = value``, zero stddev, one round) so
+    ``tools/check_bench_regression.py`` can gate metric pairs with the
+    same machinery as timing pairs.  Scenario metrics measured on the
+    sim's virtual clock are bit-stable across machines — a moved number
+    is a behaviour change, not noise.
+    """
+    _METRICS[name] = float(value)
+
+
+def _metric_entries() -> dict[str, dict[str, float]]:
+    return {
+        name: {
+            "mean": value,
+            "median": value,
+            "min": value,
+            "stddev": 0.0,
+            "rounds": 1,
+        }
+        for name, value in _METRICS.items()
+    }
 
 
 def bench_maximum() -> int:
@@ -89,7 +119,8 @@ def _ratios_vs_plain(benches: dict[str, dict[str, float]]) -> dict[str, float]:
 
 def pytest_sessionfinish(session, exitstatus):
     benches = _collect_benchmarks(session.config)
-    if not benches:
+    metrics = _metric_entries()
+    if not benches and not metrics:
         return
     path = _results_path()
     try:
@@ -102,7 +133,9 @@ def pytest_sessionfinish(session, exitstatus):
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "python": platform.python_version(),
             "machine": platform.machine(),
-            "benchmarks": benches,
+            # ratios are computed over the timing benches only; the
+            # scenario metrics ride along as pseudo-bench entries
+            "benchmarks": {**benches, **metrics},
             "ratios_vs_plain_call": _ratios_vs_plain(benches),
         }
     )
@@ -114,7 +147,7 @@ def pytest_sessionfinish(session, exitstatus):
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if _collect_benchmarks(config):
+    if _collect_benchmarks(config) or _METRICS:
         terminalreporter.write_sep("-", "dispatch trajectory")
         terminalreporter.write_line(
             f"benchmark stats appended to {_results_path()}"

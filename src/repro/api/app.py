@@ -146,6 +146,14 @@ class ParallelApp:
             backend=self.backend,
             name=self.composition.name,
         )
+        #: the cluster-level tenant plane (spec.tenant/spec.scheduler):
+        #: when installed, every submission unit acquires a TenantGrant
+        #: before its admission slot; the tenant must already be
+        #: registered, so typos fail at construction time
+        self.scheduler = spec.scheduler
+        self.tenant = spec.tenant
+        if self.scheduler is not None:
+            self.scheduler.ensure_tenant(self.tenant)
         self._submissions = 0
         #: the spec's fault schedule while installed on the fault plane
         #: (deploy installs it, undeploy removes it)
@@ -228,6 +236,18 @@ class ParallelApp:
         """Admission slots currently held (submissions between admit
         and their future resolving)."""
         return self.admission.admitted
+
+    def stats(self) -> dict:
+        """Read-only deployment snapshot: the admission table's
+        :meth:`~repro.runtime.admission.AdmissionController.stats` plus
+        the live split counters (and the tenant name when this app
+        submits through a cluster scheduler)."""
+        snapshot = self.admission.stats()
+        snapshot["in_flight"] = self.in_flight
+        snapshot["peak_in_flight"] = self.peak_in_flight
+        if self.tenant is not None:
+            snapshot["tenant"] = self.tenant
+        return snapshot
 
     def trace(self, ticket_id: int) -> dict | None:
         """The span timeline of one dispatch ticket.
@@ -336,6 +356,31 @@ class ParallelApp:
             return None
         return Deadline(budget, clock=self.backend.now)
 
+    def _admit(self, deadline: Deadline | None, name: str) -> Any:
+        """Acquire the call's capacity: the cluster-level tenant grant
+        first (when a scheduler is installed — quotas, fairness and the
+        tenant's own overflow policy apply there), then the
+        deployment's admission slot.  The grant rides the slot and is
+        released with it; a deployment-level rejection refunds the
+        grant before propagating, so cluster capacity never leaks."""
+        grant = None
+        if self.scheduler is not None:
+            grant = self.scheduler.acquire(
+                self.tenant, deadline=deadline, name=name
+            )
+        try:
+            slot = self.admission.admit(
+                deadline=deadline, name=name, retry=self.spec.retry
+            )
+        except BaseException:
+            if grant is not None:
+                grant.release()
+            raise
+        if grant is not None:
+            slot.grant = grant
+            grant.attach_slot(slot)
+        return slot
+
     def submit(
         self,
         *args: Any,
@@ -377,9 +422,7 @@ class ParallelApp:
         deadline = self._deadline(timeout)
         # acquire before dispatching: this is where backpressure (block),
         # rejection (fail) and shedding happen — in the submitter
-        slot = self.admission.admit(
-            deadline=deadline, name=f"submit.{method}", retry=self.spec.retry
-        )
+        slot = self._admit(deadline, name=f"submit.{method}")
         self._submissions += 1
         future = Future(
             name=f"submit.{method}.{self._submissions}", backend=self.backend
@@ -581,10 +624,8 @@ class ParallelApp:
             # rejected pack fails its own futures and the map goes on,
             # keeping every handle in the returned group reachable
             try:
-                slot = self.admission.admit(
-                    deadline=self._deadline(timeout),
-                    name=f"map.pack.{method}",
-                    retry=self.spec.retry,
+                slot = self._admit(
+                    self._deadline(timeout), name=f"map.pack.{method}"
                 )
             except AdmissionError as exc:
                 for offset in range(len(chunk)):
@@ -703,6 +744,10 @@ class AppBuilder:
     def retry(self, policy: Any) -> "AppBuilder":
         """Attach the per-call piece retry policy (a RetryPolicy)."""
         return self._set(retry=policy)
+
+    def tenant(self, name: str, scheduler: Any) -> "AppBuilder":
+        """Submit as ``name`` through a shared ClusterScheduler."""
+        return self._set(tenant=name, scheduler=scheduler)
 
     def faults(self, schedule: Any) -> "AppBuilder":
         """Install a fault-injection schedule for the deployment (tests)."""

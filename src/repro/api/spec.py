@@ -141,6 +141,13 @@ class StackSpec:
     #: installed on the ambient fault plane for the deployment's
     #: lifetime — a TEST knob, never set in production specs
     faults: Any = None
+    #: tenant name this deployment submits as — requires ``scheduler``;
+    #: every submit/map unit then acquires a cluster-level
+    #: :class:`~repro.tenancy.TenantGrant` before its admission slot
+    tenant: str | None = None
+    #: the shared :class:`~repro.tenancy.ClusterScheduler` (one instance
+    #: across the deployments it arbitrates) — requires ``tenant``
+    scheduler: Any = None
 
     # -- derived views ------------------------------------------------------
 
@@ -286,6 +293,27 @@ class StackSpec:
             raise DeploymentError(
                 f"StackSpec.faults must be a FaultSchedule-like object "
                 f"(with a fire(site, index) method), got {self.faults!r}"
+            )
+        # the tenant plane is all-or-nothing: a tenant name without a
+        # scheduler has nothing to acquire from, a scheduler without a
+        # tenant name has no quota to charge
+        if (self.tenant is None) != (self.scheduler is None):
+            raise DeploymentError(
+                "StackSpec.tenant and StackSpec.scheduler come together: "
+                f"got tenant={self.tenant!r}, scheduler={self.scheduler!r}"
+            )
+        if self.tenant is not None and not isinstance(self.tenant, str):
+            raise DeploymentError(
+                f"StackSpec.tenant must be a tenant name (str), "
+                f"got {self.tenant!r}"
+            )
+        if self.scheduler is not None and not (
+            hasattr(self.scheduler, "acquire")
+            and hasattr(self.scheduler, "ensure_tenant")
+        ):
+            raise DeploymentError(
+                f"StackSpec.scheduler must be a ClusterScheduler-like "
+                f"object (acquire + ensure_tenant), got {self.scheduler!r}"
             )
         # the process-stack cross-checks run first: "rmi over the process
         # backend" should say THAT, not fall into the generic cluster rule

@@ -118,6 +118,7 @@ class AdmissionSlot:
         "name",
         "deadline",
         "retry",
+        "grant",
         "cancelled",
         "cancel_cause",
         "delivered",
@@ -141,6 +142,11 @@ class AdmissionSlot:
         self.deadline = deadline
         #: per-call retry policy handed to the ticket at attach time
         self.retry = retry
+        #: the cluster-level tenant grant riding this slot (a
+        #: :class:`repro.tenancy.TenantGrant` when the app routes
+        #: through a tenant plane) — released with the slot so the
+        #: cluster slot frees exactly when the deployment slot does
+        self.grant: Any = None
         self.cancelled = False
         self.cancel_cause: BaseException | None = None
         #: the call's result was handed to its future — a later cancel
@@ -208,8 +214,11 @@ class AdmissionSlot:
             if self._released:
                 return
             self._released = True
+            grant = self.grant
         if self._controller is not None:
             self._controller._release(self)
+        if grant is not None:
+            grant.release()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "live"
@@ -294,6 +303,25 @@ class AdmissionController:
     def waiting(self) -> int:
         """Submitters currently parked by the ``block`` policy."""
         return len(self._waiters)
+
+    def stats(self) -> dict:
+        """Read-only snapshot of the table: occupancy, queue depth and
+        the append-only counters — the feed for cluster-level placement
+        (:meth:`repro.tenancy.ClusterScheduler.observe_admission`) and
+        for dashboards, without reaching into private state."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "limit": self.limit,
+                "policy": self.policy,
+                "admitted": self._live if self.limit is None else len(self._slots),
+                "waiting": len(self._waiters),
+                "admitted_total": self.admitted_total,
+                "rejected": self.rejected,
+                "shed": self.shed_calls,
+                "blocked": self.blocked,
+                "peak_admitted": self.peak_admitted,
+            }
 
     # -- admission ---------------------------------------------------------
 

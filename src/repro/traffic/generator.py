@@ -1,0 +1,155 @@
+"""The open-loop generator: replay a traffic scenario on virtual time.
+
+Open-loop means arrivals never wait for completions: a single driver
+activity holds the simulator to each arrival instant and spawns one
+handler activity per request, exactly like users who keep clicking
+whether or not the service is keeping up — the load model under which
+overload, shedding and queueing actually show their shapes (a
+closed-loop driver would self-throttle and hide them).
+
+Determinism: the arrival process replays from its own seed, and the
+generator's seed drives the per-arrival population draw (then the
+optional service-time draw) in a fixed order.  ``trace(n)`` returns the
+first n arrivals as plain dicts — the golden-trace test commits them so
+refactors cannot silently shift any draw.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterator
+
+__all__ = ["Arrival", "TrafficGenerator", "open_loop"]
+
+
+class Arrival:
+    """One scheduled request: when, which user, hence which tenant."""
+
+    __slots__ = ("index", "time", "user", "tenant", "cost")
+
+    def __init__(
+        self, index: int, time: float, user: int, tenant: str, cost: float
+    ):
+        self.index = index
+        self.time = time
+        self.user = user
+        self.tenant = tenant
+        self.cost = cost
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (golden traces, logs)."""
+        return {
+            "index": self.index,
+            "time": self.time,
+            "user": self.user,
+            "tenant": self.tenant,
+            "cost": self.cost,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Arrival #{self.index} t={self.time:.4f} "
+            f"user={self.user} tenant={self.tenant}>"
+        )
+
+
+class TrafficGenerator:
+    """Seeded arrivals × population → a replayable request stream.
+
+    ``service`` (optional) draws each request's nominal service demand
+    from the generator's rng — e.g. ``lambda rng:
+    rng.expovariate(1/0.05)`` — so heavy requests land on the same
+    arrivals in every replay.
+    """
+
+    def __init__(
+        self,
+        arrivals: Any,
+        population: Any,
+        seed: int = 0,
+        service: Callable[[random.Random], float] | None = None,
+    ):
+        self.arrivals = arrivals
+        self.population = population
+        self.seed = seed
+        self.service = service
+
+    def schedule(
+        self, limit: int | None = None, horizon: float | None = None
+    ) -> Iterator[Arrival]:
+        """The arrival stream, bounded by count (``limit``) and/or
+        virtual time (``horizon``) — fresh replay from the seeds."""
+        rng = random.Random(self.seed)
+        for index, time in enumerate(self.arrivals.times()):
+            if limit is not None and index >= limit:
+                return
+            if horizon is not None and time > horizon:
+                return
+            user, tenant = self.population.draw(rng)
+            cost = self.service(rng) if self.service is not None else 0.0
+            yield Arrival(index, time, user, tenant, cost)
+
+    def trace(self, n: int) -> list[dict]:
+        """The first ``n`` arrivals as dicts (the golden-trace shape)."""
+        return [arrival.as_dict() for arrival in self.schedule(limit=n)]
+
+    def run(
+        self,
+        sim: Any,
+        handler: Callable[[Arrival], None],
+        limit: int | None = None,
+        horizon: float | None = None,
+    ) -> None:
+        """Spawn the open-loop driver into ``sim``: it holds virtual
+        time to each arrival and spawns ``handler(arrival)`` as its own
+        activity.  The caller still owns ``sim.run()``."""
+
+        def driver() -> None:
+            for arrival in self.schedule(limit=limit, horizon=horizon):
+                delay = arrival.time - sim.now
+                if delay > 0:
+                    sim.hold(delay)
+                sim.spawn(
+                    lambda a=arrival: handler(a),
+                    name=f"traffic.{arrival.index}",
+                )
+
+        sim.spawn(driver, name="traffic.driver")
+
+
+def open_loop(
+    sim: Any,
+    generator: TrafficGenerator,
+    apps: dict[str, Any],
+    recorder: Any,
+    payload: Callable[[Arrival], tuple] | None = None,
+    timeout: float | None = None,
+    limit: int | None = None,
+    horizon: float | None = None,
+) -> dict:
+    """Drive a full open-loop scenario to completion and report.
+
+    ``apps`` maps tenant names to deployed :class:`ParallelApp`\\ s (all
+    on ``sim``'s backend).  Each arrival submits
+    ``payload(arrival)`` (default ``(user, cost)``) to its tenant's
+    app with ``timeout``; the recorder classifies the outcome — shed,
+    rejected, deadline-missed, failed, or completed with its virtual
+    latency.  Returns ``recorder.report()``.
+    """
+    if payload is None:
+        payload = lambda arrival: (arrival.user, arrival.cost)  # noqa: E731
+
+    def handle(arrival: Arrival) -> None:
+        recorder.offered(arrival.tenant)
+        app = apps[arrival.tenant]
+        started = sim.now
+        exc: BaseException | None = None
+        try:
+            app.submit(*payload(arrival), timeout=timeout).result()
+        except Exception as caught:  # noqa: BLE001 - classified below
+            exc = caught
+        recorder.observe(arrival.tenant, exc, sim.now - started)
+
+    generator.run(sim, handle, limit=limit, horizon=horizon)
+    sim.run()
+    return recorder.report()

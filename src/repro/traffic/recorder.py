@@ -1,0 +1,149 @@
+"""Per-tenant outcome and latency percentile recording.
+
+:class:`PercentileRecorder` is the measurement half of the traffic
+plane: handlers report each request's outcome — completed (with its
+virtual latency), shed, rejected, or deadline-missed — and
+:meth:`report` reduces everything to the per-tenant numbers the
+scenarios gate on: p50/p95/p99 latency (nearest-rank on the exact
+sample set; no interpolation, so reports are bit-stable across runs)
+and shed/reject/miss rates against offered load.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+from repro.errors import (
+    AdmissionRejected,
+    CallShed,
+    DeadlineExceeded,
+)
+
+__all__ = ["PercentileRecorder"]
+
+#: outcome keys a handler can report (completed carries a latency)
+_OUTCOMES = ("completed", "shed", "rejected", "deadline_missed", "failed")
+
+
+def _nearest_rank(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in (0, 1]) of a sorted sample."""
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class PercentileRecorder:
+    """Thread-safe per-tenant counters and latency samples."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: dict[str, list[float]] = {}
+        self._counts: dict[str, dict[str, int]] = {}
+
+    def _tenant(self, tenant: str) -> dict[str, int]:
+        counts = self._counts.get(tenant)
+        if counts is None:
+            counts = {"offered": 0, **{key: 0 for key in _OUTCOMES}}
+            self._counts[tenant] = counts
+            self._latencies[tenant] = []
+        return counts
+
+    # -- reporting -----------------------------------------------------------
+
+    def offered(self, tenant: str) -> None:
+        """One request arrived for ``tenant`` (count it before its fate
+        is known — offered load is the denominator of every rate)."""
+        with self._lock:
+            self._tenant(tenant)["offered"] += 1
+
+    def completed(self, tenant: str, latency: float) -> None:
+        """One request finished, ``latency`` virtual seconds after it
+        arrived."""
+        with self._lock:
+            self._tenant(tenant)["completed"] += 1
+            self._latencies[tenant].append(float(latency))
+
+    def shed(self, tenant: str) -> None:
+        """One request was cancelled by a shed-oldest policy."""
+        with self._lock:
+            self._tenant(tenant)["shed"] += 1
+
+    def rejected(self, tenant: str) -> None:
+        """One request was turned away at admission."""
+        with self._lock:
+            self._tenant(tenant)["rejected"] += 1
+
+    def deadline_missed(self, tenant: str) -> None:
+        """One request ran out of its deadline budget."""
+        with self._lock:
+            self._tenant(tenant)["deadline_missed"] += 1
+
+    def failed(self, tenant: str) -> None:
+        """One request failed for any other reason."""
+        with self._lock:
+            self._tenant(tenant)["failed"] += 1
+
+    def observe(self, tenant: str, exc: BaseException | None, latency: float) -> None:
+        """Classify one finished request by its exception (``None`` =
+        success): the convenience the open-loop handler uses."""
+        if exc is None:
+            self.completed(tenant, latency)
+        elif isinstance(exc, CallShed):
+            self.shed(tenant)
+        elif isinstance(exc, DeadlineExceeded):
+            self.deadline_missed(tenant)
+        elif isinstance(exc, AdmissionRejected):
+            self.rejected(tenant)
+        else:
+            self.failed(tenant)
+
+    # -- reduction -----------------------------------------------------------
+
+    def tenants(self) -> tuple:
+        """Tenant names seen so far (sorted)."""
+        with self._lock:
+            return tuple(sorted(self._counts))
+
+    def report(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant reduction: counts, rates against offered load,
+        and nearest-rank p50/p95/p99 of completed-request latency
+        (``None`` when the tenant completed nothing)."""
+        with self._lock:
+            out: dict[str, dict[str, Any]] = {}
+            for tenant in sorted(self._counts):
+                counts = dict(self._counts[tenant])
+                offered = counts["offered"]
+                latencies = sorted(self._latencies[tenant])
+                row: dict[str, Any] = dict(counts)
+                for key in ("shed", "rejected", "deadline_missed"):
+                    row[f"{key}_rate"] = (
+                        counts[key] / offered if offered else 0.0
+                    )
+                for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                    row[label] = (
+                        _nearest_rank(latencies, q) if latencies else None
+                    )
+                out[tenant] = row
+            return out
+
+    def total(self, key: str) -> int:
+        """Sum of one counter across tenants (e.g. ``"offered"``)."""
+        with self._lock:
+            return sum(counts[key] for counts in self._counts.values())
+
+    def percentile(self, q: float, tenant: str | None = None) -> float | None:
+        """Nearest-rank latency percentile for one tenant, or across
+        all tenants when ``tenant`` is ``None``."""
+        with self._lock:
+            if tenant is None:
+                samples = [
+                    value
+                    for values in self._latencies.values()
+                    for value in values
+                ]
+            else:
+                samples = list(self._latencies.get(tenant, ()))
+        if not samples:
+            return None
+        return _nearest_rank(sorted(samples), q)

@@ -108,6 +108,8 @@ class TestMultiPairGate:
             "cpu-farm-process",
             "pack-marshal-process",
             "fault-retry-farm",
+            "tenancy-p99-overload",
+            "tenancy-shed-rate",
         }
         for pair in committed:
             assert 0 < pair["max_regression"] <= 1.0

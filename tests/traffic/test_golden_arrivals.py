@@ -1,0 +1,49 @@
+"""Deterministic-seed regression for the traffic generator: the same
+seeds replay the identical first-N arrivals — across two in-process
+runs AND against the committed golden trace.  Any refactor that moves a
+single rng draw (arrival thinning, Zipf sampling, service draws) shifts
+every subsequent number and fails this test loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.traffic import DiurnalArrivals, TenantPopulation, TrafficGenerator
+
+GOLDEN = pathlib.Path(__file__).with_name("golden_arrivals.json")
+
+TRACE_LEN = 40
+
+
+def make_generator():
+    return TrafficGenerator(
+        DiurnalArrivals(
+            base_rate=20.0, amplitude=0.5, period=60.0, seed=21
+        ),
+        TenantPopulation(
+            {"gold": 0.001, "silver": 0.05, "free": 0.949},
+            users=1_000_000,
+            exponent=1.1,
+        ),
+        seed=22,
+        service=lambda rng: rng.expovariate(1 / 0.2),
+    )
+
+
+def test_same_seeds_replay_identical_arrivals():
+    first = make_generator().trace(TRACE_LEN)
+    second = make_generator().trace(TRACE_LEN)
+    assert first == second
+    assert len(first) == TRACE_LEN
+
+
+def test_trace_matches_committed_golden():
+    trace = make_generator().trace(TRACE_LEN)
+    golden = json.loads(GOLDEN.read_text())
+    assert trace == golden, (
+        "arrival trace diverged from the committed golden trace — if "
+        "the draw-order contract changed intentionally, regenerate "
+        "tests/traffic/golden_arrivals.json from trace(40)"
+    )

@@ -1,0 +1,249 @@
+"""Traffic-plane units: arrival processes, the Zipf tenant population,
+the percentile recorder, and the generator's replay/trace contracts."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import AdmissionRejected, CallShed, DeadlineExceeded
+from repro.sim import Simulator
+from repro.traffic import (
+    Arrival,
+    BurstArrivals,
+    DiurnalArrivals,
+    PercentileRecorder,
+    PoissonArrivals,
+    TenantPopulation,
+    TrafficGenerator,
+)
+
+
+class TestArrivals:
+    def test_poisson_is_deterministic_and_ascending(self):
+        first = PoissonArrivals(rate=10.0, seed=5).take(200)
+        again = PoissonArrivals(rate=10.0, seed=5).take(200)
+        assert first == again
+        assert all(b > a for a, b in zip(first, first[1:]))
+
+    def test_poisson_seed_changes_the_stream(self):
+        assert PoissonArrivals(10.0, seed=1).take(50) != PoissonArrivals(
+            10.0, seed=2
+        ).take(50)
+
+    def test_poisson_mean_gap_tracks_the_rate(self):
+        times = PoissonArrivals(rate=50.0, seed=3).take(4000)
+        mean_gap = times[-1] / len(times)
+        assert math.isclose(mean_gap, 1 / 50.0, rel_tol=0.1)
+
+    def test_poisson_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="rate must be > 0"):
+            PoissonArrivals(rate=0.0)
+
+    def test_diurnal_rate_oscillates_within_the_envelope(self):
+        process = DiurnalArrivals(
+            base_rate=10.0, amplitude=0.8, period=100.0, seed=1
+        )
+        rates = [process.rate(t) for t in range(0, 100, 5)]
+        assert max(rates) <= process.peak_rate() + 1e-9
+        assert min(rates) > 0
+        assert max(rates) > 1.5 * min(rates)  # it genuinely varies
+
+    def test_diurnal_peak_and_trough_density_differ(self):
+        # a strong cycle concentrates arrivals around the peak quarter
+        process = DiurnalArrivals(
+            base_rate=20.0, amplitude=0.9, period=40.0, seed=7
+        )
+        times = [t for t in process.take(3000) if t < 400.0]
+        # phase 0 rises first: peak quarter is [P/8, 3P/8) of each cycle
+        peak = sum(1 for t in times if 0.125 <= (t % 40.0) / 40.0 < 0.375)
+        trough = sum(1 for t in times if 0.625 <= (t % 40.0) / 40.0 < 0.875)
+        assert peak > 2 * trough
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalArrivals(base_rate=1.0, amplitude=1.0)
+
+    def test_burst_concentrates_arrivals_in_the_burst_window(self):
+        process = BurstArrivals(
+            base_rate=1.0, burst_rate=50.0, period=10.0, burst_len=1.0, seed=2
+        )
+        times = [t for t in process.take(2000) if t < 200.0]
+        inside = sum(1 for t in times if (t % 10.0) < 1.0)
+        assert inside / len(times) > 0.75
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError, match="burst_len"):
+            BurstArrivals(
+                base_rate=1.0, burst_rate=5.0, period=1.0, burst_len=2.0
+            )
+
+
+class TestTenantPopulation:
+    def bands(self):
+        return TenantPopulation(
+            {"gold": 0.001, "silver": 0.05, "free": 0.949},
+            users=1_000_000,
+            exponent=1.1,
+        )
+
+    def test_band_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            TenantPopulation({"a": 0.5, "b": 0.2})
+
+    def test_band_bounds_partition_the_ranks(self):
+        pop = self.bands()
+        assert pop.tenants == ("gold", "silver", "free")
+        assert pop.band("gold") == (1, 1000)
+        assert pop.band("silver") == (1001, 51000)
+        assert pop.band("free") == (51001, 1_000_000)
+        assert pop.tenant_of(1) == "gold"
+        assert pop.tenant_of(1000) == "gold"
+        assert pop.tenant_of(1001) == "silver"
+        assert pop.tenant_of(1_000_000) == "free"
+        with pytest.raises(ValueError, match="rank"):
+            pop.tenant_of(0)
+
+    def test_draws_are_deterministic_and_in_range(self):
+        pop = self.bands()
+        first = [pop.draw(random.Random(9)) for _ in range(100)]
+        again = [pop.draw(random.Random(9)) for _ in range(100)]
+        assert first == again
+        assert all(1 <= rank <= pop.users for rank, _ in first)
+
+    def test_hot_band_dominates_traffic(self):
+        # 0.1% of users (the gold band) must carry far more than 0.1%
+        # of requests — that asymmetry is the point of the Zipf model
+        pop = self.bands()
+        rng = random.Random(4)
+        counts = {"gold": 0, "silver": 0, "free": 0}
+        n = 5000
+        for _ in range(n):
+            _, tenant = pop.draw(rng)
+            counts[tenant] += 1
+        gold_share = counts["gold"] / n
+        assert gold_share > 0.5  # expected ~0.695 at s=1.1
+        # and the continuous approximation agrees with the sample
+        assert abs(gold_share - pop.expected_share("gold")) < 0.05
+
+    def test_expected_shares_sum_to_one(self):
+        pop = self.bands()
+        total = sum(pop.expected_share(name) for name in pop.tenants)
+        assert math.isclose(total, 1.0, rel_tol=1e-6)
+
+    def test_single_user_population(self):
+        pop = TenantPopulation({"only": 1.0}, users=1)
+        assert pop.draw(random.Random(0)) == (1, "only")
+
+
+class TestPercentileRecorder:
+    def test_classification_by_exception(self):
+        recorder = PercentileRecorder()
+        for _ in range(4):
+            recorder.offered("t")
+        recorder.observe("t", None, 0.25)
+        recorder.observe("t", CallShed("shed"), 0.1)
+        recorder.observe("t", DeadlineExceeded("late"), 2.0)
+        recorder.observe("t", AdmissionRejected("full"), 0.0)
+        row = recorder.report()["t"]
+        assert row["offered"] == 4
+        assert row["completed"] == 1
+        assert row["shed"] == 1
+        assert row["deadline_missed"] == 1
+        assert row["rejected"] == 1
+        assert row["shed_rate"] == 0.25
+        # CallShed IS an AdmissionError subclass: order of the isinstance
+        # ladder matters, shed must not be double-counted as rejected
+        assert row["rejected_rate"] == 0.25
+
+    def test_unknown_exceptions_count_as_failed(self):
+        recorder = PercentileRecorder()
+        recorder.offered("t")
+        recorder.observe("t", RuntimeError("boom"), 0.0)
+        assert recorder.report()["t"]["failed"] == 1
+
+    def test_nearest_rank_percentiles(self):
+        recorder = PercentileRecorder()
+        for value in range(1, 101):  # latencies 1..100
+            recorder.completed("t", float(value))
+        row = recorder.report()["t"]
+        assert row["p50"] == 50.0
+        assert row["p95"] == 95.0
+        assert row["p99"] == 99.0
+        assert recorder.percentile(0.99, "t") == 99.0
+        assert recorder.percentile(1.0) == 100.0
+
+    def test_percentiles_none_without_samples(self):
+        recorder = PercentileRecorder()
+        recorder.offered("t")
+        row = recorder.report()["t"]
+        assert row["p50"] is None and row["p99"] is None
+        assert recorder.percentile(0.5, "t") is None
+        assert recorder.percentile(0.5) is None
+
+    def test_totals_across_tenants(self):
+        recorder = PercentileRecorder()
+        recorder.offered("a")
+        recorder.offered("b")
+        recorder.completed("b", 1.0)
+        assert recorder.total("offered") == 2
+        assert recorder.total("completed") == 1
+        assert recorder.tenants() == ("a", "b")
+
+
+class TestTrafficGenerator:
+    def generator(self, **overrides):
+        fields = dict(
+            arrivals=PoissonArrivals(rate=5.0, seed=11),
+            population=TenantPopulation(
+                {"hot": 0.01, "cold": 0.99}, users=10_000, exponent=1.2
+            ),
+            seed=12,
+            service=lambda rng: rng.expovariate(1 / 0.1),
+        )
+        fields.update(overrides)
+        return TrafficGenerator(**fields)
+
+    def test_schedule_is_a_deterministic_replay(self):
+        first = self.generator().trace(50)
+        again = self.generator().trace(50)
+        assert first == again
+        assert [a["index"] for a in first] == list(range(50))
+        assert all(a["cost"] > 0 for a in first)
+
+    def test_horizon_bounds_virtual_time(self):
+        arrivals = list(self.generator().schedule(horizon=2.0))
+        assert arrivals
+        assert all(a.time <= 2.0 for a in arrivals)
+
+    def test_limit_and_horizon_compose(self):
+        assert len(list(self.generator().schedule(limit=3, horizon=100.0))) == 3
+
+    def test_service_none_means_zero_cost(self):
+        trace = self.generator(service=None).trace(5)
+        assert [a["cost"] for a in trace] == [0.0] * 5
+
+    def test_arrival_dict_round_trip(self):
+        arrival = Arrival(0, 1.5, 42, "hot", 0.25)
+        assert arrival.as_dict() == {
+            "index": 0,
+            "time": 1.5,
+            "user": 42,
+            "tenant": "hot",
+            "cost": 0.25,
+        }
+
+    def test_run_spawns_handlers_at_arrival_instants(self):
+        sim = Simulator()
+        generator = self.generator()
+        seen: list[tuple[int, float]] = []
+
+        def handler(arrival):
+            seen.append((arrival.index, sim.now))
+
+        generator.run(sim, handler, limit=20)
+        sim.run()
+        expected = [(a.index, a.time) for a in generator.schedule(limit=20)]
+        assert seen == expected
