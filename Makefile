@@ -12,17 +12,20 @@ test:
 	$(PYPATH) $(PY) -m pytest -x -q
 
 ## overlap stress: rerun the concurrency-sensitive suites (dispatch
-## contexts, admission policies, deadlines) 5x with the pytest cache
-## disabled, to surface flakes and hangs that a single ordered run
-## hides.  CI wraps this in a hard timeout-minutes so a hung untimed
-## wait fails the job instead of stalling it.
+## contexts, admission policies, deadlines, and the optimisation
+## aspects — the shared-cache lock and replica builds race real
+## threads) 5x with the pytest cache disabled, to surface flakes and
+## hangs that a single ordered run hides.  CI wraps this in a hard
+## timeout-minutes so a hung untimed wait fails the job instead of
+## stalling it.
 stress:
 	@for i in 1 2 3 4 5; do \
 		echo "--- stress round $$i/5 ---"; \
 		$(PYPATH) $(PY) -m pytest -q -p no:cacheprovider \
 			tests/parallel/test_dispatch_contexts.py \
 			tests/parallel/test_admission_policies.py \
-			tests/parallel/test_deadlines.py || exit 1; \
+			tests/parallel/test_deadlines.py \
+			tests/parallel/test_optimisation.py || exit 1; \
 	done
 
 ## fault-injection stress: rerun the whole fault matrix 5x — the

@@ -131,7 +131,12 @@ def test_five_aspect_stack(benchmark):
     for level in range(5):
         deploy(make_aspect(level))
     obj = Target()
+    stats = default_weaver.plan_stats
+    interpreter_before = stats.interpreter_calls
     assert benchmark(lambda: run_loop(obj)) == N * (N - 1) // 2 + N
+    # acceptance invariant: the five-aspect hot loop never entered the
+    # generic interpreter (the fused all-around plan served every call)
+    assert stats.interpreter_calls == interpreter_before
 
 
 def deploy_mixed_five(Target):
@@ -192,6 +197,79 @@ def test_mixed_five_advice_interpreted(benchmark):
     Target = make_target()
     weave(Target)
     deploy_mixed_five(Target)
+    shadow = default_weaver._shadows[Target][("work", JoinPointKind.CALL)]
+    impl = plan_mod._chain_impl(
+        Target, "work", shadow.original, shadow.entries, False
+    )
+    obj = Target()
+
+    def loop():
+        total = 0
+        for i in range(N):
+            total += impl(obj, i)
+        return total
+
+    assert benchmark(loop) == N * (N - 1) // 2 + N
+
+
+def deploy_nonseparable_five(Target):
+    """Five advice with the before/after sorted BELOW (and between) the
+    arounds — the non-separable shape that used to force the generic
+    interpreter and now compiles by per-segment nesting."""
+
+    def make_around(level):
+        class Wrap(Aspect):
+            precedence = level
+
+            @around("call(Target.work(..))")
+            def wrap(self, jp):
+                return jp.proceed()
+
+        return Wrap()
+
+    class Pre(Aspect):
+        precedence = 400
+
+        @before("call(Target.work(..))")
+        def pre(self, jp):
+            pass
+
+    class Post(Aspect):
+        precedence = 200
+
+        @after("call(Target.work(..))")
+        def post(self, jp):
+            pass
+
+    for aspect in (make_around(500), Pre(), make_around(300), Post(),
+                   make_around(100)):
+        deploy(aspect)
+
+
+def test_nonseparable_five_advice_stack(benchmark):
+    """The compiled non-separable plan: before/after runs folded into
+    the around level beneath them, the around spine fused — zero
+    interpreter entries on the hot loop (asserted)."""
+    Target = make_target()
+    weave(Target)
+    deploy_nonseparable_five(Target)
+    obj = Target()
+    impl = vars(Target)["work"]
+    assert "runner" in impl.__code__.co_freevars, "chain did not compile"
+    assert impl.__aop_plan_kind__ == "mixed"
+    stats = default_weaver.plan_stats
+    interpreter_before = stats.interpreter_calls
+    assert benchmark(lambda: run_loop(obj)) == N * (N - 1) // 2 + N
+    assert stats.interpreter_calls == interpreter_before
+
+
+def test_nonseparable_five_advice_interpreted(benchmark):
+    """The same non-separable five-advice chain through the generic
+    interpreter — the only path such chains had before per-segment
+    nesting.  The compiled plan above must beat this (gated)."""
+    Target = make_target()
+    weave(Target)
+    deploy_nonseparable_five(Target)
     shadow = default_weaver._shadows[Target][("work", JoinPointKind.CALL)]
     impl = plan_mod._chain_impl(
         Target, "work", shadow.original, shadow.entries, False
@@ -867,6 +945,189 @@ def test_submit_roundtrip_pack8(benchmark):
         app.undeploy()
         app.shutdown()
         sim.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Pack-aware optimisation aspects: one cache lookup per pack on a 50%
+# partial-hit workload, and replica-served reads vs remote round-trips
+# ---------------------------------------------------------------------------
+
+
+def make_cached_target():
+    from repro.parallel import ObjectCacheAspect
+
+    Target = make_target()
+    weave(Target)
+    cache = ObjectCacheAspect(cached_calls="call(Target.work(..))")
+    deploy(cache)
+    return Target, cache
+
+
+def test_pack8_cache_partial_hit(benchmark):
+    """An 8-piece pack through the pack-aware cache on a 50% partial-hit
+    workload: ONE locked digest+lookup pass for the pack (invariant
+    asserted), cached items answered locally, the 4 misses proceeding as
+    a smaller pack, results re-interleaved in piece order."""
+    Target, cache = make_cached_target()
+    obj = Target()
+    pieces = [((i,), {}) for i in range(PACK)]
+    expected = [i + 1 for i in range(PACK)]
+
+    # invariant: 50% pre-warmed -> exactly one cache lookup for the
+    # pack, correct in-order results
+    for i in range(0, PACK, 2):
+        obj.work(i)
+    hits_before, lookups_before = cache.hits, cache.pack_lookups
+    assert batched_entry(obj, "work")(pieces) == expected
+    assert cache.pack_lookups - lookups_before == 1
+    assert cache.hits - hits_before == PACK // 2
+
+    def loop():
+        out = None
+        for _ in range(N // PACK):
+            cache.clear()
+            for i in range(0, PACK, 2):  # re-warm half the pack
+                obj.work(i)
+            out = batched_entry(obj, "work")(pieces)
+        return out
+
+    assert benchmark(loop) == expected
+
+
+def test_peritem_cache_partial_hit(benchmark):
+    """The same 50% partial-hit workload as 8 per-item cached calls —
+    one digest, one lock acquisition and one advice pass per item: the
+    cost the pack path collapses into a single locked pass."""
+    Target, cache = make_cached_target()
+    obj = Target()
+    expected = [i + 1 for i in range(PACK)]
+
+    def loop():
+        out = None
+        for _ in range(N // PACK):
+            cache.clear()
+            for i in range(0, PACK, 2):
+                obj.work(i)
+            out = [obj.work(i) for i in range(PACK)]
+        return out
+
+    assert benchmark(loop) == expected
+
+
+READS = 200
+
+
+def make_read_scenario(replicated):
+    """A distributed Store over simulated MPP: the client holds a woven
+    instance whose ``get`` is redirected to a remote servant.  The
+    replicated variant deploys :class:`ReadReplicaAspect` above the
+    distribution layer so reads are served by a local replica instead of
+    a per-read message round-trip."""
+    from repro.cluster import paper_testbed
+    from repro.middleware import MppMiddleware, use_node
+    from repro.parallel import MppDistributionAspect, ReadReplicaAspect
+    from repro.parallel.partition.base import PartitionAspect
+    from repro.runtime import SimBackend, use_backend
+    from repro.sim import Simulator
+
+    class Store:
+        def __init__(self):
+            self.data = {i: i * 2 for i in range(16)}
+
+        def get(self, key):
+            return self.data.get(key)
+
+    weave(Store)
+    sim = Simulator()
+    cluster = paper_testbed(sim)
+    mpp = MppMiddleware(cluster)
+    deploy(
+        MppDistributionAspect(
+            mpp,
+            remote_new="initialization(Store.new(..))",
+            remote_calls="call(Store.get(..))",
+        )
+    )
+    backend = SimBackend(sim)
+    holder = {}
+
+    def build():
+        with use_backend(backend), use_node(cluster.head):
+            holder["store"] = Store()
+
+    sim.spawn(build)
+    sim.run()
+    store = holder["store"]
+
+    aspect = None
+    if replicated:
+        # a minimal partition exposing the store as a managed servant
+        partition = PartitionAspect.__new__(PartitionAspect)
+        partition.managed = {}
+        partition.instances = []
+        partition.remember(store, 0)
+        aspect = ReadReplicaAspect(
+            partition, read_calls="call(Store.get(..))"
+        )
+        deploy(aspect)
+
+    expected = sum((i % 16) * 2 for i in range(READS))
+
+    def round_trip():
+        out = {}
+
+        def main():
+            with use_backend(backend), use_node(cluster.head):
+                total = 0
+                for i in range(READS):
+                    total += store.get(i % 16)
+                out["total"] = total
+
+        sim.spawn(main)
+        sim.run()
+        return out["total"]
+
+    def teardown():
+        mpp.shutdown()
+        sim.shutdown()
+
+    return cluster, aspect, round_trip, teardown, expected
+
+
+def test_replicated_read_store(benchmark):
+    """200 reads on the distributed store with read-replica serving:
+    after the first read builds the replica, not one message crosses the
+    simulated network (invariant asserted) and no advice below the
+    replica aspect runs."""
+    cluster, aspect, round_trip, teardown, expected = make_read_scenario(
+        replicated=True
+    )
+    try:
+        assert round_trip() == expected  # builds the replica
+        msgs_before = cluster.network.messages
+        assert round_trip() == expected
+        assert cluster.network.messages == msgs_before  # zero remote reads
+        assert aspect.local_reads >= 2 * READS
+        assert aspect.replica_builds == 1
+        assert benchmark(round_trip) == expected
+    finally:
+        teardown()
+
+
+def test_remote_read_store(benchmark):
+    """The same 200 reads without replication — every read is a request
+    + reply round-trip through the simulated MPP middleware (invariant
+    asserted): the per-item message cost read replicas remove."""
+    cluster, _, round_trip, teardown, expected = make_read_scenario(
+        replicated=False
+    )
+    try:
+        msgs_before = cluster.network.messages
+        assert round_trip() == expected
+        assert cluster.network.messages - msgs_before == 2 * READS
+        assert benchmark(round_trip) == expected
+    finally:
+        teardown()
 
 
 # ---------------------------------------------------------------------------

@@ -9,6 +9,14 @@ Tracks, per thread (simulated processes are real threads, so
   default rule that *initialization* joinpoints are not re-matched for
   constructions performed inside advice (the paper: "This pointcut only
   intercepts object creations in the core functionality").
+
+Every attribute read on a ``threading.local`` pays a thread-dictionary
+lookup, which adds up on the woven hot path (the compiled dispatch plans
+touch flow state half a dozen times per call).  The state therefore
+lives in a plain ``__slots__`` object reachable through *one*
+``threading.local`` attribute: ``flow_state()`` resolves the thread
+dictionary once, and every subsequent field access is an ordinary slot
+load.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.aop.joinpoint import JoinPoint
 
 __all__ = [
+    "flow_state",
     "current_stack",
     "advice_depth",
     "in_advice",
@@ -31,61 +40,78 @@ __all__ = [
 ]
 
 
-class _FlowState(threading.local):
+class _Flow:
+    """Per-thread flow state; plain slots so field access is cheap."""
+
+    __slots__ = ("stack", "advice_depth", "construction_bypass")
+
     def __init__(self) -> None:
         self.stack: list["JoinPoint"] = []
         self.advice_depth: int = 0
         self.construction_bypass: int = 0
 
 
-_STATE = _FlowState()
+class _FlowLocal(threading.local):
+    def __init__(self) -> None:
+        self.flow = _Flow()
+
+
+_LOCAL = _FlowLocal()
+
+
+def flow_state() -> _Flow:
+    """This thread's flow state; fetch once, then use plain attributes."""
+    return _LOCAL.flow
 
 
 def current_stack() -> list["JoinPoint"]:
     """The joinpoints currently executing on this thread, outermost first."""
-    return _STATE.stack
+    return _LOCAL.flow.stack
 
 
 def advice_depth() -> int:
-    return _STATE.advice_depth
+    return _LOCAL.flow.advice_depth
 
 
 def in_advice() -> bool:
     """Is this thread currently executing advice code?"""
-    return _STATE.advice_depth > 0
+    return _LOCAL.flow.advice_depth > 0
 
 
 def construction_bypass() -> bool:
     """Is construction currently bypassing the weaver (``proceed`` of an
     initialization joinpoint, or :func:`repro.aop.raw_construct`)?"""
-    return _STATE.construction_bypass > 0
+    return _LOCAL.flow.construction_bypass > 0
 
 
 @contextmanager
 def entered_joinpoint(jp: "JoinPoint") -> Iterator[None]:
     """Push ``jp`` on the thread's control-flow stack for cflow matching."""
-    _STATE.stack.append(jp)
+    stack = _LOCAL.flow.stack
+    stack.append(jp)
     try:
         yield
     finally:
-        _STATE.stack.pop()
+        stack.pop()
 
 
 @contextmanager
 def entered_advice() -> Iterator[None]:
     """Mark advice execution (for ``adviceexecution()`` pointcuts)."""
-    _STATE.advice_depth += 1
+    flow = _LOCAL.flow
+    flow.advice_depth += 1
     try:
         yield
     finally:
-        _STATE.advice_depth -= 1
+        flow.advice_depth -= 1
 
 
 @contextmanager
 def bypassing_construction() -> Iterator[None]:
     """Run a block during which woven constructors use the raw path."""
-    _STATE.construction_bypass += 1
+    flow = _LOCAL.flow
+    flow.construction_bypass += 1
     try:
         yield
     finally:
-        _STATE.construction_bypass -= 1
+        flow.construction_bypass -= 1

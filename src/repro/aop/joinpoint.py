@@ -19,12 +19,25 @@ stage to create its "aspect managed objects".
 from __future__ import annotations
 
 import enum
-import threading
+from threading import get_ident
 from typing import Any, Callable
 
 from repro.errors import ProceedError
 
 __all__ = ["JoinPointKind", "JoinPoint", "CallerInfo"]
+
+#: The compiled plans' around-segment continuation class, injected by
+#: :mod:`repro.aop.plan` at import time (a set-after-import hand-off —
+#: ``plan`` imports this module, so it cannot be imported here).
+#: :meth:`JoinPoint.proceed` type-checks the armed continuation against
+#: it and *inlines* the level step: one Python frame per around level
+#: instead of two, and no re-packing of the argument views.
+_AROUND_CONT: type | None = None
+
+#: The frozen-continuation class used by :meth:`JoinPoint.capture_proceed`
+#: for *fused* all-around plans (see ``_FusedJoinPoint`` in
+#: :mod:`repro.aop.plan`); injected the same way as ``_AROUND_CONT``.
+_CAPTURED_CONT: type | None = None
 
 
 class JoinPointKind(enum.Enum):
@@ -83,6 +96,7 @@ class JoinPoint:
         "args",
         "kwargs",
         "_proceed_map",
+        "_armed_tid",
         "_caller",
         "_caller_resolver",
         "result",
@@ -110,6 +124,10 @@ class JoinPoint:
         # while the original thread unwinds — neither may clobber the
         # other's view of ``proceed``.
         self._proceed_map: dict[int, Callable] = {}
+        #: Thread whose around-segment continuation is fused into this
+        #: joinpoint (see ``_FusedJoinPoint`` in repro.aop.plan); ``-1``
+        #: when dispatch goes through the proceed map instead.
+        self._armed_tid: int = -1
         self._caller: CallerInfo | None = None
         self._caller_resolver: Callable[[], CallerInfo] | None = None
         #: Set on ``after_returning`` advice invocations.
@@ -156,12 +174,115 @@ class JoinPoint:
         For initialization joinpoints, each invocation constructs and
         returns a *fresh, fully initialised* instance.
         """
-        proceed = self._proceed_map.get(threading.get_ident())
-        if proceed is None:
+        tid = get_ident()
+        if self._armed_tid == tid:
+            # Fused all-around plan: the continuation state lives in
+            # slots on this joinpoint itself (see ``_FusedJoinPoint`` in
+            # repro.aop.plan) — no dict lookup, no continuation object.
+            i = self._i
+            nxt = i + 1
+            cargs = self._aargs
+            ckwargs = self._akwargs
+            if not args and not kwargs:
+                self.args = cargs
+                self.kwargs = ckwargs
+                if nxt == self._n:
+                    return self._orig(self.target, *cargs, **ckwargs)
+                self._i = nxt
+                try:
+                    result = self._funcs[nxt](self)
+                except BaseException:
+                    self._i = i
+                    raise
+                self._i = i
+                return result
+            use_args = args if args else cargs
+            use_kwargs = kwargs if kwargs else ckwargs
+            self.args = use_args
+            self.kwargs = use_kwargs
+            if nxt == self._n:
+                result = self._orig(self.target, *use_args, **use_kwargs)
+            else:
+                self._i = nxt
+                self._aargs = use_args
+                self._akwargs = use_kwargs
+                try:
+                    result = self._funcs[nxt](self)
+                except BaseException:
+                    self._i = i
+                    self._aargs = cargs
+                    self._akwargs = ckwargs
+                    raise
+            self.args = cargs
+            self.kwargs = ckwargs
+            self._i = i
+            self._aargs = cargs
+            self._akwargs = ckwargs
+            return result
+        p = self._proceed_map.get(tid)
+        if p is None:
             raise ProceedError(
                 f"proceed() called outside an active around advice for {self.signature}"
             )
-        return proceed(*args, **kwargs)
+        if p.__class__ is not _AROUND_CONT:
+            # interpreter closures / captured continuations
+            return p(*args, **kwargs)
+        # Inlined step of the compiled around-segment continuation
+        # (mirrors ``_AroundCont.__call__`` — see repro.aop.plan): the
+        # armed level ``i`` proceeds into level ``i + 1`` or, past the
+        # last around, into the segment tail.  On success the armed view
+        # is restored so a second ``proceed()`` replays; on an exception
+        # it is rolled back to this level (``jp.args`` deliberately
+        # stays as the failing level set it).
+        i = p.i
+        nxt = i + 1
+        cargs = p.args
+        ckwargs = p.kwargs
+        if not args and not kwargs:
+            # no substitution: every argument view is already current,
+            # only the armed level index moves
+            self.args = cargs
+            self.kwargs = ckwargs
+            if nxt == p.n:
+                orig = p.orig
+                if orig is not None:  # bare original: skip the tail frame
+                    return orig(p.self_obj, *cargs, **ckwargs)
+                return p.tail(self, p.self_obj, cargs, ckwargs)
+            p.i = nxt
+            try:
+                result = p.funcs[nxt](self)
+            except BaseException:
+                p.i = i
+                raise
+            p.i = i
+            return result
+        use_args = args if args else cargs
+        use_kwargs = kwargs if kwargs else ckwargs
+        self.args = use_args
+        self.kwargs = use_kwargs
+        if nxt == p.n:
+            orig = p.orig
+            if orig is not None:
+                result = orig(p.self_obj, *use_args, **use_kwargs)
+            else:
+                result = p.tail(self, p.self_obj, use_args, use_kwargs)
+        else:
+            p.i = nxt
+            p.args = use_args
+            p.kwargs = use_kwargs
+            try:
+                result = p.funcs[nxt](self)
+            except BaseException:
+                p.i = i
+                p.args = cargs
+                p.kwargs = ckwargs
+                raise
+        self.args = cargs
+        self.kwargs = ckwargs
+        p.i = i
+        p.args = cargs
+        p.kwargs = ckwargs
+        return result
 
     def capture_proceed(self) -> Callable[..., Any]:
         """Capture the continuation for *deferred* execution.
@@ -173,11 +294,35 @@ class JoinPoint:
         callable stays valid and runs the remainder of the chain on
         whichever thread invokes it.
         """
-        proceed = self._proceed_map.get(threading.get_ident())
+        tid = get_ident()
+        if self._armed_tid == tid:
+            # Fused all-around plan: freeze the slot-resident state into
+            # a replayable continuation (same shape the non-fused plans
+            # capture from their ``_AroundCont``).
+            return _CAPTURED_CONT(  # type: ignore[misc]
+                self._funcs,
+                self._n,
+                self._tail,
+                self,
+                self.target,
+                self._i,
+                self._aargs,
+                self._akwargs,
+            )
+        proceed = self._proceed_map.get(tid)
         if proceed is None:
             raise ProceedError(
                 f"capture_proceed() outside an active around advice for {self.signature}"
             )
+        # Compiled plans arm one mutable continuation object per around
+        # segment (as its bound ``__call__``); its state changes as the
+        # run unwinds, so capture asks it for a frozen snapshot.  The
+        # interpreter's per-level closures have no ``capture`` and are
+        # returned as-is.
+        owner = getattr(proceed, "__self__", proceed)
+        capture = getattr(owner, "capture", None)
+        if capture is not None:
+            return capture()
         return proceed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -16,25 +16,32 @@ matching shape wins):
    the true original).  If a ``cflow`` pointcut is live anywhere, the
    inert plan is instead a minimal stack-maintaining trampoline (no
    chain lookup, no advice scan).
-2. **single-around** — exactly one around advice, statically matched
-   (no dynamic residue, no caller capture): a dedicated fast path that
-   arms ``proceed`` directly instead of running the recursive chain
-   interpreter.
-3. **all-around** — a pure-around chain, statically matched: the same
-   recursion as the interpreter minus per-level kind dispatch, residue
-   checks and generator-based context managers.
-4. **mixed** — before/after/after_returning/after_throwing advice
-   alongside (or without) arounds, statically matched, provided the
-   chain is *separable*: every non-around entry sorts before the first
-   around.  The chain is partitioned at weave time into
-   ``(prefix, arounds)`` and folded into nested closures — befores and
-   afters run from compile-time-built try/finally frames (identical
-   nesting to the interpreter), the around suffix reuses the all-around
-   recursion.  No generic interpreter, no per-call kind dispatch.
-5. **generic** — anything with a dynamic residue (``within``/``args``
-   residues, caller capture) or a non-around entry *below* an around:
-   a closure with the chain and flags baked in, calling the chain
-   interpreter per call.
+2. **static** — *any* statically matched chain (no ``within``/``args``
+   residues, no caller capture), whatever the kind mix and ordering:
+   the sorted chain is partitioned into alternating segments of
+   non-around and around entries.  Each non-around segment folds into
+   compile-time try/finally frames (:func:`_wrap_step` — identical
+   nesting to the interpreter, no per-call kind dispatch); each around
+   segment becomes one :class:`_AroundCont` run — a single mutable
+   continuation object armed **once per segment** in the joinpoint's
+   per-thread proceed map, stepping through its levels with slot
+   loads/stores instead of allocating one closure per level per call.
+   Segments nest in chain order, so a before/after sorted *below* an
+   around (the non-separable shape that used to force the interpreter)
+   compiles too: it simply lands in the try/finally frames of the
+   around segment beneath it.  Plans are labelled ``single-around`` /
+   ``all-around`` / ``mixed`` for :class:`PlanStats`, but all three are
+   the same machinery.
+3. **generic** — only chains with a dynamic residue (``within``/``args``
+   residues, caller capture) remain interpreted: a closure with the
+   chain and flags baked in, calling the chain interpreter per call and
+   counting itself in ``PlanStats.interpreter_calls``.
+
+Captured continuations (``jp.capture_proceed()``) cannot hand out the
+live :class:`_AroundCont` — its level state mutates as the run unwinds —
+so capture returns a frozen :class:`_CapturedCont` snapshot that replays
+the remainder of the chain on whichever thread invokes it, with the same
+per-thread arming discipline as the interpreter's closures.
 
 Invalidation rules: plans are recompiled only when the deployment state
 *at that shadow* changes — the weaver keeps a static shadow→deployment
@@ -47,7 +54,8 @@ match against, forcing a full re-index).  Unweaving a class prunes every
 per-class artifact: its shadows (and with them the cached batch plans),
 its chain-cache rows, its :class:`PlanStats` counters (call *and* batch)
 and its entries in the deployments' match index.  :class:`PlanStats`
-counts compilations per shadow and exposes a hook list so tests (and
+counts compilations per shadow (with a per-kind histogram and a runtime
+interpreter-fallback call counter) and exposes a hook list so tests (and
 benchmarks) can assert exactly that.
 
 The same Plan abstraction is what the other layers consume:
@@ -66,7 +74,9 @@ The same Plan abstraction is what the other layers consume:
   advice chain **once per pack** around a :class:`BatchJoinPoint`
   (pack-level args, item count, merged piece view) instead of once per
   item.  Batch plans are compiled lazily per shadow, cached on the
-  shadow, and invalidated by the same recompiles as the call plan.
+  shadow, and invalidated by the same recompiles as the call plan; they
+  follow the same decision tree, so a five-aspect stack never sends a
+  pack through the interpreter either.
 """
 
 from __future__ import annotations
@@ -74,12 +84,14 @@ from __future__ import annotations
 import functools
 import sys
 import types
+from itertools import groupby
 from threading import get_ident
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.aop import joinpoint as _joinpoint_module
 from repro.aop.advice import AdviceKind, BoundAdvice
 from repro.aop.advice import run_chain as _baseline_run_chain
-from repro.aop.cflow import _STATE as _FLOW  # per-thread flow state
+from repro.aop.cflow import _LOCAL as _FLOW_LOCAL
 from repro.aop.joinpoint import CallerInfo, JoinPoint, JoinPointKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -102,7 +114,7 @@ __all__ = [
 
 #: Chain interpreter used by compiled plans.  A module-level *name* (not a
 #: baked-in reference) so :func:`repro.aop.tools.trace_advice` can patch it;
-#: the single-around fast path checks it against the baseline and falls back
+#: the compiled fast paths check it against the baseline and fall back
 #: to the interpreter whenever tracing (or any other wrapper) is installed.
 run_chain = _baseline_run_chain
 
@@ -131,8 +143,15 @@ def piece_view(piece: Any) -> tuple[tuple, dict]:
 
     Accepts the partition layer's ``CallPiece``-shaped objects (anything
     with ``args``/``kwargs`` attributes) as well as plain 2-tuples — the
-    wire shape middlewares ship for batched requests.
+    wire shape middlewares ship for batched requests.  Tuples are
+    recognised by exact type so the hot batch paths (the batch runner's
+    ``batch_core`` and the pack-aware optimisation aspects, each of
+    which view every piece per dispatch) never pay exception-based
+    attribute dispatch.
     """
+    if type(piece) is tuple:
+        args, kwargs = piece
+        return args, kwargs or {}
     try:
         return piece.args, piece.kwargs or {}
     except AttributeError:
@@ -272,6 +291,14 @@ class PlanStats:
     ``hooks`` are called with the :class:`Shadow` on every compilation —
     the regression tests use this to prove that deploying an aspect only
     recompiles the shadows its pointcuts can match.
+
+    Beyond the per-shadow compile counts, the stats track the *shape*
+    each compilation picked (``kinds`` / ``batch_kinds`` histograms over
+    the plan-kind labels the compiler stamps on every impl) and a
+    runtime ``interpreter_calls`` counter that only the generic
+    dynamic-residue plans increment — so "this hot path never enters the
+    interpreter" is a one-field assertion (see
+    :meth:`repro.api.ParallelApp.plan_stats`).
     """
 
     def __init__(self) -> None:
@@ -281,11 +308,21 @@ class PlanStats:
         #: batch-plan compilations (see :func:`batched_entry`)
         self.batch_total = 0
         self.batch_by_shadow: dict[tuple[type, str, JoinPointKind], int] = {}
+        #: plan-kind histogram over call-plan compilations
+        self.kinds: dict[str, int] = {}
+        #: plan-kind histogram over batch-plan compilations
+        self.batch_kinds: dict[str, int] = {}
+        #: runtime calls served by the generic interpreter fallback
+        #: (dynamic-residue chains only; tracing redirections not counted)
+        self.interpreter_calls = 0
 
     def record(self, shadow: Shadow) -> None:
         self.total += 1
         key = shadow.key
         self.by_shadow[key] = self.by_shadow.get(key, 0) + 1
+        kind = getattr(shadow.impl, "__aop_plan_kind__", None)
+        if kind is not None:
+            self.kinds[kind] = self.kinds.get(kind, 0) + 1
         for hook in self.hooks:
             hook(shadow)
 
@@ -293,6 +330,9 @@ class PlanStats:
         self.batch_total += 1
         key = shadow.key
         self.batch_by_shadow[key] = self.batch_by_shadow.get(key, 0) + 1
+        kind = getattr(shadow.batch_impl, "__aop_plan_kind__", None)
+        if kind is not None:
+            self.batch_kinds[kind] = self.batch_kinds.get(kind, 0) + 1
 
     def count(self, cls: type, name: str,
               kind: JoinPointKind = JoinPointKind.CALL) -> int:
@@ -304,6 +344,17 @@ class PlanStats:
 
     def snapshot(self) -> dict[tuple[type, str, JoinPointKind], int]:
         return dict(self.by_shadow)
+
+    def summary(self) -> dict[str, Any]:
+        """Read-only scalar snapshot: compile counts, the per-kind plan
+        histograms, and the interpreter-fallback call counter."""
+        return {
+            "compiles": self.total,
+            "batch_compiles": self.batch_total,
+            "kinds": dict(self.kinds),
+            "batch_kinds": dict(self.batch_kinds),
+            "interpreter_calls": self.interpreter_calls,
+        }
 
     def prune_class(self, cls: type) -> None:
         """Drop counters for an unwoven class so long-lived processes
@@ -319,6 +370,9 @@ class PlanStats:
         self.by_shadow.clear()
         self.batch_total = 0
         self.batch_by_shadow.clear()
+        self.kinds.clear()
+        self.batch_kinds.clear()
+        self.interpreter_calls = 0
 
 
 # ---------------------------------------------------------------------------
@@ -326,11 +380,14 @@ class PlanStats:
 # ---------------------------------------------------------------------------
 
 
-def _mark(impl: Callable, original: Callable, *, inert: bool = False) -> Callable:
+def _mark(impl: Callable, original: Callable, *, inert: bool = False,
+          kind: str | None = None) -> Callable:
     impl.__aop_dispatcher__ = True  # type: ignore[attr-defined]
     impl.__wrapped__ = original  # type: ignore[attr-defined]
     if inert:
         impl.__aop_inert__ = True  # type: ignore[attr-defined]
+    if kind is not None:
+        impl.__aop_plan_kind__ = kind  # type: ignore[attr-defined]
     return impl
 
 
@@ -354,13 +411,13 @@ def _inert_impl(original: Callable) -> Callable:
         )
         clone.__kwdefaults__ = original.__kwdefaults__
         functools.update_wrapper(clone, original)
-        return _mark(clone, original, inert=True)
+        return _mark(clone, original, inert=True, kind="inert")
 
     @functools.wraps(original)
     def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
         return original(self_obj, *args, **kwargs)
 
-    return _mark(impl, original, inert=True)
+    return _mark(impl, original, inert=True, kind="inert")
 
 
 def _tracking_impl(cls: type, name: str, original: Callable) -> Callable:
@@ -369,155 +426,275 @@ def _tracking_impl(cls: type, name: str, original: Callable) -> Callable:
 
     @functools.wraps(original)
     def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
-        stack = _FLOW.stack
+        stack = _FLOW_LOCAL.flow.stack
         stack.append(JoinPoint(_CALL, cls, name, self_obj, args, kwargs))
         try:
             return original(self_obj, *args, **kwargs)
         finally:
             stack.pop()
 
-    return _mark(impl, original)
+    return _mark(impl, original, kind="tracking")
 
 
-def _single_around_impl(
-    cls: type, name: str, original: Callable, entry: BoundAdvice
-) -> Callable:
-    """Fast path: exactly one around advice, statically matched, no
-    dynamic residue and no caller capture.  Arms ``proceed`` directly
-    instead of running the recursive chain interpreter."""
-    advice = entry.func
-    entries = (entry,)
+class _AroundCont:
+    """The live continuation of one *around segment*: a single mutable
+    object armed once per segment run in ``jp._proceed_map`` — calling it
+    IS ``proceed`` for whichever level is currently executing.
 
-    @functools.wraps(original)
-    def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
-        jp = JoinPoint(_CALL, cls, name, self_obj, args, kwargs)
-        flow = _FLOW
-        jp.from_advice = flow.advice_depth > 0
-        interpreter = run_chain
-        stack = flow.stack
-        stack.append(jp)
+    The interpreter (and the first compiled plans) allocated one
+    ``proceed`` closure per around level per call and re-armed the
+    per-thread proceed map at every level transition.  On a five-around
+    stack that is five closure allocations plus ~4 map operations and
+    ~20 ``get_ident`` calls per dispatch — the dominant cost of the
+    ``five_aspect_stack`` bench.  Here the armed map entry never changes
+    during the run; stepping a level is a handful of slot loads/stores:
+
+    * ``i``/``args``/``kwargs`` — the *armed* level's index and argument
+      view.  ``__call__`` (i.e. ``proceed``) invokes level ``i + 1``
+      and, on success, restores the armed view exactly like the
+      interpreter's per-level closures restore ``jp.args`` and re-arm
+      themselves.  On an exception the armed view is rolled back to the
+      caller level (the interpreter's ``finally`` map restore) and
+      ``jp.args`` is deliberately left as the failing level set it.
+    * ``tail`` — the compiled remainder below this segment: the original
+      call, or folded before/after frames (possibly wrapping the next
+      around segment of a non-separable chain).
+
+    ``flow.advice_depth`` is maintained by the segment *run* (±1 for the
+    whole segment, see :func:`_around_run`) rather than per level — every
+    reader treats it as a boolean ("is advice on the stack?"), and the
+    balanced hoist keeps it zero outside dispatch.
+    """
+
+    __slots__ = ("funcs", "n", "tail", "orig", "jp", "self_obj", "i",
+                 "args", "kwargs")
+
+    def __init__(self, funcs: tuple[Callable, ...], n: int, tail: Callable,
+                 jp: JoinPoint, self_obj: Any):
+        self.funcs = funcs
+        self.n = n
+        self.tail = tail
+        # when the tail is nothing but the original call, the inlined
+        # proceed step skips the tail frame and calls it directly
+        self.orig = getattr(tail, "__aop_original__", None)
+        self.jp = jp
+        self.self_obj = self_obj
+        # placeholder armed state; _invoke() sets the real view before
+        # any advice body can observe it
+        self.i = 0
+        self.args: tuple = ()
+        self.kwargs: dict = {}
+
+    def _invoke(self, i: int, args: tuple, kwargs: dict) -> Any:
+        """Run level ``i`` with ``args``/``kwargs`` as the current view
+        (the entry point for level 0 and for captured replays)."""
+        jp = self.jp
+        jp.args = args
+        jp.kwargs = kwargs
+        if i == self.n:
+            return self.tail(jp, self.self_obj, args, kwargs)
+        prev_i, prev_args, prev_kwargs = self.i, self.args, self.kwargs
+        self.i = i
+        self.args = args
+        self.kwargs = kwargs
         try:
-            if interpreter is not _baseline_run_chain:  # tracing installed
-                return interpreter(
-                    entries, jp, lambda *a, **k: original(self_obj, *a, **k)
-                )
+            return self.funcs[i](jp)
+        except BaseException:
+            # unwind: roll the armed view back to the caller level so an
+            # outer advice that catches can still proceed()
+            self.i = prev_i
+            self.args = prev_args
+            self.kwargs = prev_kwargs
+            raise
+
+    def __call__(self, *new_args: Any, **new_kwargs: Any) -> Any:
+        i = self.i
+        args = self.args
+        kwargs = self.kwargs
+        use_args = new_args if new_args else args
+        use_kwargs = new_kwargs if new_kwargs else kwargs
+        jp = self.jp
+        nxt = i + 1
+        jp.args = use_args
+        jp.kwargs = use_kwargs
+        if nxt == self.n:
+            result = self.tail(jp, self.self_obj, use_args, use_kwargs)
+        else:
+            self.i = nxt
+            self.args = use_args
+            self.kwargs = use_kwargs
+            try:
+                result = self.funcs[nxt](jp)
+            except BaseException:
+                self.i = i
+                self.args = args
+                self.kwargs = kwargs
+                raise
+        # restore this level's view so a second proceed() or a
+        # post-proceed inspection of jp sees consistent state
+        jp.args = args
+        jp.kwargs = kwargs
+        self.i = i
+        self.args = args
+        self.kwargs = kwargs
+        return result
+
+    def capture(self) -> "_CapturedCont":
+        """A frozen snapshot of the armed level for deferred execution
+        (see :meth:`JoinPoint.capture_proceed`) — the live object cannot
+        be handed out because its state mutates as the run unwinds."""
+        return _CapturedCont(
+            self.funcs, self.n, self.tail, self.jp, self.self_obj,
+            self.i, self.args, self.kwargs,
+        )
+
+
+# Hand the continuation class to the joinpoint module:
+# ``JoinPoint.proceed`` type-checks the armed continuation against it
+# and inlines the level step (one frame per level instead of two).
+_joinpoint_module._AROUND_CONT = _AroundCont
+
+
+class _CapturedCont:
+    """A captured ``proceed``: the remainder of an around segment frozen
+    at capture time, runnable later on any thread.
+
+    Matches the interpreter's captured closures observably: replaying
+    arms the invoking thread's own proceed-map slot (never another
+    thread's), the innermost replay runs the tail at the invoker's
+    advice depth (a spawned activity running the original is *not* "from
+    advice"), and a successful replay leaves ``jp.args`` restored to the
+    captured view with the capture re-armed on the invoking thread —
+    unless that thread still has a *live* continuation armed (a
+    synchronous replay from inside the original run), which must keep
+    owning ``proceed`` exactly as the interpreter's per-level closures
+    re-arm themselves on unwind.
+    """
+
+    __slots__ = ("funcs", "n", "tail", "jp", "self_obj", "i", "args",
+                 "kwargs")
+
+    def __init__(self, funcs: tuple[Callable, ...], n: int, tail: Callable,
+                 jp: JoinPoint, self_obj: Any, i: int, args: tuple,
+                 kwargs: dict):
+        self.funcs = funcs
+        self.n = n
+        self.tail = tail
+        self.jp = jp
+        self.self_obj = self_obj
+        self.i = i
+        self.args = args
+        self.kwargs = kwargs
+
+    def capture(self) -> "_CapturedCont":
+        return self
+
+    def __call__(self, *new_args: Any, **new_kwargs: Any) -> Any:
+        jp = self.jp
+        use_args = new_args if new_args else self.args
+        use_kwargs = new_kwargs if new_kwargs else self.kwargs
+        nxt = self.i + 1
+        tid = get_ident()
+        if nxt >= self.n:
+            jp.args = use_args
+            jp.kwargs = use_kwargs
+            result = self.tail(jp, self.self_obj, use_args, use_kwargs)
+        else:
+            cont = _AroundCont(self.funcs, self.n, self.tail, jp,
+                               self.self_obj)
             pm = jp._proceed_map
-
-            def proceed(*new_args: Any, **new_kwargs: Any) -> Any:
-                use_args = new_args if new_args else args
-                use_kwargs = new_kwargs if new_kwargs else kwargs
-                jp.args, jp.kwargs = use_args, use_kwargs
-                result = original(self_obj, *use_args, **use_kwargs)
-                jp.args, jp.kwargs = args, kwargs
-                pm[get_ident()] = proceed
-                return result
-
-            tid = get_ident()
             saved = pm.get(tid)
-            pm[tid] = proceed
+            fused_live = jp._armed_tid == tid
+            if fused_live:
+                # live fused run on this thread: the replay owns proceed
+                # for its duration — the fused fast path must not shadow
+                # the replay continuation armed below
+                jp._armed_tid = -1
+            pm[tid] = cont
+            flow = _FLOW_LOCAL.flow
             flow.advice_depth += 1
             try:
-                return advice(jp)
+                result = cont._invoke(nxt, use_args, use_kwargs)
             finally:
                 flow.advice_depth -= 1
-                tid = get_ident()
+                if fused_live:
+                    jp._armed_tid = tid
                 if saved is None:
                     pm.pop(tid, None)
                 else:
                     pm[tid] = saved
-        finally:
-            stack.pop()
-
-    return _mark(impl, original)
-
-
-def _all_around_impl(
-    cls: type,
-    name: str,
-    original: Callable,
-    entries: tuple[BoundAdvice, ...],
-) -> Callable:
-    """Compiled plan for a pure-around chain with no dynamic residues —
-    the shape every partition/concurrency/distribution stack has.  Same
-    recursion as the interpreter minus the per-level kind dispatch,
-    residue checks and generator-based context managers (the recursion
-    itself lives in :func:`_around_core`, shared with the mixed and
-    batch plans)."""
-    core = _around_core(original, tuple(entry.func for entry in entries))
-
-    @functools.wraps(original)
-    def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
-        jp = JoinPoint(_CALL, cls, name, self_obj, args, kwargs)
-        flow = _FLOW
-        jp.from_advice = flow.advice_depth > 0
-        interpreter = run_chain
-        stack = flow.stack
-        stack.append(jp)
-        try:
-            if interpreter is not _baseline_run_chain:  # tracing installed
-                return interpreter(
-                    entries, jp, lambda *a, **k: original(self_obj, *a, **k)
-                )
-            return core(jp, self_obj, args, kwargs)
-        finally:
-            stack.pop()
-
-    return _mark(impl, original)
+        jp.args = self.args
+        jp.kwargs = self.kwargs
+        if jp._proceed_map.get(tid) is None:
+            # deferred (post-run) replay: stay armed so the capture can
+            # be replayed again.  During a live run the armed live
+            # continuation keeps ownership (its state at this instant is
+            # identical to the capture's).
+            jp._proceed_map[tid] = self
+        return result
 
 
-def _around_core(
-    original: Callable, funcs: tuple[Callable, ...]
-) -> Callable[[JoinPoint, Any, tuple, dict], Any]:
-    """The compiled pure-around suffix as a reusable core.
+# Hand the captured-continuation class to the joinpoint module as well:
+# ``JoinPoint.capture_proceed`` builds one directly when the continuation
+# state is fused into the joinpoint (no ``_AroundCont`` exists to ask).
+_joinpoint_module._CAPTURED_CONT = _CapturedCont
 
-    Returns ``core(jp, self_obj, args, kwargs) -> result`` running the
-    around funcs with the same recursion as :func:`_all_around_impl`
-    (``original`` is invoked as ``original(self_obj, *args, **kwargs)``).
-    Shared by the mixed-chain call plan and the batch plans, which bake
-    different ``original`` strategies around the same recursion.
+
+class _FusedJoinPoint(JoinPoint):
+    """A joinpoint whose around-segment continuation is *fused into it*.
+
+    The all-around plan is the hot shape, and after inlining the
+    continuation step into ``JoinPoint.proceed`` the remaining per-call
+    overhead was the continuation object itself: one allocation, one
+    proceed-map store + pop, and a dict lookup plus class check on every
+    ``proceed``.  For a pure-around chain the continuation holds nothing
+    the joinpoint could not hold, so this subclass grows the seven
+    continuation slots and the plan arms dispatch by writing the calling
+    thread's id into ``_armed_tid`` (a base-class slot, ``-1`` =
+    disarmed).  ``proceed`` checks ``_armed_tid == get_ident()`` first —
+    a slot load and int compare — and steps on these slots directly.
+
+    The proceed map still exists (empty) for captured replays and for
+    cross-thread callers, which take the dict path as before.
     """
+
+    __slots__ = ("_funcs", "_n", "_tail", "_orig", "_i", "_aargs",
+                 "_akwargs")
+
+
+def _around_run(
+    funcs: tuple[Callable, ...],
+    tail: Callable[[JoinPoint, Any, tuple, dict], Any],
+) -> Callable[[JoinPoint, Any, tuple, dict], Any]:
+    """One compiled around segment: ``run(jp, self_obj, args, kwargs)``
+    arms a fresh :class:`_AroundCont` on the calling thread (one map
+    write + one restore for the whole segment), bumps the advice depth
+    once, and enters level 0.  ``tail`` runs below the innermost level —
+    the original, or the next folded segment of a non-separable chain."""
     n = len(funcs)
 
-    def core(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
-        if n == 0:
-            return original(self_obj, *args, **kwargs)
+    def run(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
+        cont = _AroundCont(funcs, n, tail, jp, self_obj)
         pm = jp._proceed_map
-        flow = _FLOW
+        tid = get_ident()
+        saved = pm.get(tid)
+        pm[tid] = cont
+        flow = _FLOW_LOCAL.flow
+        flow.advice_depth += 1
+        try:
+            return cont._invoke(0, args, kwargs)
+        finally:
+            flow.advice_depth -= 1
+            if saved is None:
+                pm.pop(tid, None)
+            else:
+                pm[tid] = saved
 
-        def invoke(i: int, args: tuple, kwargs: dict) -> Any:
-            jp.args, jp.kwargs = args, kwargs
-            if i == n:
-                return original(self_obj, *args, **kwargs)
-
-            def proceed(*new_args: Any, **new_kwargs: Any) -> Any:
-                use_args = new_args if new_args else args
-                use_kwargs = new_kwargs if new_kwargs else kwargs
-                result = invoke(i + 1, use_args, use_kwargs)
-                jp.args, jp.kwargs = args, kwargs
-                pm[get_ident()] = proceed
-                return result
-
-            tid = get_ident()
-            saved = pm.get(tid)
-            pm[tid] = proceed
-            flow.advice_depth += 1
-            try:
-                return funcs[i](jp)
-            finally:
-                flow.advice_depth -= 1
-                tid = get_ident()
-                if saved is None:
-                    pm.pop(tid, None)
-                else:
-                    pm[tid] = saved
-
-        return invoke(0, args, kwargs)
-
-    return core
+    return run
 
 
 def _wrap_step(kind: AdviceKind, func: Callable, inner: Callable) -> Callable:
-    """One compile-time frame of the mixed-chain prefix: the before/after
+    """One compile-time frame of a non-around segment: the before/after
     entry's semantics as a dedicated closure around ``inner``.  The
     try/finally nesting is built here, at compile time, so runtime pays
     neither kind dispatch nor generator-based context managers while
@@ -525,7 +702,7 @@ def _wrap_step(kind: AdviceKind, func: Callable, inner: Callable) -> Callable:
     if kind is AdviceKind.BEFORE:
 
         def step(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
-            flow = _FLOW
+            flow = _FLOW_LOCAL.flow
             flow.advice_depth += 1
             try:
                 func(jp)
@@ -539,7 +716,7 @@ def _wrap_step(kind: AdviceKind, func: Callable, inner: Callable) -> Callable:
             try:
                 return inner(jp, self_obj, args, kwargs)
             finally:
-                flow = _FLOW
+                flow = _FLOW_LOCAL.flow
                 flow.advice_depth += 1
                 try:
                     func(jp)
@@ -551,7 +728,7 @@ def _wrap_step(kind: AdviceKind, func: Callable, inner: Callable) -> Callable:
         def step(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
             result = inner(jp, self_obj, args, kwargs)
             jp.result = result
-            flow = _FLOW
+            flow = _FLOW_LOCAL.flow
             flow.advice_depth += 1
             try:
                 func(jp)
@@ -566,7 +743,7 @@ def _wrap_step(kind: AdviceKind, func: Callable, inner: Callable) -> Callable:
                 return inner(jp, self_obj, args, kwargs)
             except BaseException as exc:
                 jp.exception = exc
-                flow = _FLOW
+                flow = _FLOW_LOCAL.flow
                 flow.advice_depth += 1
                 try:
                     func(jp)
@@ -577,69 +754,234 @@ def _wrap_step(kind: AdviceKind, func: Callable, inner: Callable) -> Callable:
     return step
 
 
-def _fold_runner(
-    prefix: tuple[BoundAdvice, ...],
-    core: Callable[[JoinPoint, Any, tuple, dict], Any],
+def _original_tail(original: Callable) -> Callable:
+    """The innermost runner frame: invoke the original method.  The
+    ``__aop_original__`` tag lets :class:`_AroundCont` (and the inlined
+    proceed step) bypass this frame and call the original directly."""
+
+    def tail(jp: JoinPoint, self_obj: Any, args: tuple, kwargs: dict) -> Any:
+        return original(self_obj, *args, **kwargs)
+
+    tail.__aop_original__ = original  # type: ignore[attr-defined]
+    return tail
+
+
+def _is_static(entries: tuple[BoundAdvice, ...], needs_caller: bool) -> bool:
+    """Whether a chain is fully statically matched — no per-call residue
+    evaluation, no caller capture — and therefore compilable."""
+    return not needs_caller and not any(e.needs_eval for e in entries)
+
+
+def _static_kind(entries: tuple[BoundAdvice, ...]) -> str:
+    """The :class:`PlanStats` label for a compiled static chain."""
+    if all(e.kind is AdviceKind.AROUND for e in entries):
+        return "single-around" if len(entries) == 1 else "all-around"
+    return "mixed"
+
+
+def _compile_static_runner(
+    entries: tuple[BoundAdvice, ...],
+    tail: Callable[[JoinPoint, Any, tuple, dict], Any],
 ) -> Callable[[JoinPoint, Any, tuple, dict], Any]:
-    """Fold a before/after prefix (outermost first) into nested closures
-    around ``core`` — the compiled mixed-chain runner."""
-    runner = core
-    for entry in reversed(prefix):
-        runner = _wrap_step(entry.kind, entry.func, runner)
+    """Fold a fully static chain (outermost first) into nested runner
+    frames around ``tail``.
+
+    The chain is partitioned into maximal segments of consecutive
+    around / non-around entries and folded innermost-out: non-around
+    segments become compile-time :func:`_wrap_step` frames, around
+    segments become :func:`_around_run` continuation runs.  Because the
+    fold follows chain order, non-separable shapes — a before or after
+    sorted *below* an around — simply land in the tail of the around
+    segment above them, preserving the interpreter's interleaving
+    exactly (the segment's ``_invoke`` refreshes ``jp.args`` before
+    every tail entry, so the lower frames always observe the
+    possibly-substituted view).
+    """
+    segments = [
+        (is_around, tuple(group))
+        for is_around, group in groupby(
+            entries, key=lambda e: e.kind is AdviceKind.AROUND
+        )
+    ]
+    runner = tail
+    for is_around, segment in reversed(segments):
+        if is_around:
+            runner = _around_run(
+                tuple(entry.func for entry in segment), runner
+            )
+        else:
+            for entry in reversed(segment):
+                runner = _wrap_step(entry.kind, entry.func, runner)
     return runner
 
 
-def _split_separable(
-    entries: tuple[BoundAdvice, ...], needs_caller: bool
-) -> tuple[tuple[BoundAdvice, ...], tuple[BoundAdvice, ...]] | None:
-    """Partition a chain into ``(prefix, arounds)`` if it is *separable*:
-    statically matched throughout (no residues, no caller capture) and
-    with every non-around entry sorting before the first around.  A
-    non-around below an around would interleave with ``proceed`` — only
-    the generic interpreter preserves that ordering, so return None."""
-    if needs_caller or any(entry.needs_eval for entry in entries):
-        return None
-    split = len(entries)
-    for i, entry in enumerate(entries):
-        if entry.kind is AdviceKind.AROUND:
-            split = i
-            break
-    arounds = entries[split:]
-    if any(entry.kind is not AdviceKind.AROUND for entry in arounds):
-        return None
-    return entries[:split], arounds
-
-
-def _mixed_chain_impl(
+def _static_impl(
     cls: type,
     name: str,
     original: Callable,
     entries: tuple[BoundAdvice, ...],
-    prefix: tuple[BoundAdvice, ...],
-    arounds: tuple[BoundAdvice, ...],
+    runner: Callable[[JoinPoint, Any, tuple, dict], Any],
+    track_stack: bool,
 ) -> Callable:
-    """Compiled plan for a separable mixed-kind chain: the before/after
-    prefix folded at compile time around the all-around recursion."""
-    runner = _fold_runner(prefix, _around_core(original, tuple(e.func for e in arounds)))
+    """The dispatch wrapper shared by compiled mixed-segment plans: build
+    the joinpoint, maintain the flow stack (only while a flow-sensitive
+    pointcut is live — flipping that recompiles every plan), and enter
+    the compiled ``runner`` (falling back to the interpreter only while
+    advice tracing has patched :data:`run_chain`)."""
+
+    if track_stack:
+
+        @functools.wraps(original)
+        def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+            jp = JoinPoint(_CALL, cls, name, self_obj, args, kwargs)
+            flow = _FLOW_LOCAL.flow
+            jp.from_advice = flow.advice_depth > 0
+            interpreter = run_chain
+            stack = flow.stack
+            stack.append(jp)
+            try:
+                if interpreter is not _baseline_run_chain:  # tracing on
+                    return interpreter(
+                        entries, jp,
+                        lambda *a, **k: original(self_obj, *a, **k),
+                    )
+                return runner(jp, self_obj, args, kwargs)
+            finally:
+                stack.pop()
+
+        return impl
 
     @functools.wraps(original)
     def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
         jp = JoinPoint(_CALL, cls, name, self_obj, args, kwargs)
-        flow = _FLOW
-        jp.from_advice = flow.advice_depth > 0
+        jp.from_advice = _FLOW_LOCAL.flow.advice_depth > 0
         interpreter = run_chain
-        stack = flow.stack
-        stack.append(jp)
-        try:
-            if interpreter is not _baseline_run_chain:  # tracing installed
-                return interpreter(
-                    entries, jp, lambda *a, **k: original(self_obj, *a, **k)
-                )
-            return runner(jp, self_obj, args, kwargs)
-        finally:
-            stack.pop()
+        if interpreter is not _baseline_run_chain:  # tracing installed
+            return interpreter(
+                entries, jp, lambda *a, **k: original(self_obj, *a, **k)
+            )
+        return runner(jp, self_obj, args, kwargs)
 
-    return _mark(impl, original)
+    return impl
+
+
+def _all_around_impl(
+    cls: type,
+    name: str,
+    original: Callable,
+    entries: tuple[BoundAdvice, ...],
+    track_stack: bool,
+) -> Callable:
+    """The fused plan for a chain that is *only* around advice — the
+    paper's hot shape (one optimisation/distribution/concurrency stack
+    around a compute method, dispatched millions of times).
+
+    Behaviourally identical to ``_static_impl`` over a single
+    :func:`_around_run` segment, but flattened into one frame with every
+    per-call constant held in closure cells and a single allocation done
+    via ``__new__`` + slot stores:
+
+    * the joinpoint is a :class:`_FusedJoinPoint` built inline (no
+      ``__init__`` frame) — the continuation state lives in its slots,
+      so there is no continuation object to allocate at all;
+    * arming is one int store (``jp._armed_tid = get_ident()``) instead
+      of a proceed-map store + pop; ``JoinPoint.proceed`` takes its
+      slot-compare fast path;
+    * level 0 is entered by calling its advice func directly: the fused
+      armed view already carries the entry arguments.
+    """
+    funcs = tuple(entry.func for entry in entries)
+    n = len(funcs)
+    funcs0 = funcs[0]
+    tail = _original_tail(original)
+
+    if track_stack:
+
+        @functools.wraps(original)
+        def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+            jp = _FusedJoinPoint.__new__(_FusedJoinPoint)
+            jp.kind = _CALL
+            jp.cls = cls
+            jp.name = name
+            jp.target = self_obj
+            jp.args = args
+            jp.kwargs = kwargs
+            jp._proceed_map = {}
+            jp._caller = None
+            jp._caller_resolver = None
+            jp.result = None
+            jp.exception = None
+            flow = _FLOW_LOCAL.flow
+            depth = flow.advice_depth
+            jp.from_advice = depth > 0
+            interpreter = run_chain
+            stack = flow.stack
+            stack.append(jp)
+            try:
+                if interpreter is not _baseline_run_chain:  # tracing on
+                    jp._armed_tid = -1
+                    return interpreter(
+                        entries, jp,
+                        lambda *a, **k: original(self_obj, *a, **k),
+                    )
+                jp._funcs = funcs
+                jp._n = n
+                jp._tail = tail
+                jp._orig = original
+                jp._i = 0
+                jp._aargs = args
+                jp._akwargs = kwargs
+                jp._armed_tid = get_ident()
+                flow.advice_depth = depth + 1
+                try:
+                    return funcs0(jp)
+                finally:
+                    flow.advice_depth = depth
+                    jp._armed_tid = -1
+            finally:
+                stack.pop()
+
+        return impl
+
+    @functools.wraps(original)
+    def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
+        jp = _FusedJoinPoint.__new__(_FusedJoinPoint)
+        jp.kind = _CALL
+        jp.cls = cls
+        jp.name = name
+        jp.target = self_obj
+        jp.args = args
+        jp.kwargs = kwargs
+        jp._proceed_map = {}
+        jp._caller = None
+        jp._caller_resolver = None
+        jp.result = None
+        jp.exception = None
+        flow = _FLOW_LOCAL.flow
+        depth = flow.advice_depth
+        jp.from_advice = depth > 0
+        interpreter = run_chain
+        if interpreter is not _baseline_run_chain:  # tracing installed
+            jp._armed_tid = -1
+            return interpreter(
+                entries, jp, lambda *a, **k: original(self_obj, *a, **k)
+            )
+        jp._funcs = funcs
+        jp._n = n
+        jp._tail = tail
+        jp._orig = original
+        jp._i = 0
+        jp._aargs = args
+        jp._akwargs = kwargs
+        jp._armed_tid = get_ident()
+        flow.advice_depth = depth + 1
+        try:
+            return funcs0(jp)
+        finally:
+            flow.advice_depth = depth
+            jp._armed_tid = -1
+
+    return impl
 
 
 def _chain_impl(
@@ -648,17 +990,22 @@ def _chain_impl(
     original: Callable,
     entries: tuple[BoundAdvice, ...],
     needs_caller: bool,
+    stats: "PlanStats | None" = None,
 ) -> Callable:
     """General advised plan: chain and flags baked in, interpreted by
-    :func:`run_chain` (looked up through the patchable module global)."""
+    :func:`run_chain` (looked up through the patchable module global).
+    Reached only by dynamic-residue chains; each call is tallied in
+    ``stats.interpreter_calls`` when stats are supplied."""
 
     @functools.wraps(original)
     def impl(self_obj: Any, *args: Any, **kwargs: Any) -> Any:
         jp = JoinPoint(_CALL, cls, name, self_obj, args, kwargs)
-        flow = _FLOW
+        flow = _FLOW_LOCAL.flow
         jp.from_advice = flow.advice_depth > 0
         if needs_caller:
             jp._caller = resolve_caller()
+        if stats is not None:
+            stats.interpreter_calls += 1
         stack = flow.stack
         stack.append(jp)
         try:
@@ -668,35 +1015,34 @@ def _chain_impl(
         finally:
             stack.pop()
 
-    return _mark(impl, original)
+    return _mark(impl, original, kind="interpreted")
 
 
 def compile_call_impl(weaver: "Weaver", shadow: Shadow) -> Callable:
     """Compile the specialised dispatcher for a CALL shadow's current
     chain (``shadow.entries`` / ``shadow.needs_caller`` must be fresh).
-    Implements the inert / single-around / all-around / mixed / generic
-    decision tree described in the module docstring."""
+    Implements the inert / static / generic decision tree described in
+    the module docstring."""
     original = shadow.original
     entries = shadow.entries
     if not entries:
         if weaver._cflow_active:
             return _tracking_impl(shadow.cls, shadow.name, original)
         return _inert_impl(original)
-    split = _split_separable(entries, shadow.needs_caller)
-    if split is not None:
-        prefix, arounds = split
-        if not prefix:
-            if len(arounds) == 1:
-                return _single_around_impl(
-                    shadow.cls, shadow.name, original, arounds[0]
-                )
-            return _all_around_impl(shadow.cls, shadow.name, original, entries)
-        return _mixed_chain_impl(
-            shadow.cls, shadow.name, original, entries, prefix, arounds
+    if not _is_static(entries, shadow.needs_caller):
+        return _chain_impl(
+            shadow.cls, shadow.name, original, entries,
+            shadow.needs_caller, weaver.plan_stats,
         )
-    return _chain_impl(
-        shadow.cls, shadow.name, original, entries, shadow.needs_caller
-    )
+    track_stack = weaver._cflow_active
+    if all(entry.kind is AdviceKind.AROUND for entry in entries):
+        impl = _all_around_impl(shadow.cls, shadow.name, original, entries,
+                                track_stack)
+    else:
+        runner = _compile_static_runner(entries, _original_tail(original))
+        impl = _static_impl(shadow.cls, shadow.name, original, entries,
+                            runner, track_stack)
+    return _mark(impl, original, kind=_static_kind(entries))
 
 
 # ---------------------------------------------------------------------------
@@ -715,6 +1061,11 @@ def bound_entry(obj: Any, name: str) -> Callable[..., Any]:
     return getattr(obj, name)
 
 
+def _tag_batch(impl: Callable, kind: str) -> Callable:
+    impl.__aop_plan_kind__ = kind  # type: ignore[attr-defined]
+    return impl
+
+
 def compile_batch_impl(weaver: "Weaver", shadow: Shadow) -> Callable[[Any, Any], list]:
     """Compile the pack-granular plan for a CALL shadow.
 
@@ -722,14 +1073,16 @@ def compile_batch_impl(weaver: "Weaver", shadow: Shadow) -> Callable[[Any, Any],
     chain once around a :class:`BatchJoinPoint` whose innermost original
     applies the woven method to every piece.  Specialisation follows the
     call-plan decision tree: inert packs run a bare loop (zero joinpoint
-    allocations), separable chains reuse the folded prefix + all-around
-    recursion, residue-bearing chains fall back to one interpreted chain
-    pass per pack (still a single ``BatchJoinPoint``).
+    allocations), static chains — separable or not — run the same folded
+    segment runner as the call plan, and only dynamic-residue chains
+    fall back to one interpreted chain pass per pack (still a single
+    ``BatchJoinPoint``, counted in ``PlanStats.interpreter_calls``).
     """
     original = shadow.original
     cls, name = shadow.cls, shadow.name
     entries = shadow.entries
     needs_caller = shadow.needs_caller
+    stats = weaver.plan_stats
 
     def batch_core(self_obj: Any, pieces: Any) -> list:
         results = []
@@ -740,30 +1093,34 @@ def compile_batch_impl(weaver: "Weaver", shadow: Shadow) -> Callable[[Any, Any],
 
     if not entries:
         if not weaver._cflow_active:
-            return batch_core
+            return _tag_batch(batch_core, "inert")
 
         def tracking_batch(self_obj: Any, pieces: Any) -> list:
-            stack = _FLOW.stack
+            stack = _FLOW_LOCAL.flow.stack
             stack.append(BatchJoinPoint(cls, name, self_obj, tuple(pieces)))
             try:
                 return batch_core(self_obj, pieces)
             finally:
                 stack.pop()
 
-        return tracking_batch
+        return _tag_batch(tracking_batch, "tracking")
 
-    split = _split_separable(entries, needs_caller)
-    if split is not None:
-        prefix, arounds = split
-        runner = _fold_runner(
-            prefix, _around_core(batch_core, tuple(e.func for e in arounds))
-        )
+    if _is_static(entries, needs_caller):
+        # jp.args is (pieces,): the tail unpacks the (possibly
+        # proceed-substituted) pack back into the batch core
+        def batch_tail(jp: JoinPoint, self_obj: Any, args: tuple,
+                       kwargs: dict) -> list:
+            return batch_core(self_obj, args[0])
+
+        runner = _compile_static_runner(entries, batch_tail)
+        kind = _static_kind(entries)
     else:
         runner = None
+        kind = "interpreted"
 
     def advised_batch(self_obj: Any, pieces: Any) -> Any:
         jp = BatchJoinPoint(cls, name, self_obj, tuple(pieces))
-        flow = _FLOW
+        flow = _FLOW_LOCAL.flow
         jp.from_advice = flow.advice_depth > 0
         if needs_caller:
             jp._caller = resolve_caller()
@@ -772,6 +1129,8 @@ def compile_batch_impl(weaver: "Weaver", shadow: Shadow) -> Callable[[Any, Any],
         stack.append(jp)
         try:
             if runner is None or interpreter is not _baseline_run_chain:
+                if runner is None:
+                    stats.interpreter_calls += 1
                 # jp.args is (pieces,): the interpreter's innermost call
                 # unpacks it back into the batch core
                 return interpreter(
@@ -781,7 +1140,7 @@ def compile_batch_impl(weaver: "Weaver", shadow: Shadow) -> Callable[[Any, Any],
         finally:
             stack.pop()
 
-    return advised_batch
+    return _tag_batch(advised_batch, kind)
 
 
 def _plain_batch(func: Callable) -> Callable[[Any], list]:

@@ -6,10 +6,11 @@ construction is intercepted through ``__new__`` / ``__init__`` patches.
 This is the runtime analogue of AspectJ's compile-time weaving, with one
 twist: instead of generic dispatchers interpreting an epoch-cached
 advice-chain table per call, each shadow's dispatcher is a closure
-*specialised* to the advice that applies there (the inert /
-single-around / all-around / mixed / generic decision tree of
-:mod:`repro.aop.plan`), recompiled only when a deploy/undeploy actually
-changes that shadow's chain.  A static shadow→deployment match index
+*specialised* to the advice that applies there (the inert / static /
+generic decision tree of :mod:`repro.aop.plan` — every statically
+matched chain compiles, whatever its kind mix and ordering; only
+dynamic-residue chains fall back to the interpreter), recompiled only
+when a deploy/undeploy actually changes that shadow's chain.  A static shadow→deployment match index
 (built from ``Pointcut.matches_shadow``) keeps "(un)plug on the fly"
 cheap under load: deploying an aspect whose pointcuts match ``Jacobi.*``
 leaves every ``Primes.*`` plan untouched.

@@ -249,6 +249,18 @@ class ParallelApp:
             snapshot["tenant"] = self.tenant
         return snapshot
 
+    def plan_stats(self) -> dict:
+        """Compiler visibility for this app's weaver: a read-only
+        snapshot of :class:`~repro.aop.plan.PlanStats` — compile counts,
+        the per-kind plan histograms (``kinds`` / ``batch_kinds``), and
+        the runtime ``interpreter_calls`` fallback counter.  Benchmarks
+        and users assert "no interpreter on this path" by checking that
+        ``interpreter_calls`` does not move across a hot loop; only
+        dynamic-residue chains (``within``/``args`` residues) increment
+        it.
+        """
+        return self.weaver.plan_stats.summary()
+
     def trace(self, ticket_id: int) -> dict | None:
         """The span timeline of one dispatch ticket.
 

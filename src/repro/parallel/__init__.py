@@ -25,6 +25,7 @@ from repro.parallel.instrumentation import ComputeCostAspect
 from repro.parallel.optimisation import (
     CommunicationPackingAspect,
     ObjectCacheAspect,
+    ReadReplicaAspect,
     ReplicationAspect,
     ThreadPoolAspect,
 )
@@ -89,6 +90,7 @@ __all__ = [
     "ThreadPoolAspect",
     "CommunicationPackingAspect",
     "ObjectCacheAspect",
+    "ReadReplicaAspect",
     "ReplicationAspect",
     "ComputeCostAspect",
 ]

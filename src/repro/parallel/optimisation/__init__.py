@@ -3,7 +3,10 @@ caching and replicated computation — the paper's Section 4.4 examples."""
 
 from repro.parallel.optimisation.caching import ObjectCacheAspect
 from repro.parallel.optimisation.packing import CommunicationPackingAspect
-from repro.parallel.optimisation.replication import ReplicationAspect
+from repro.parallel.optimisation.replication import (
+    ReadReplicaAspect,
+    ReplicationAspect,
+)
 from repro.parallel.optimisation.thread_pool import ThreadPoolAspect
 
 __all__ = [
@@ -11,4 +14,5 @@ __all__ = [
     "CommunicationPackingAspect",
     "ObjectCacheAspect",
     "ReplicationAspect",
+    "ReadReplicaAspect",
 ]

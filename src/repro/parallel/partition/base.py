@@ -20,6 +20,7 @@ provides the shared machinery:
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from collections import deque
@@ -27,6 +28,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.aop import abstract_pointcut, pointcut
+from repro.aop.cflow import bypassing_construction
 from repro.aop.plan import CtorPack, batched_entry
 from repro.errors import (
     AdviceError,
@@ -867,6 +869,24 @@ class PartitionAspect(DispatchContextOwner, ParallelAspect):
 
     def is_managed(self, obj: Any) -> bool:
         return id(obj) in self.managed
+
+    def snapshot(self, obj: Any, build: Callable[[Any], Any] | None = None) -> Any:
+        """A detached local copy of a managed instance — the read-replica
+        source used by the optimisation layer
+        (:class:`~repro.parallel.optimisation.replication.ReadReplicaAspect`).
+
+        ``build`` converts the live instance into its replica; the
+        default is :func:`copy.deepcopy`.  The copy is taken with weaver
+        construction bypassed so replicating a woven servant does not
+        re-enter the partition's own creation advice.
+        """
+        if not self.is_managed(obj):
+            raise AdviceError(
+                f"{type(obj).__name__} instance is not managed by this partition"
+            )
+        maker = build if build is not None else copy.deepcopy
+        with bypassing_construction():
+            return maker(obj)
 
     def reset_instances(self) -> None:
         self.managed.clear()

@@ -160,18 +160,115 @@ def test_mixed_chain_uses_compiled_path_when_separable():
     assert [e[0] for e in events] == ["b", "a", "a", "f"]
 
 
-def test_interleaved_chain_falls_back_to_generic():
+def test_interleaved_chain_compiles():
     """A before *below* an around (higher-precedence around) is not
-    separable — ordering requires the generic interpreter."""
+    separable — it used to force the generic interpreter.  The segment
+    compiler folds it into the around's tail instead: the impl is a
+    compiled runner tagged ``mixed``, and the interpreter's interleaved
+    ordering is preserved."""
     Target = make_target(False)
     weave(Target)
     events: list = []
     deploy(make_aspect("a", "around", 300, events, False))
     deploy(make_aspect("b", "before", 100, events, False))
     impl = vars(Target)["work"]
-    assert "needs_caller" in impl.__code__.co_freevars
+    assert "runner" in impl.__code__.co_freevars
+    assert impl.__aop_plan_kind__ == "mixed"
     assert Target.__new__(Target).work(2) == 5
     # the before runs inside the around's proceed
     assert [(e[0], e[1]) for e in events] == [
         ("a", "enter"), ("b", "before"), ("a", "exit")
     ]
+
+
+# deliberately non-separable shapes: non-around advice sorted below (and
+# between) arounds, including multi-around spines with interleaved
+# before/after segments — the chains the segment compiler must fold
+# without an interpreter fallback
+INTERLEAVED_CHAINS = [
+    ("around", "before"),
+    ("around", "after"),
+    ("around", "after_returning"),
+    ("around", "after_throwing"),
+    ("before", "around", "before"),
+    ("around", "before", "around"),
+    ("around", "after", "around", "before"),
+    ("before", "around", "after_returning", "around", "after"),
+    ("around", "around", "before", "around", "after_throwing", "around"),
+]
+
+
+@pytest.mark.parametrize("kinds", INTERLEAVED_CHAINS)
+@pytest.mark.parametrize("should_raise", [False, True])
+@pytest.mark.parametrize("replace_args", [False, True])
+def test_non_separable_chains_match_interpreter(
+    kinds, should_raise, replace_args
+):
+    """Compiled non-separable chains must match the interpreter
+    byte-for-byte: advice ordering, argument substitution through
+    ``proceed``, results and exception propagation."""
+    Target = make_target(should_raise)
+    weave(Target)
+
+    compiled_events: list = []
+    interpreted_events: list = []
+    active = {"sink": compiled_events}
+
+    class Sink(list):
+        pass
+
+    events_proxy = Sink()
+    events_proxy.append = lambda item: active["sink"].append(item)  # type: ignore[method-assign]
+
+    # descending precedence pins the chain order to the listed kinds
+    for i, kind in enumerate(kinds):
+        deploy(
+            make_aspect(
+                f"a{i}", kind, (len(kinds) - i) * 100, events_proxy,
+                replace_args,
+            )
+        )
+
+    impl = vars(Target)["work"]
+    assert "runner" in impl.__code__.co_freevars, (
+        f"non-separable chain {kinds} did not compile"
+    )
+
+    obj = Target.__new__(Target)
+    active["sink"] = compiled_events
+    compiled = run_compiled(Target, obj, 7)
+    active["sink"] = interpreted_events
+    interpreted = run_interpreted(Target, obj, 7)
+
+    assert compiled == interpreted
+    assert compiled_events == interpreted_events, (
+        f"chain {kinds}: advice ordering diverges\n"
+        f"compiled:    {compiled_events}\n"
+        f"interpreted: {interpreted_events}"
+    )
+
+
+def test_no_interpreter_calls_on_static_chains():
+    """The runtime fallback counter stays at zero across compiled
+    dispatches — including non-separable ones — and moves only for
+    dynamic-residue chains (here: a ``within`` residue)."""
+    Target = make_target(False)
+    weave(Target)
+    events: list = []
+    deploy(make_aspect("a", "around", 300, events, False))
+    deploy(make_aspect("b", "before", 100, events, False))
+    stats = default_weaver.plan_stats
+    before_calls = stats.interpreter_calls
+    obj = Target.__new__(Target)
+    for i in range(5):
+        obj.work(i)
+    assert stats.interpreter_calls == before_calls
+
+    class Residue(Aspect):
+        @around("call(Target.work(..)) && within(tests.*)")
+        def wide(self, jp):
+            return jp.proceed()
+
+    deploy(Residue())
+    obj.work(1)
+    assert stats.interpreter_calls == before_calls + 1

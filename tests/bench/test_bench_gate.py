@@ -96,6 +96,21 @@ class TestMultiPairGate:
         assert proc.returncode == 1
         assert "declares no pairs" in proc.stdout
 
+    def test_absolute_cap_fails_even_on_steady_trajectory(self, tmp_path):
+        capped = dict(PAIR, name="capped", max_ratio=0.6)
+        runs = [run_of(0.7, 1.0)] * 3 + [run_of(0.7, 1.0)]  # steady but > cap
+        proc = run_gate(tmp_path, runs, pairs=[capped])
+        assert proc.returncode == 1
+        assert "absolute cap" in proc.stdout
+        assert "::error title=bench regression: capped::" in proc.stdout
+
+    def test_absolute_cap_needs_no_baseline(self, tmp_path):
+        capped = dict(PAIR, name="capped", max_ratio=0.6)
+        proc = run_gate(tmp_path, [run_of(0.5, 1.0)], pairs=[capped])
+        assert proc.returncode == 0
+        assert "no trajectory baseline yet" in proc.stdout
+        assert "-> OK" in proc.stdout
+
     def test_committed_config_gates_the_committed_pairs(self):
         committed = json.loads(
             (TOOL.parent / "bench_gates.json").read_text()
@@ -108,8 +123,18 @@ class TestMultiPairGate:
             "cpu-farm-process",
             "pack-marshal-process",
             "fault-retry-farm",
+            "five-aspect-stack",
+            "nonseparable-mixed-compile",
+            "pack8-cache-partial-hit",
+            "replicated-read-store",
             "tenancy-p99-overload",
             "tenancy-shed-rate",
         }
         for pair in committed:
             assert 0 < pair["max_regression"] <= 1.0
+        # the landed-optimisation pairs are locked in absolutely
+        caps = {p["name"]: p.get("max_ratio") for p in committed}
+        assert caps["five-aspect-stack"] == 60.0
+        assert caps["nonseparable-mixed-compile"] == 0.67
+        assert caps["pack8-cache-partial-hit"] == 1.15
+        assert caps["replicated-read-store"] == 0.1

@@ -202,6 +202,15 @@ class TestBatchedPacking:
                 counts["jp"] += 1
                 super().__init__(*args, **kwargs)
 
+        # the all-around plan allocates a _FusedJoinPoint via __new__
+        # (no __init__ frame), so count allocations there
+        class CountingFusedJP(plan_mod._FusedJoinPoint):
+            __slots__ = ()
+
+            def __new__(cls):
+                counts["jp"] += 1
+                return super().__new__(cls)
+
         class CountingBatchJP(BatchJoinPoint):
             __slots__ = ()
 
@@ -210,16 +219,25 @@ class TestBatchedPacking:
                 super().__init__(*args, **kwargs)
 
         Adder, comp, farm, packing = self.make_farm(factor=4, batch=True)
-        saved = plan_mod.JoinPoint, plan_mod.BatchJoinPoint
+        saved = (
+            plan_mod.JoinPoint,
+            plan_mod._FusedJoinPoint,
+            plan_mod.BatchJoinPoint,
+        )
         with use_backend(ThreadBackend()):
             with comp.deployed(default_weaver, targets=[Adder]):
                 adder = Adder()
                 plan_mod.JoinPoint = CountingJP
+                plan_mod._FusedJoinPoint = CountingFusedJP
                 plan_mod.BatchJoinPoint = CountingBatchJP
                 try:
                     result = adder.add(list(range(8)))
                 finally:
-                    plan_mod.JoinPoint, plan_mod.BatchJoinPoint = saved
+                    (
+                        plan_mod.JoinPoint,
+                        plan_mod._FusedJoinPoint,
+                        plan_mod.BatchJoinPoint,
+                    ) = saved
         assert result == [v + 1 for v in range(8)]
         # 8 items / factor 4 -> 2 packs -> 2 BatchJoinPoints, plus the
         # single JoinPoint of the client's own split call
@@ -319,7 +337,7 @@ class TestObjectCache:
         b.compute(3)  # different target -> miss
         assert cache.misses == 2
 
-    def test_capacity_limit(self):
+    def test_capacity_limit_evicts_lru(self):
         Service = self.make_service()
         cache = ObjectCacheAspect(
             cached_calls="call(Service.compute(..))", max_entries=1
@@ -327,9 +345,27 @@ class TestObjectCache:
         default_weaver.deploy(cache)
         service = Service()
         service.compute(1)
-        service.compute(2)  # not cached (capacity)
-        service.compute(2)
+        service.compute(2)  # evicts 1 (LRU)
+        service.compute(2)  # hit
+        service.compute(1)  # evicted above -> recomputed
         assert service.calls == 3
+        assert cache.hits == 1 and cache.misses == 3
+
+    def test_lru_recency_order(self):
+        Service = self.make_service()
+        cache = ObjectCacheAspect(
+            cached_calls="call(Service.compute(..))", max_entries=2
+        )
+        default_weaver.deploy(cache)
+        service = Service()
+        service.compute(1)
+        service.compute(2)
+        service.compute(1)  # hit: 1 becomes most recently used
+        service.compute(3)  # evicts 2, not 1
+        service.compute(1)  # still cached
+        service.compute(2)  # evicted -> recomputed
+        assert service.calls == 4
+        assert cache.hits == 2
 
     def test_clear_and_undeploy(self):
         Service = self.make_service()
@@ -340,6 +376,168 @@ class TestObjectCache:
         cache.clear()
         service.compute(1)
         assert cache.misses == 2
+
+    def test_pack_partial_hit_splits_and_reinterleaves(self):
+        """Pack-8 with 50% already cached: ONE cache lookup for the
+        pack, only the 4 misses reach the target (as a smaller pack),
+        and the results come back in piece order."""
+        from repro.aop.plan import batched_entry
+
+        Service = self.make_service()
+        cache = ObjectCacheAspect(cached_calls="call(Service.compute(..))")
+        default_weaver.deploy(cache)
+        service = Service()
+        for x in (0, 2, 4, 6):  # warm half the pack
+            service.compute(x)
+        assert service.calls == 4 and cache.pack_lookups == 0
+        entry = batched_entry(service, "compute")
+        results = entry([((x,), {}) for x in range(8)])
+        assert results == [x * 2 for x in range(8)]  # piece order
+        assert cache.pack_lookups == 1  # exactly one lookup per pack
+        assert service.calls == 8  # only the 4 misses recomputed
+        assert cache.hits == 4 and cache.misses == 8
+
+    def test_pack_full_hit_never_proceeds(self):
+        from repro.aop.plan import batched_entry
+
+        Service = self.make_service()
+        cache = ObjectCacheAspect(cached_calls="call(Service.compute(..))")
+        default_weaver.deploy(cache)
+        service = Service()
+        entry = batched_entry(service, "compute")
+        assert entry([((x,), {}) for x in range(4)]) == [0, 2, 4, 6]
+        calls_after_first = service.calls
+        assert entry([((x,), {}) for x in range(4)]) == [0, 2, 4, 6]
+        assert service.calls == calls_after_first  # fully cached pack
+        assert cache.pack_lookups == 2
+
+    def test_concurrent_memoisation_is_consistent(self):
+        import threading
+
+        Service = self.make_service()
+        cache = ObjectCacheAspect(
+            cached_calls="call(Service.compute(..))", max_entries=8
+        )
+        default_weaver.deploy(cache)
+        service = Service()
+        errors: list = []
+
+        def worker():
+            try:
+                for _ in range(200):
+                    for x in range(12):  # > max_entries: constant churn
+                        assert service.compute(x) == x * 2
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.hits + cache.misses == 4 * 200 * 12
+
+
+class TestReadReplica:
+    def make_store(self):
+        class Store:
+            def __init__(self):
+                self.data = {}
+                self.reads = 0
+
+            def get(self, key):
+                self.reads += 1
+                return self.data.get(key)
+
+            def put(self, key, value):
+                self.data[key] = value
+
+        weave(Store)
+        return Store
+
+    def make_partition(self, *instances):
+        from repro.parallel.partition.base import PartitionAspect
+
+        partition = PartitionAspect.__new__(PartitionAspect)
+        partition.managed = {}
+        partition.instances = []
+        for index, obj in enumerate(instances):
+            partition.remember(obj, index)
+        return partition
+
+    def deploy(self, Store, partition, **kwargs):
+        from repro.parallel import ReadReplicaAspect
+
+        aspect = ReadReplicaAspect(
+            partition,
+            read_calls=f"call({Store.__name__}.get(..))",
+            write_calls=f"call({Store.__name__}.put(..))",
+            **kwargs,
+        )
+        default_weaver.deploy(aspect)
+        return aspect
+
+    def test_reads_served_by_local_replica(self):
+        Store = self.make_store()
+        store = Store()
+        store.data["k"] = 1
+        partition = self.make_partition(store)
+        aspect = self.deploy(Store, partition)
+        assert store.get("k") == 1
+        # the live servant never saw the read: the replica did
+        assert store.reads == 0
+        assert aspect.local_reads == 1 and aspect.replica_builds == 1
+        # replica is detached: a direct (unadvised) state change on the
+        # servant is not visible until invalidation
+        store.data["k"] = 2
+        assert store.get("k") == 1
+        aspect.invalidate(store)
+        assert store.get("k") == 2
+        assert aspect.invalidations == 1 and aspect.replica_builds == 2
+
+    def test_write_through_invalidates(self):
+        Store = self.make_store()
+        store = Store()
+        store.data["k"] = 1
+        partition = self.make_partition(store)
+        aspect = self.deploy(Store, partition)
+        assert store.get("k") == 1
+        store.put("k", 9)  # full chain + invalidation
+        assert store.data["k"] == 9
+        assert store.get("k") == 9  # rebuilt replica sees the write
+        assert aspect.invalidations == 1
+
+    def test_batched_reads_answered_as_pack(self):
+        from repro.aop.plan import batched_entry
+
+        Store = self.make_store()
+        store = Store()
+        store.data.update({i: i * 10 for i in range(6)})
+        partition = self.make_partition(store)
+        aspect = self.deploy(Store, partition)
+        entry = batched_entry(store, "get")
+        assert entry([((i,), {}) for i in range(6)]) == [
+            i * 10 for i in range(6)
+        ]
+        assert store.reads == 0  # zero chain traversals hit the servant
+        assert aspect.local_reads == 6 and aspect.replica_builds == 1
+
+    def test_unmanaged_target_proceeds(self):
+        Store = self.make_store()
+        managed, stranger = Store(), Store()
+        stranger.data["k"] = 7
+        partition = self.make_partition(managed)
+        aspect = self.deploy(Store, partition)
+        assert stranger.get("k") == 7
+        assert stranger.reads == 1  # served by the servant itself
+        assert aspect.local_reads == 0
+
+    def test_snapshot_rejects_unmanaged(self):
+        Store = self.make_store()
+        partition = self.make_partition()
+        with pytest.raises(AdviceError):
+            partition.snapshot(Store())
 
 
 class TestReplication:

@@ -16,10 +16,15 @@ its baseline on the same box*.
 A pair fails when its current ratio exceeds ``baseline * (1 +
 max_regression)`` (per-pair threshold from the config;
 ``BENCH_REGRESSION_THRESHOLD`` overrides ALL thresholds when set).  A
+pair may additionally declare an **absolute** ``max_ratio``: the
+current within-run ratio must stay at or below it regardless of the
+trajectory — this is how a landed optimisation is *locked in* (e.g. the
+five-aspect stack must stay under ``max_ratio`` × a plain call even if
+the committed baseline still carries slow pre-optimisation runs).  A
 pair whose benches are missing from the latest run fails too — a gate
 that silently stops measuring is worse than a red one.  Pairs with no
 earlier baseline are skipped with a notice (first run after the pair
-lands).
+lands) unless they carry a ``max_ratio``, which needs no baseline.
 
 Every failing pair is reported as a GitHub Actions ``::error``
 annotation naming the pair (so the regression is visible on the PR
@@ -89,6 +94,19 @@ def check_pair(pair: dict, runs: list[dict], override: float | None) -> str:
             f"{denominator}; the gate cannot measure this pair",
         )
         return "fail"
+    max_ratio = pair.get("max_ratio")
+    if max_ratio is not None and current > float(max_ratio):
+        meaning = pair.get("meaning", "the optimised side lost ground")
+        print(
+            f"bench-check[{name}]: ratio {current:.3f} exceeded the "
+            f"absolute cap {float(max_ratio):.3f} -> REGRESSION"
+        )
+        annotate_error(
+            f"bench regression: {name}",
+            f"pair ratio {current:.3f} exceeded the absolute cap "
+            f"{float(max_ratio):.3f} — {meaning}",
+        )
+        return "fail"
     prior = [
         r
         for r in (
@@ -97,6 +115,13 @@ def check_pair(pair: dict, runs: list[dict], override: float | None) -> str:
         if r is not None
     ]
     if not prior:
+        if max_ratio is not None:
+            print(
+                f"bench-check[{name}]: ratio {current:.3f} within the "
+                f"absolute cap {float(max_ratio):.3f} "
+                f"(no trajectory baseline yet) -> OK"
+            )
+            return "ok"
         print(
             f"bench-check[{name}]: no committed baseline yet "
             f"(current ratio {current:.3f}) — skipping"
