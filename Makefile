@@ -5,7 +5,7 @@
 PY ?= python
 PYPATH := PYTHONPATH=src
 
-.PHONY: test stress stress-faults stress-tenancy test-proc bench-smoke bench-check bench-dispatch bench-proc lint
+.PHONY: test stress stress-faults stress-tenancy test-proc bench-smoke bench-check bench-dispatch bench-proc lint examples
 
 ## tier-1 test suite (the driver's acceptance gate)
 test:
@@ -104,6 +104,18 @@ bench-check:
 bench-dispatch:
 	$(PYPATH) $(PY) -m pytest benchmarks/bench_aop_dispatch.py -q \
 		--benchmark-sort=name
+
+## run every example headless, in sequence, failing fast on the first
+## broken one.  The examples double as end-to-end smoke tests of the
+## documented API surface (each asserts its own invariants and exits
+## non-zero on drift), so CI runs this target to keep README/docs
+## snippets honest.
+examples:
+	@set -e; for ex in examples/*.py; do \
+		echo "--- $$ex ---"; \
+		$(PYPATH) $(PY) $$ex; \
+	done
+	@echo "examples ok"
 
 ## syntax + docs lint: the container ships no third-party linter, so
 ## this byte-compiles every tree (catches syntax errors, tabs/space

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""I/O-bound fan-out on the asyncio backend: a webhook delivery farm.
+
+The core functionality is a plain class whose delivery method is
+``async def`` — it awaits a (simulated) remote endpoint.  Declaring
+``backend="asyncio"`` in the :class:`~repro.api.spec.StackSpec` runs
+every in-flight await as a task on ONE event loop: a farm of 8 workers
+delivers 64 events in ~8 awaits of wall time instead of 64, without a
+thread per call.  The same spec on ``backend="thread"`` would reject
+the ``async def`` servant with a targeted ``BackendError``.
+
+Three backend behaviours are demonstrated (see docs/BACKENDS.md):
+
+1. **fan-out** — the farm's pieces overlap on the loop (elapsed is
+   bounded by the slowest chain, not the sum);
+2. **deadline mid-await** — ``submit(..., timeout=...)`` is measured on
+   the loop clock, so an expired call is cancelled *inside* its await;
+3. **native oneway** — audit notifications are fire-and-forget with
+   ``middleware="none"``: the loop itself is the transport.
+
+Run:  python examples/webhook_async.py
+"""
+
+import asyncio
+import time
+
+from repro.api import ParallelApp, StackSpec
+from repro.errors import DeadlineExceeded
+from repro.parallel import WorkSplitter
+from repro.parallel.partition import CallPiece
+
+LATENCY = 0.02  # simulated endpoint round-trip, seconds
+WORKERS = 8
+
+
+class WebhookGateway:
+    """Core functionality: deliver events to a remote endpoint.
+
+    Plain sequential class — no parallel code.  ``asyncio.sleep``
+    stands in for the endpoint's network round trip (an aiohttp POST in
+    a real service).
+    """
+
+    audited = 0
+
+    def __init__(self, latency: float = LATENCY):
+        self.latency = latency
+
+    async def deliver(self, events):
+        receipts = []
+        for event in events:
+            await asyncio.sleep(self.latency)  # the endpoint round trip
+            receipts.append(f"{event}:delivered")
+        return receipts
+
+    async def audit(self, events):
+        await asyncio.sleep(self.latency)
+        WebhookGateway.audited += len(events)
+
+
+def chunk_splitter(workers: int) -> WorkSplitter:
+    """Split one delivery call's event list into per-worker chunks."""
+
+    def split(args, kwargs):
+        events = list(args[0])
+        size = max(1, (len(events) + workers - 1) // workers)
+        chunks = [events[i : i + size] for i in range(0, len(events), size)]
+        return [CallPiece(i, (chunk,)) for i, chunk in enumerate(chunks)]
+
+    return WorkSplitter(
+        duplicates=workers,
+        split=split,
+        combine=lambda results: [r for chunk in results for r in chunk],
+    )
+
+
+def main():
+    events = [f"evt-{i:03d}" for i in range(64)]
+
+    spec = StackSpec(
+        target=WebhookGateway,
+        work="deliver",
+        splitter=chunk_splitter(WORKERS),
+        strategy="farm",
+        backend="asyncio",
+    )
+
+    app = ParallelApp(spec)
+    print(f"  {app.describe()}")
+    with app:
+        app.start()
+
+        # 1. fan-out: 64 sequential awaits collapse to 8 per worker
+        t0 = time.perf_counter()
+        receipts = app.submit(events).result()
+        elapsed = time.perf_counter() - t0
+        sequential = len(events) * LATENCY
+        print(
+            f"delivered {len(receipts)} events in {elapsed * 1e3:.0f} ms "
+            f"(sequential would be ~{sequential * 1e3:.0f} ms, "
+            f"peak loop tasks: {app.backend.peak_tasks})"
+        )
+        assert receipts[0] == "evt-000:delivered"
+        assert len(receipts) == len(events)
+        assert elapsed < sequential, "awaits did not overlap on the loop"
+
+        # 2. deadline mid-await: the loop clock bounds the call exactly
+        try:
+            app.submit(events, timeout=LATENCY * 2).result()
+        except DeadlineExceeded as exc:
+            print(f"deadline: {exc}")
+
+    # 3. native oneway: no middleware — the loop is the transport
+    audit_spec = StackSpec(
+        target=WebhookGateway,
+        work="audit",
+        splitter=chunk_splitter(2),
+        strategy="farm",
+        backend="asyncio",
+        oneway=("audit",),
+    )
+    with ParallelApp(audit_spec) as audit_app:
+        audit_app.start()
+        group = audit_app.map([events[:8], events[8:16]], pack=True, oneway=True)
+        assert group.results() == [None, None]  # resolved at send time
+        deadline = time.time() + 5.0
+        while time.time() < deadline and WebhookGateway.audited < 16:
+            time.sleep(0.005)
+        print(f"oneway audits landed: {WebhookGateway.audited} events")
+        assert WebhookGateway.audited == 16
+
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -440,6 +440,10 @@ class ParallelApp:
             name=f"submit.{method}.{self._submissions}", backend=self.backend
         )
         future.admission = slot  # type: ignore[attr-defined]
+        # middleware-less oneway (asyncio only, per validation): no
+        # transport drops the reply, so the backend detaches the
+        # outcome itself — a fire-and-forget loop task
+        native_oneway = oneway and self.spec.middleware == "none"
 
         def perform() -> None:
             self._run_admitted(
@@ -452,6 +456,7 @@ class ParallelApp:
                 fail=lambda exc: (
                     None if future.resolved else future.set_exception(exc)
                 ),
+                detach=native_oneway,
             )
 
         try:
@@ -470,6 +475,7 @@ class ParallelApp:
         produce: Callable[[], Any],
         deliver: Callable[[Any], None],
         fail: Callable[[Exception], None],
+        detach: bool = False,
     ) -> None:
         """The admission lifecycle shared by every dispatched unit
         (single submits and whole packs): re-check the slot (it may
@@ -478,13 +484,27 @@ class ParallelApp:
         deadline, close the deliver-vs-cancel race atomically, and —
         crucially — release the slot *before* resolving the caller's
         future, so a submitter waking from ``result()`` never finds the
-        finished call still counted against ``max_in_flight``."""
+        finished call still counted against ``max_in_flight``.
+
+        ``detach=True`` is the middleware-less oneway path: the produced
+        outcome is handed to the backend fire-and-forget (an unawaited
+        loop task on asyncio) and the caller's future resolves to
+        ``None`` as soon as the send completed."""
         try:
             slot.check()
             with use_envelope(slot):
                 result = produce()
-                if isinstance(result, Future):
-                    result = self._await_nested(result, slot.deadline)
+                if detach:
+                    self.backend.detach(result)
+                    result = None
+                else:
+                    if isinstance(result, Future):
+                        result = self._await_nested(result, slot.deadline)
+                    # an async servant's coroutine (raw, or carried
+                    # through a thread-spawned future untouched) runs to
+                    # completion on the backend's loop here — a targeted
+                    # error on backends without one
+                    result = self.backend.finish(result)
             self._enforce_completion_deadline(slot, method)
             # atomic deliver-vs-cancel: a unit shed (or expired)
             # mid-flight must not deliver — its slot was already handed
@@ -624,7 +644,14 @@ class ParallelApp:
                     if not futures[start + offset].resolved:
                         futures[start + offset].set_exception(exc)
 
-            self._run_admitted(slot, method, produce, deliver, fail)
+            self._run_admitted(
+                slot,
+                method,
+                produce,
+                deliver,
+                fail,
+                detach=oneway and self.spec.middleware == "none",
+            )
 
         for start in range(0, len(payloads), size):
             chunk = payloads[start : start + size]

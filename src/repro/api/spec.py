@@ -318,6 +318,7 @@ class StackSpec:
         # the process-stack cross-checks run first: "rmi over the process
         # backend" should say THAT, not fall into the generic cluster rule
         self._validate_process_rules()
+        self._validate_asyncio_rules()
         if self.middleware != "none" and self.cluster is None:
             bundle = MIDDLEWARES.get(self.middleware)
             if getattr(bundle, "requires_cluster", True):
@@ -325,11 +326,17 @@ class StackSpec:
                     f"middleware {self.middleware!r} needs a cluster "
                     f"(e.g. repro.cluster.paper_testbed(Simulator()))"
                 )
-        if self.oneway and self.middleware == "none":
+        if self.oneway and self.middleware == "none" and not self._is_asyncio():
+            # fire-and-forget is a transport property — EXCEPT on the
+            # asyncio backend, where the event loop is the transport:
+            # a oneway call there is an unawaited loop task, dropped by
+            # the backend without any middleware in the stack
             raise DeploymentError(
                 "oneway methods need a distribution middleware "
                 "(fire-and-forget is a transport property); "
-                f"declared oneway={self.oneway!r} with middleware='none'"
+                f"declared oneway={self.oneway!r} with middleware='none' "
+                "(backend='asyncio' is the exception: its loop tasks can "
+                "be detached natively)"
             )
         if (
             self.oneway
@@ -392,6 +399,47 @@ class StackSpec:
                 f"backend 'process' pairs only with middleware 'process' "
                 f"(auto-promoted from 'none'); middleware "
                 f"{self.middleware!r} is a simulated transport"
+            )
+
+    def _backend_name(self) -> str | None:
+        """The backend's registry name, whether given as a string or an
+        instance (``None`` for auto-resolution)."""
+        if isinstance(self.backend, str):
+            return self.backend
+        return getattr(self.backend, "name", None)
+
+    def _is_asyncio(self) -> bool:
+        return self._backend_name() == "asyncio"
+
+    def _validate_asyncio_rules(self) -> None:
+        """Cross-checks for the event-loop stack.
+
+        The asyncio backend runs one real event loop in-process:
+        simulation-only knobs (clusters, placement — both describe
+        virtual nodes) and message-passing middlewares (whose reply
+        waits would park loop-side activities on thread events) are
+        contradictions worth failing on eagerly.
+        """
+        if not self._is_asyncio():
+            return
+        if self.cluster is not None:
+            raise DeploymentError(
+                "the asyncio backend runs a real event loop and cannot "
+                "attach to a simulated cluster; drop cluster= or use "
+                "backend='sim' with middleware 'rmi'/'mpp'"
+            )
+        if self.placement is not None:
+            raise DeploymentError(
+                "placement policies choose simulated nodes; the asyncio "
+                "backend hosts every servant coroutine on its one event "
+                "loop — drop placement="
+            )
+        if self.middleware != "none":
+            raise DeploymentError(
+                f"backend 'asyncio' pairs only with middleware 'none' "
+                f"(the event loop IS the transport); middleware "
+                f"{self.middleware!r} would marshal coroutines across a "
+                f"boundary they cannot cross"
             )
 
     # -- convenience --------------------------------------------------------

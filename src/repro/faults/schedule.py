@@ -27,7 +27,12 @@ Hook sites (the ``site`` key):
   resident worker's pin index);
 * ``"proc"``     — :class:`~repro.middleware.proc.ProcMiddleware`'s
   request/reply round trip (``index`` = the resident worker process
-  index).
+  index);
+* ``"loop"``     — the :class:`~repro.runtime.asyncbackend.AsyncioBackend`'s
+  bridged event-loop tasks, once per task before its coroutine is
+  awaited (``index`` is unused — loop tasks have no stable worker
+  identity).  ``delay_reply`` here is an ``await asyncio.sleep`` (the
+  loop keeps serving every other task while the reply stalls).
 """
 
 from __future__ import annotations
@@ -53,8 +58,8 @@ __all__ = [
 
 #: the four injectable misbehaviours
 FAULT_KINDS = ("kill_worker", "drop_reply", "delay_reply", "raise_in_piece")
-#: the three hook sites (see module docstring)
-FAULT_SITES = ("dispatch", "pool", "proc")
+#: the four hook sites (see module docstring)
+FAULT_SITES = ("dispatch", "pool", "proc", "loop")
 
 
 class FaultEvent:

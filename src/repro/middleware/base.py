@@ -42,6 +42,7 @@ from repro.cluster.topology import Cluster
 from repro.errors import MiddlewareError, RemoteError
 from repro.middleware.context import current_node, server_dispatch, use_node
 from repro.middleware.serialize import Serializer, measure_size
+from repro.runtime.backend import current_backend
 from repro.runtime.dispatch import (
     dispatch_id,
     find_dispatch,
@@ -79,6 +80,12 @@ def perform_request(
     classes and deployed aspects), and method resolution goes through
     the servant's compiled :class:`~repro.aop.plan.MethodTable`.  For
     batched requests ``args`` holds the pack's piece views.
+
+    An ``async def`` servant method hands back a coroutine here; the
+    outcome is resolved through the current backend's ``finish`` hook
+    before it is shipped, so a middleware stack either runs it on a
+    loop-owning backend or ships the backend's targeted configuration
+    error — never a raw, unmarshalable coroutine object.
     """
     try:
         with server_dispatch():
@@ -86,6 +93,7 @@ def perform_request(
                 result = table.invoke_batch(obj, method, args)
             else:
                 result = table.invoke(obj, method, args, kwargs or {})
+            result = current_backend().finish(result)
         return ("ok", result)
     except Exception as exc:  # noqa: BLE001 - shipped to the client
         return ("error", exc)

@@ -222,6 +222,23 @@ class AsyncInvocationAspect(ParallelAspect):
         if self.passthrough(jp):
             return jp.proceed()
         backend = current_backend()
+        if getattr(backend, "native_async", False) and isinstance(
+            self.spawner, SpawnPerCall
+        ):
+            # asyncio backend: the call's activity is an event-loop
+            # task, not a thread.  Proceed inline — an ``async def``
+            # method hands back its coroutine without running (cheap),
+            # a plain method completes right here — and let the backend
+            # bridge the outcome to a Future (already-resolved for
+            # plain values, a supervised loop task for coroutines).
+            self.spawned_calls += 1
+            try:
+                outcome = jp.proceed()
+            except Exception as exc:  # noqa: BLE001 - delivered via future
+                failed = Future(name=f"async.{jp.signature}", backend=backend)
+                failed.set_exception(exc)
+                return failed
+            return backend.bridge(outcome, name=f"async.{jp.signature}")
         future = Future(name=f"async.{jp.signature}", backend=backend)
         continuation = jp.capture_proceed()
 

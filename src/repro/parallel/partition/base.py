@@ -21,6 +21,7 @@ provides the shared machinery:
 from __future__ import annotations
 
 import copy
+import inspect
 import threading
 import time
 from collections import deque
@@ -172,8 +173,14 @@ def dispatch_with_retry(
         worker, index = pick_worker(attempt)
         try:
             outcome = dispatch_piece(worker, name, piece, worker_index=index)
-            if policy is not None and isinstance(outcome, Future):
-                outcome = outcome.result()
+            if policy is not None:
+                if isinstance(outcome, Future):
+                    outcome = outcome.result()
+                elif _holds_awaitables(outcome):
+                    # an async servant's coroutine: run it to completion
+                    # on the backend's loop HERE so a loop-task failure
+                    # is caught by this retry envelope too
+                    outcome = current_backend().finish(outcome)
             return outcome
         except Exception as exc:
             attempt += 1
@@ -194,14 +201,29 @@ def piece_key(piece: CallPiece | None) -> Any:
     return None if piece is None else piece.index
 
 
+def _holds_awaitables(outcome: Any) -> bool:
+    """Is the outcome something only an event loop can resolve — a
+    coroutine from an ``async def`` servant, or a pack result list
+    containing some?"""
+    if inspect.isawaitable(outcome):
+        return True
+    return isinstance(outcome, list) and any(
+        inspect.isawaitable(item) for item in outcome
+    )
+
+
 def piece_results(piece: CallPiece, outcome: Any) -> list:
     """Normalise one dispatch outcome to the per-item result list:
-    futures are resolved, pack outcomes (already per-item lists) are
-    spread, plain piece outcomes become singletons.  Skeletons flatten
-    with this so ``combine`` always sees piece-granular results in index
-    order, packed or not."""
+    futures are resolved, awaitables (async servants dispatched without
+    a concurrency aspect) are run to completion on the current backend's
+    loop, pack outcomes (already per-item lists) are spread, plain piece
+    outcomes become singletons.  Skeletons flatten with this so
+    ``combine`` always sees piece-granular results in index order,
+    packed or not."""
     if isinstance(outcome, Future):
         outcome = outcome.result()
+    if _holds_awaitables(outcome):
+        outcome = current_backend().finish(outcome)
     if getattr(piece, "items", None) is not None:
         return list(outcome)
     return [outcome]
@@ -475,6 +497,7 @@ class DispatchContext:
         "retries",
         "cancelled",
         "cancel_cause",
+        "_cancel_hooks",
         "spans",
         "_clock",
         "_lock",
@@ -506,6 +529,11 @@ class DispatchContext:
         self.retries = 0
         self.cancelled = False
         self.cancel_cause: BaseException | None = None
+        #: callbacks fired once on cancellation — the asyncio backend
+        #: registers one per in-flight loop task so a shed/expired
+        #: ticket cancels its awaits mid-flight instead of waiting for
+        #: the next cooperative check_deadline boundary
+        self._cancel_hooks: list[Callable[[BaseException], Any]] = []
         #: span timeline: {"name", "start", "end"} dicts on the
         #: backend's clock (end == start for point events).  A bounded
         #: ring — a million-beat heartbeat keeps its newest spans, the
@@ -576,7 +604,8 @@ class DispatchContext:
 
     def cancel(self, exc: BaseException) -> None:
         """Cancel this call: latch the cause, mark the span timeline,
-        and fail the collector so any gather-side waiter unwinds with
+        fire the registered cancel hooks (in-flight loop tasks), and
+        fail the collector so any gather-side waiter unwinds with
         ``exc`` instead of blocking on deposits that will never count.
         Idempotent — the first cancellation wins."""
         with self._lock:
@@ -584,10 +613,43 @@ class DispatchContext:
                 return
             self.cancelled = True
             self.cancel_cause = exc
+            hooks = list(self._cancel_hooks)
+            self._cancel_hooks.clear()
             now = self._clock()
             self.spans.append({"name": "cancelled", "start": now, "end": now})
+        for hook in hooks:
+            try:
+                hook(exc)
+            except Exception:  # pragma: no cover - hooks must not mask
+                pass
         if self.collector is not None:
             self.collector.fail(exc)
+
+    def add_cancel_hook(
+        self, hook: Callable[[BaseException], Any]
+    ) -> Callable[[BaseException], Any]:
+        """Register a callback fired (once) when the ticket is
+        cancelled; fires immediately if it already was.  Returns the
+        hook as its removal token for :meth:`remove_cancel_hook`."""
+        with self._lock:
+            if not self.cancelled:
+                self._cancel_hooks.append(hook)
+                return hook
+            cause = self.cancel_cause
+        try:
+            hook(cause if cause is not None else DeadlineExceeded("cancelled"))
+        except Exception:  # pragma: no cover - hooks must not mask
+            pass
+        return hook
+
+    def remove_cancel_hook(self, hook: Callable[[BaseException], Any]) -> None:
+        """Deregister a cancel hook (idempotent — a hook already fired
+        or never added is simply ignored)."""
+        with self._lock:
+            try:
+                self._cancel_hooks.remove(hook)
+            except ValueError:
+                pass
 
     def expire(self, where: str = "") -> BaseException:
         """Cancel this call with a :class:`DeadlineExceeded` carrying

@@ -35,8 +35,10 @@ from repro.parallel.partition.base import (
     CallPiece,
     PartitionAspect,
     WorkSplitter,
+    _holds_awaitables,
     dispatch_with_retry,
 )
+from repro.runtime.backend import current_backend
 from repro.runtime.futures import Future
 
 __all__ = ["HeartbeatAspect", "heartbeat_module"]
@@ -119,10 +121,7 @@ class HeartbeatAspect(PartitionAspect):
                         for index, worker in enumerate(self.workers)
                     ]
                     ctx.record_pack(len(outcomes))  # one step per block
-                    results = [
-                        o.result() if isinstance(o, Future) else o
-                        for o in outcomes
-                    ]
+                    results = [self._value(o) for o in outcomes]
                 with ctx.span(f"merge[{beat}]"):
                     # only the latest combined value is retained (a long run
                     # must not accumulate per-iteration results)
@@ -185,8 +184,13 @@ class HeartbeatAspect(PartitionAspect):
                 updates.append(("bottom", boundaries[(index + 1, "top")]))
             if not updates:
                 continue
-            batched_entry(worker, self.exchange_in)(
-                [CallPiece(i, update) for i, update in enumerate(updates)]
+            # resolve the write outcome: a scatter must have LANDED
+            # before the next compute phase reads the halos (async
+            # boundary accessors would otherwise still be in flight)
+            self._value(
+                batched_entry(worker, self.exchange_in)(
+                    [CallPiece(i, update) for i, update in enumerate(updates)]
+                )
             )
         with self._dispatch_lock:
             self.exchanges += 2 * max(last, 0)
@@ -197,7 +201,14 @@ class HeartbeatAspect(PartitionAspect):
 
     @staticmethod
     def _value(outcome: Any) -> Any:
-        return outcome.result() if isinstance(outcome, Future) else outcome
+        """Resolve one step/boundary outcome: futures are awaited,
+        coroutines (async servants) run to completion on the current
+        backend's loop, plain values pass through."""
+        if isinstance(outcome, Future):
+            outcome = outcome.result()
+        if _holds_awaitables(outcome):
+            outcome = current_backend().finish(outcome)
+        return outcome
 
 
 @register_strategy("heartbeat")

@@ -45,6 +45,7 @@ from repro.parallel.partition.base import (
     PackedPiece,
     PartitionAspect,
     WorkSplitter,
+    _holds_awaitables,
     dispatch_piece,
     piece_key,
 )
@@ -300,6 +301,11 @@ class PipelineForwardAspect(ParallelAspect):
         # a no-op (the first failure wins).
         try:
             result = jp.proceed()  # the stage's own processing
+            if _holds_awaitables(result):
+                # an async stage method: its value must exist before it
+                # can be forwarded (or deposited), so resolve it on the
+                # backend's loop here, inside the fail-fast envelope
+                result = current_backend().finish(result)
             nxt = co.next[key]
             # mid-forward deadline boundary: a deadline that ran out
             # while this stage processed unwinds HERE — the ticket is

@@ -2,6 +2,7 @@
 futures with wait-by-necessity, and active objects."""
 
 from repro.runtime.active import ActiveObject
+from repro.runtime.asyncbackend import AsyncioBackend, AsyncioEvent
 from repro.runtime.admission import (
     OVERFLOW_POLICIES,
     AdmissionController,
@@ -40,6 +41,8 @@ __all__ = [
     "SimTask",
     "ProcessBackend",
     "ProcWorker",
+    "AsyncioBackend",
+    "AsyncioEvent",
     "Future",
     "FutureGroup",
     "ActiveObject",

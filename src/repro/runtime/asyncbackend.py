@@ -1,0 +1,379 @@
+"""Asyncio-native execution backend (I/O-bound servants).
+
+The paper's claim is that the execution platform is a pluggable concern.
+PR 6 proved it for multi-core (``backend="process"``); this module
+proves it for event-loop concurrency: ``backend="asyncio"`` gives
+``async def`` servant methods a native home, overlapping thousands of
+in-flight awaits on ONE event loop instead of burning a thread (or a
+resident process) per in-flight call.
+
+Shape
+-----
+
+:class:`AsyncioBackend` subclasses
+:class:`~repro.runtime.threads.ThreadBackend` for the same reason
+:class:`~repro.runtime.procbackend.ProcessBackend` does: the
+*coordination* surface — ``ParallelApp.submit()/map()`` activities,
+admission waits, collectors, resident pool dispatchers, futures — is
+synchronous and blocking, so it keeps real-thread semantics.  What moves
+onto the event loop is the *servant dispatch*: a woven call whose target
+method is ``async def`` hands back a coroutine, and the backend bridges
+it onto its loop as an :class:`asyncio.Task` (the call's activity),
+resolving a plain :class:`~repro.runtime.futures.Future` through
+:func:`asyncio.run_coroutine_threadsafe`.  Plain (sync) methods run
+inline — exactly the split the paper's aspect decomposition suggests:
+concurrency shape is the backend's business, not the servant's.
+
+* ``now()`` is the **loop clock** (``loop.time()``), so per-ticket
+  :class:`~repro.runtime.admission.Deadline` budgets translate directly
+  into ``asyncio.wait_for`` timeouts: an expired deadline cancels the
+  task *mid-await*, not at the next cooperative boundary.
+* A shed or cancelled :class:`~repro.parallel.partition.base.DispatchContext`
+  cancels its in-flight loop tasks through the ticket's cancel hooks.
+* :meth:`make_event` returns an :class:`AsyncioEvent` — waitable from
+  submitter threads (admission ``block`` parks on it) *and* awaitable
+  from loop tasks (``await event.wait_async()``), the dual-face gate the
+  backend's tests hold servants open with.
+* The ``"loop"`` fault site fires once per bridged task with awaitable
+  semantics: ``delay_reply`` is an ``await asyncio.sleep`` (the loop
+  stays free), ``drop_reply`` discards an outcome that was actually
+  computed.
+
+One loop, owned by the backend, runs in a dedicated daemon thread
+(started lazily, shared process-wide) so the synchronous submission API
+keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import inspect
+import threading
+from typing import Any, Awaitable
+
+from repro.api.registry import register_backend
+from repro.errors import (
+    BackendError,
+    InjectedFault,
+    ReplyDropped,
+    WorkerKilled,
+)
+from repro.faults.schedule import fire_fault
+from repro.runtime.backend import _close_awaitables
+from repro.runtime.dispatch import current_dispatch
+from repro.runtime.futures import Future
+from repro.runtime.threads import ThreadBackend
+
+__all__ = ["AsyncioBackend", "AsyncioEvent"]
+
+
+class _LoopHost:
+    """One long-lived event loop in a daemon thread, shared by every
+    :class:`AsyncioBackend` instance (apps are cheap to build; loop
+    threads are not — a singleton keeps "construct an app per test"
+    from leaking a thread per construction)."""
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        atexit.register(self.stop)
+
+    def ensure(self) -> None:
+        """Start the loop thread if it is not running yet (idempotent;
+        safe to race from many submitters)."""
+        with self._lock:
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._run, name="repro.asyncio-loop", daemon=True
+                )
+                self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def stop(self) -> None:
+        """Stop the loop thread (interpreter-exit hook; restartable via
+        :meth:`ensure`)."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None and thread.is_alive() and self.loop.is_running():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            thread.join(timeout=1.0)
+
+
+#: the process-wide loop host every AsyncioBackend shares
+_HOST = _LoopHost()
+
+
+class AsyncioEvent:
+    """Dual-face event: the sync ``wait()``/``set()``/``is_set`` surface
+    every backend event exposes (submitter threads, collectors, the
+    admission table's ``block`` parking) plus an awaitable face
+    (:meth:`wait_async`) for coroutines running on the backend's loop.
+
+    ``set()`` is safe from any thread — the loop-side flag is flipped
+    through ``call_soon_threadsafe`` so awaiting tasks wake without the
+    caller touching the loop directly.
+    """
+
+    def __init__(self, host: _LoopHost, name: str = "event"):
+        self.name = name
+        self._host = host
+        self._thread_event = threading.Event()
+        self._async_event = asyncio.Event()
+        self.value: Any = None
+
+    @property
+    def is_set(self) -> bool:
+        """Has the event been set (and not cleared since)?"""
+        return self._thread_event.is_set()
+
+    def set(self, value: Any = None) -> None:
+        """Set the event (first value wins), waking sync waiters and
+        loop-side awaiters alike."""
+        if not self._thread_event.is_set():
+            self.value = value
+            self._thread_event.set()
+        loop = self._host.loop
+        if loop.is_running():
+            loop.call_soon_threadsafe(self._async_event.set)
+        else:  # nobody can be awaiting on a stopped loop: flip directly
+            self._async_event.set()
+
+    def clear(self) -> None:
+        """Reset both faces of the event."""
+        self._thread_event.clear()
+        self.value = None
+        loop = self._host.loop
+        if loop.is_running():
+            loop.call_soon_threadsafe(self._async_event.clear)
+        else:
+            self._async_event.clear()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block the calling *thread* until set (never call from a loop
+        task — that is what :meth:`wait_async` is for)."""
+        return self._thread_event.wait(timeout)
+
+    async def wait_async(self) -> bool:
+        """Await the event from a coroutine on the backend's loop —
+        the loop stays free to run every other task meanwhile."""
+        await self._async_event.wait()
+        return True
+
+
+def _needs_loop(outcome: Any) -> bool:
+    """Does this dispatch outcome carry awaitables the loop must run?"""
+    if inspect.isawaitable(outcome):
+        return True
+    return isinstance(outcome, list) and any(
+        inspect.isawaitable(item) for item in outcome
+    )
+
+
+class AsyncioBackend(ThreadBackend):
+    """Event-loop execution backend for ``async def`` servants.
+
+    Coordination activities (submissions, pool dispatchers, admission
+    waits) stay real threads — subclassing
+    :class:`~repro.runtime.threads.ThreadBackend` is the point, exactly
+    as with the process backend.  Servant coroutines are bridged onto
+    the backend's loop with :meth:`bridge`; the dispatch plumbing calls
+    :meth:`finish` wherever an outcome may be awaitable.
+    """
+
+    name = "asyncio"
+    #: the concurrency aspect's signal: dispatch inline and bridge the
+    #: outcome instead of spawning a thread per call
+    native_async = True
+
+    def __init__(self, host: _LoopHost | None = None) -> None:
+        super().__init__()
+        self._host = host if host is not None else _HOST
+        # task counters are only ever touched on the loop thread (inside
+        # _supervise), so they need no lock
+        self.tasks_started = 0
+        self.tasks_finished = 0
+        self.tasks_cancelled = 0
+        #: tasks whose ticket deadline cancelled their await mid-flight
+        self.tasks_expired = 0
+        self.live_tasks = 0
+        #: most loop tasks ever in flight at once (the overlap
+        #: high-water mark the tests and benches assert on)
+        self.peak_tasks = 0
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The backend's event loop (shared, running in its own daemon
+        thread once any coroutine has been bridged)."""
+        return self._host.loop
+
+    def now(self) -> float:
+        """The loop clock — ticket deadlines measured here translate
+        exactly into ``asyncio.wait_for`` timeouts, which is what lets
+        an expiry cancel a task mid-await."""
+        return self._host.loop.time()
+
+    def make_event(self, name: str = "event") -> AsyncioEvent:
+        """A dual-face :class:`AsyncioEvent` (sync wait + loop await)."""
+        return AsyncioEvent(self._host, name=name)
+
+    # -- coroutine bridging -------------------------------------------------
+
+    def bridge(self, outcome: Any, name: str = "asyncio.task") -> Future:
+        """Adopt one dispatch outcome as this backend's activity.
+
+        A coroutine (or a batched-entry list containing coroutines)
+        is scheduled on the loop as one :class:`asyncio.Task` — carrying
+        the ambient dispatch ticket's deadline and cancel hooks — and a
+        :class:`~repro.runtime.futures.Future` resolving with it is
+        returned.  A plain value comes back as an already-resolved
+        future, so sync methods cost no loop round-trip.
+        """
+        future = Future(name=name, backend=self)
+        if not _needs_loop(outcome):
+            future.set_result(outcome)
+            return future
+        ticket = current_dispatch()
+        self._host.ensure()
+        pending = asyncio.run_coroutine_threadsafe(
+            self._supervise(outcome, ticket), self._host.loop
+        )
+
+        def _transfer(done: Any) -> None:
+            if future.resolved:  # pragma: no cover - single producer
+                return
+            try:
+                future.set_result(done.result())
+            except BaseException as exc:  # noqa: BLE001 - via the future
+                future.set_exception(exc)
+
+        pending.add_done_callback(_transfer)
+        return future
+
+    def finish(self, outcome: Any) -> Any:
+        """Resolve a dispatch outcome: awaitables run to completion on
+        the loop (the calling thread blocks, the loop does not); plain
+        values pass through untouched."""
+        if not _needs_loop(outcome):
+            return outcome
+        return self.bridge(outcome, name="asyncio.finish").result()
+
+    def detach(self, outcome: Any) -> None:
+        """Fire-and-forget (native oneway): make sure any awaitables are
+        scheduled on the loop, then drop the handle — the work runs to
+        completion, nobody waits for the reply."""
+        if isinstance(outcome, Future):
+            return  # already bridged: its task runs regardless of waiters
+        if _needs_loop(outcome):
+            self.bridge(outcome, name="asyncio.oneway")
+
+    # -- the loop-side task wrapper -----------------------------------------
+
+    async def _supervise(self, outcome: Any, ticket: Any) -> Any:
+        """The bridged task's body: fault site, ticket cancel hook,
+        deadline-bounded await, and the task census."""
+        task = asyncio.current_task()
+        hook = None
+        if ticket is not None and task is not None:
+            loop = self._host.loop
+            hook = ticket.add_cancel_hook(
+                lambda exc, t=task: loop.call_soon_threadsafe(t.cancel)
+            )
+        self.tasks_started += 1
+        self.live_tasks += 1
+        self.peak_tasks = max(self.peak_tasks, self.live_tasks)
+        try:
+            event = fire_fault("loop", None)
+            if event is not None:
+                if event.kind in ("raise_in_piece", "kill_worker"):
+                    # failing before the await: close the unconsumed
+                    # coroutine so the injection does not also trip
+                    # "never awaited" warnings
+                    _close_awaitables(outcome)
+                if event.kind == "raise_in_piece":
+                    raise InjectedFault(
+                        "injected failure in a loop task (site 'loop')"
+                    )
+                if event.kind == "kill_worker":
+                    raise WorkerKilled(
+                        "injected loop-task death (site 'loop')"
+                    )
+                if event.kind == "delay_reply":
+                    # awaitable delay: this task stalls, the loop serves
+                    # every other in-flight await meanwhile
+                    await asyncio.sleep(event.delay)
+            value = await self._bounded(outcome, ticket)
+            if event is not None and event.kind == "drop_reply":
+                raise ReplyDropped(
+                    "injected reply drop after a completed loop task"
+                )
+            return value
+        except asyncio.CancelledError:
+            self.tasks_cancelled += 1
+            # cancelled before (or while) consuming the outcome: close
+            # any not-yet-awaited coroutine (no-op when already closed)
+            _close_awaitables(outcome)
+            cause = getattr(ticket, "cancel_cause", None)
+            if cause is not None:
+                # a shed/expired ticket cancelled this task: surface the
+                # ticket's cause (CallShed, DeadlineExceeded + trace),
+                # not a bare CancelledError
+                raise cause from None
+            raise
+        finally:
+            if ticket is not None and hook is not None:
+                ticket.remove_cancel_hook(hook)
+            self.live_tasks -= 1
+            self.tasks_finished += 1
+
+    async def _bounded(self, outcome: Any, ticket: Any) -> Any:
+        """Await the outcome, bounded by the ticket's deadline: since
+        ``now()`` IS the loop clock, ``deadline.remaining()`` is an
+        exact ``wait_for`` budget, and expiry cancels the await mid-
+        flight — the ticket expires with its trace."""
+        deadline = getattr(ticket, "deadline", None) if ticket is not None else None
+        if deadline is None:
+            return await self._gathered(outcome)
+        try:
+            return await asyncio.wait_for(
+                self._gathered(outcome), timeout=deadline.remaining()
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            self.tasks_expired += 1
+            raise ticket.expire("awaiting an async servant") from None
+
+    @staticmethod
+    async def _gathered(outcome: Any) -> Any:
+        """Await a coroutine outcome; for a batched-entry list, run the
+        awaitable items concurrently (one pack = many overlapped awaits)
+        and keep plain items in place."""
+        if inspect.isawaitable(outcome):
+            return await outcome
+
+        async def keep(value: Any) -> Any:
+            return value
+
+        parts: list[Awaitable[Any]] = [
+            item if inspect.isawaitable(item) else keep(item)
+            for item in outcome
+        ]
+        return list(await asyncio.gather(*parts))
+
+
+@register_backend("asyncio")
+def _make_asyncio_backend(cluster: Any = None, sim: Any = None) -> AsyncioBackend:
+    """Registry factory for the asyncio backend.  A simulated cluster is
+    rejected eagerly: the loop runs real wall-clock awaits and cannot
+    host virtual nodes (use backend='sim' with a middleware for that)."""
+    if cluster is not None:
+        raise BackendError(
+            "the asyncio backend runs a real event loop and cannot attach "
+            "to a simulated cluster; drop cluster= or use backend='sim' "
+            "with middleware 'rmi'/'mpp'"
+        )
+    return AsyncioBackend()

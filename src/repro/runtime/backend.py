@@ -21,6 +21,7 @@ threads, so this is correct in both modes) with a global default of
 from __future__ import annotations
 
 import abc
+import inspect
 import threading
 import time
 from contextlib import contextmanager
@@ -70,8 +71,20 @@ class ExecutionBackend(abc.ABC):
         :meth:`_spawn`; thunks marked with
         :func:`~repro.runtime.dispatch.shield_dispatch` (long-lived
         workers) pass through uncaptured.
+
+        The spawned activity also runs with THIS backend as its ambient
+        one (:func:`use_backend`): work a backend spawns belongs to that
+        backend, so resolution points deep inside worker activities
+        (e.g. awaiting an async servant's coroutine) reach the backend
+        that owns the loop instead of the process-wide default.
         """
-        return self._spawn(bind_dispatch(fn), name=name, **kwargs)
+        bound = bind_dispatch(fn)
+
+        def run() -> Any:
+            with use_backend(self):
+                return bound()
+
+        return self._spawn(run, name=name, **kwargs)
 
     @abc.abstractmethod
     def _spawn(
@@ -101,8 +114,57 @@ class ExecutionBackend(abc.ABC):
         """
         return time.monotonic()
 
+    def finish(self, outcome: Any) -> Any:
+        """Resolve a dispatch outcome that may be backend-deferred.
+
+        The asyncio backend overrides this to run awaitables to
+        completion on its loop.  Everywhere else an awaitable outcome
+        means an ``async def`` servant was dispatched on a backend with
+        nowhere to run it — a configuration error, reported as such
+        rather than leaking a raw coroutine into result merging.
+        """
+        if _carries_awaitables(outcome):
+            _close_awaitables(outcome)
+            raise BackendError(
+                f"backend {self.name!r} cannot await an async servant "
+                "result: async def servant methods need backend='asyncio' "
+                "(every other backend runs plain methods only)"
+            )
+        return outcome
+
+    def detach(self, outcome: Any) -> None:
+        """Fire-and-forget a dispatch outcome (native oneway).
+
+        Default backends have nothing deferred to keep alive, so this
+        only validates the outcome the way :meth:`finish` does.
+        """
+        self.finish(outcome)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
+
+
+def _carries_awaitables(outcome: Any) -> bool:
+    """Does the outcome hold coroutines only an event loop could run?"""
+    if inspect.isawaitable(outcome):
+        return True
+    return isinstance(outcome, list) and any(
+        inspect.isawaitable(item) for item in outcome
+    )
+
+
+def _close_awaitables(outcome: Any) -> None:
+    """Close orphaned coroutines so rejecting them does not also emit
+    'coroutine was never awaited' warnings."""
+    items = outcome if isinstance(outcome, list) else [outcome]
+    for item in items:
+        close = getattr(item, "close", None)
+        if close is None:
+            continue
+        try:
+            close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
 
 
 class _BackendState(threading.local):

@@ -196,15 +196,19 @@ class ProcWorker:
 
     @property
     def pid(self) -> int | None:
+        """The worker process's OS pid (``None`` before it starts)."""
         return self.process.pid
 
     @property
     def alive(self) -> bool:
+        """Is the worker process still running?"""
         return self.process.is_alive()
 
     # -- request/reply ------------------------------------------------------
 
     def send(self, data: bytes) -> None:
+        """Ship one request frame; a dead worker or broken pipe raises
+        :class:`~repro.errors.WorkerCrashed` instead of hanging."""
         if not self.process.is_alive():
             raise WorkerCrashed(self._obituary("before a send"))
         try:

@@ -29,14 +29,18 @@ class SimTask(TaskHandle):
         self._proc = proc
 
     def join(self) -> Any:
+        """Wait (in virtual time) for the simulated process; return its
+        result or re-raise its exception."""
         return self._proc.join()
 
     @property
     def done(self) -> bool:
+        """Has the simulated process finished?"""
         return self._proc.finished
 
     @property
     def process(self) -> SimProcess:
+        """The underlying :class:`SimProcess`."""
         return self._proc
 
 
@@ -75,17 +79,20 @@ class SimBackend(ExecutionBackend):
         return SimTask(proc)
 
     def make_lock(self, name: str = "lock") -> SimLock:
+        """A lock whose contention occupies virtual time."""
         return SimLock(self.sim, name=name)
 
     def make_event(self, name: str = "event") -> SimEvent:
+        """An event parked on by simulated activities."""
         return SimEvent(self.sim, name=name)
 
     def make_queue(self, name: str = "queue") -> SimQueue:
+        """A FIFO whose blocking ``get`` waits in virtual time."""
         return SimQueue(self.sim, name=name)
 
     def now(self) -> float:
-        # deadlines on the sim backend are measured in *virtual* time,
-        # so a timeout= interacts with the cost model, not the wall clock
+        """The simulator's **virtual** clock: deadlines on this backend
+        interact with the cost model, not the wall clock."""
         return self.sim.now
 
 

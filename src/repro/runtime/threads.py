@@ -40,6 +40,8 @@ class ThreadTask(TaskHandle):
         self._thread.start()
 
     def join(self) -> Any:
+        """Wait for the thread; return its result or re-raise its
+        exception."""
         self._finished.wait()
         if self._exception is not None:
             raise self._exception
@@ -47,6 +49,7 @@ class ThreadTask(TaskHandle):
 
     @property
     def done(self) -> bool:
+        """Has the thread's body finished (successfully or not)?"""
         return self._finished.is_set()
 
 
@@ -120,12 +123,16 @@ class ThreadBackend(ExecutionBackend):
         return ThreadTask(fn, name or f"task-{self.spawned}")
 
     def make_lock(self, name: str = "lock") -> threading.Lock:
+        """A plain (non-reentrant) ``threading.Lock``."""
         return threading.Lock()
 
     def make_event(self, name: str = "event") -> _ThreadEvent:
+        """A ``threading.Event`` carrying a value slot (SimEvent's
+        surface)."""
         return _ThreadEvent(name)
 
     def make_queue(self, name: str = "queue") -> _ThreadQueue:
+        """A ``queue.Queue`` adapter matching SimQueue's surface."""
         return _ThreadQueue(name)
 
 

@@ -121,6 +121,7 @@ class TestMultiPairGate:
             "pack-routed-farm-map",
             "resident-pool-dynfarm",
             "cpu-farm-process",
+            "io-farm-asyncio",
             "pack-marshal-process",
             "fault-retry-farm",
             "five-aspect-stack",

@@ -1,12 +1,16 @@
 """Docstring lint.
 
-Two rules, run by ``make lint`` (and CI):
+Three rules, run by ``make lint`` (and CI):
 
 1. every public module under ``src/repro`` must carry a module
    docstring;
 2. every public function, method, and class defined in the
    ``repro.api`` package must carry a docstring — the package is the
-   user-facing surface, so its signatures are documentation.
+   user-facing surface, so its signatures are documentation;
+3. likewise for the execution-backend modules in ``repro.runtime``
+   (``backend.py``, ``threads.py``, ``simbackend.py``,
+   ``procbackend.py``, ``asyncbackend.py``) — docs/BACKENDS.md tells
+   users to implement this surface, so it must document itself.
 
 A *public* module is any ``.py`` file whose path contains no
 underscore-prefixed component (``__init__.py`` counts as public — it
@@ -24,6 +28,16 @@ from pathlib import Path
 
 #: packages whose public *definitions* (not just modules) need docstrings
 API_PACKAGES = ("api",)
+
+#: individual modules held to the same definition-docstring rule: the
+#: execution-backend surface users subclass (see docs/BACKENDS.md)
+API_MODULES = (
+    Path("runtime/backend.py"),
+    Path("runtime/threads.py"),
+    Path("runtime/simbackend.py"),
+    Path("runtime/procbackend.py"),
+    Path("runtime/asyncbackend.py"),
+)
 
 
 def is_public(relative: Path) -> bool:
@@ -71,7 +85,7 @@ def main() -> int:
             return 1
         if ast.get_docstring(tree) is None:
             missing_modules.append(path)
-        if relative.parts[0] in API_PACKAGES:
+        if relative.parts[0] in API_PACKAGES or relative in API_MODULES:
             for line, name in undocumented_definitions(tree):
                 missing_defs.append(f"  {path}:{line}: {name}")
     failed = False
@@ -83,7 +97,7 @@ def main() -> int:
     if missing_defs:
         failed = True
         print(
-            "public repro.api definitions missing a docstring:",
+            "public repro.api / backend definitions missing a docstring:",
             file=sys.stderr,
         )
         for entry in missing_defs:
@@ -92,7 +106,7 @@ def main() -> int:
         return 1
     print(
         f"docstring lint ok ({sum(1 for _ in root.rglob('*.py'))} modules, "
-        f"api definitions documented)"
+        f"api + backend definitions documented)"
     )
     return 0
 
